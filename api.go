@@ -1,0 +1,220 @@
+package sea
+
+import (
+	"io"
+
+	"repro/internal/attr"
+	"repro/internal/baselines"
+	"repro/internal/clique"
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/hetgraph"
+	"repro/internal/kcore"
+	"repro/internal/sea"
+	"repro/internal/truss"
+)
+
+// NodeID identifies a node in a Graph; IDs are dense in [0, NumNodes).
+type NodeID = graph.NodeID
+
+// Graph is an immutable undirected attributed graph in CSR form.
+type Graph = graph.Graph
+
+// GraphBuilder assembles a Graph; create one with NewGraphBuilder.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n nodes and numDim
+// numerical attribute dimensions per node.
+func NewGraphBuilder(n, numDim int) *GraphBuilder { return graph.NewBuilder(n, numDim) }
+
+// Metric evaluates the composite attribute distance of the paper (§II) on a
+// fixed graph: γ·Jaccard + (1−γ)·normalized Manhattan.
+type Metric = attr.Metric
+
+// NewMetric builds a Metric over g with balance factor gamma ∈ [0,1]
+// (1 = textual only, 0 = numerical only).
+func NewMetric(g *Graph, gamma float64) (*Metric, error) { return attr.NewMetric(g, gamma) }
+
+// Delta computes the query-centric attribute distance δ(H) of a community:
+// the mean composite distance to q over members other than q. dist must be
+// the precomputed f(·,q) vector (Metric.QueryDist).
+func Delta(dist []float64, members []NodeID, q NodeID) float64 {
+	return attr.Delta(dist, members, q)
+}
+
+// Model selects the structure-cohesiveness model for Search.
+type Model = sea.Model
+
+// Community models supported by Search.
+const (
+	KCore  = sea.KCore
+	KTruss = sea.KTruss
+)
+
+// Options configures a SEA search; start from DefaultOptions.
+type Options = sea.Options
+
+// DefaultOptions returns the paper's default parameters (§VII-A).
+func DefaultOptions() Options { return sea.DefaultOptions() }
+
+// Result is the outcome of a SEA search: the community, its attribute
+// distance δ*, the confidence interval, the per-round trace and step times.
+type Result = sea.Result
+
+// ErrNoCommunity is returned by Search when no community satisfying the
+// structural (and size) constraints exists around the query node.
+var ErrNoCommunity = sea.ErrNoCommunity
+
+// Search runs the SEA approximate community search (the paper's primary
+// contribution) on g for query node q.
+func Search(g *Graph, m *Metric, q NodeID, opts Options) (*Result, error) {
+	return sea.Search(g, m, q, opts)
+}
+
+// SearchWithDist is Search with a precomputed f(·,q) vector, letting callers
+// amortize the distance computation across runs.
+func SearchWithDist(g *Graph, dist []float64, q NodeID, opts Options) (*Result, error) {
+	return sea.SearchWithDist(g, dist, q, opts)
+}
+
+// ExactConfig selects the exact baseline's pruning strategies and bounds its
+// search-tree exploration.
+type ExactConfig = exact.Config
+
+// ExactResult is the outcome of an exact search.
+type ExactResult = exact.Result
+
+// ErrBudgetExhausted is returned (wrapped) by ExactSearch when the state
+// budget is hit; the result still carries the best community found.
+var ErrBudgetExhausted = exact.ErrBudgetExhausted
+
+// DefaultExactConfig enables all three pruning strategies of §IV.
+func DefaultExactConfig() ExactConfig { return exact.DefaultConfig() }
+
+// ExactSearch solves CS-AG exactly: the connected k-core containing q with
+// the smallest δ. dist must be Metric.QueryDist(q).
+func ExactSearch(g *Graph, q NodeID, k int, dist []float64, cfg ExactConfig) (ExactResult, error) {
+	return exact.Search(g, q, k, dist, cfg)
+}
+
+// BaselineModel selects the structural model for the baseline methods.
+type BaselineModel = baselines.Model
+
+// Structural models for the baselines.
+const (
+	BaselineKCore  = baselines.KCore
+	BaselineKTruss = baselines.KTruss
+)
+
+// ACQ runs the shared-attribute baseline (Fang et al., PVLDB'16).
+func ACQ(g *Graph, q NodeID, k int, model BaselineModel) ([]NodeID, error) {
+	return baselines.ACQ(g, q, k, model)
+}
+
+// LocATC runs the attribute-coverage local search baseline (Huang &
+// Lakshmanan, PVLDB'17).
+func LocATC(g *Graph, q NodeID, k int, model BaselineModel) ([]NodeID, error) {
+	return baselines.LocATC(g, q, k, model)
+}
+
+// VAC runs the approximate min-max attribute-distance baseline (Liu et al.,
+// ICDE'20).
+func VAC(g *Graph, m *Metric, q NodeID, k int, model BaselineModel) ([]NodeID, error) {
+	return baselines.VAC(g, m, q, k, model)
+}
+
+// EVAC runs the exact min-max baseline with a state budget.
+func EVAC(g *Graph, m *Metric, q NodeID, k int, model BaselineModel, maxStates int) ([]NodeID, error) {
+	return baselines.EVAC(g, m, q, k, model, maxStates)
+}
+
+// CoreDecompose returns the coreness of every node (Batagelj–Zaversnik).
+func CoreDecompose(g *Graph) []int32 { return kcore.Decompose(g) }
+
+// MaximalConnectedKCore returns the node set of the maximal connected k-core
+// containing q, or nil.
+func MaximalConnectedKCore(g *Graph, q NodeID, k int) []NodeID {
+	return kcore.MaximalConnectedKCore(g, q, k)
+}
+
+// MaximalConnectedKTruss returns the node set of the maximal connected
+// k-truss containing q, or nil.
+func MaximalConnectedKTruss(g *Graph, q NodeID, k int) []NodeID {
+	return truss.MaximalConnectedKTruss(g, q, k)
+}
+
+// KCliqueCommunity returns the k-clique percolation community of q — the
+// most cohesive model in the paper's §II ranking k-core ⪯ k-truss ⪯
+// k-clique. maxCliques bounds the exponential enumeration (0 = default).
+func KCliqueCommunity(g *Graph, q NodeID, k, maxCliques int) ([]NodeID, error) {
+	return clique.Community(g, q, k, maxCliques)
+}
+
+// BatchResult pairs one query of BatchSearch with its outcome.
+type BatchResult = sea.BatchResult
+
+// BatchSearch runs SEA for every query concurrently with up to workers
+// goroutines (0 = GOMAXPROCS); results are deterministic and in query order.
+func BatchSearch(g *Graph, m *Metric, queries []NodeID, opts Options, workers int) ([]BatchResult, error) {
+	return sea.BatchSearch(g, m, queries, opts, workers)
+}
+
+// InfluentialResult is the outcome of InfluentialSearch.
+type InfluentialResult = sea.InfluentialResult
+
+// InfluentialSearch finds the connected k-core containing q maximizing the
+// minimum member influence, with an EVT-based estimate of the maximum
+// influence in the search region (the §VI-A HIC extension).
+func InfluentialSearch(g *Graph, q NodeID, k int, influence []float64) (*InfluentialResult, error) {
+	return sea.InfluentialSearch(g, q, k, influence)
+}
+
+// HetGraph is an immutable heterogeneous attributed graph (§VI-A).
+type HetGraph = hetgraph.HetGraph
+
+// HetGraphBuilder assembles a HetGraph.
+type HetGraphBuilder = hetgraph.Builder
+
+// NewHetGraphBuilder returns an empty heterogeneous graph builder.
+func NewHetGraphBuilder() *HetGraphBuilder { return hetgraph.NewBuilder() }
+
+// MetaPath is an alternating sequence of node and edge types; community
+// members have the path's endpoint (target) type.
+type MetaPath = hetgraph.MetaPath
+
+// Projection is the homogeneous P-neighbor graph over a meta-path's target
+// nodes, with mappings to and from heterogeneous node IDs.
+type Projection = hetgraph.Projection
+
+// Project builds the P-neighbor projection of h along p; run Search on
+// Projection.Graph to obtain a (k,P)-core community.
+func Project(h *HetGraph, p MetaPath) (*Projection, error) { return h.Project(p) }
+
+// LoadGraph reads an attributed graph from the plain-text exchange format
+// documented in internal/dataset (the format cmd/datagen writes).
+func LoadGraph(r io.Reader) (*Graph, error) { return dataset.LoadGraph(r) }
+
+// WriteGraph writes g in the exchange format LoadGraph reads.
+func WriteGraph(w io.Writer, g *Graph) error { return dataset.WriteGraph(w, g) }
+
+// Dataset bundles a generated benchmark graph with its planted ground-truth
+// communities.
+type Dataset = dataset.Generated
+
+// HetDataset bundles a generated heterogeneous benchmark graph with its
+// canonical meta-path and planted ground truth.
+type HetDataset = dataset.HetGenerated
+
+// GenerateDataset builds one of the named homogeneous benchmark analogs
+// ("facebook", "github", "twitch", "livejournal", "twitter", "orkut",
+// "amazon") at the given scale factor (1.0 = default size).
+func GenerateDataset(name string, scale float64) (*Dataset, error) {
+	return dataset.Homogeneous(name, scale)
+}
+
+// GenerateHetDataset builds one of the named heterogeneous benchmark analogs
+// ("dblp", "imdb", "dbpedia", "yago", "freebase").
+func GenerateHetDataset(name string, scale float64) (*HetDataset, error) {
+	return dataset.Heterogeneous(name, scale)
+}

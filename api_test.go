@@ -1,0 +1,235 @@
+package sea
+
+// Integration tests exercising the public API end to end, the way the
+// examples and a downstream user would.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// buildFigure1 constructs the quickstart graph (Figure 1's movies).
+func buildFigure1(t testing.TB) (*Graph, *Metric) {
+	t.Helper()
+	b := NewGraphBuilder(12, 2)
+	attrs := [][]string{
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "action", "drama"}, {"movie", "action", "crime"},
+	}
+	nums := [][2]float64{
+		{9.2, 1.6e6}, {9.0, 1.1e6}, {8.7, 1.0e6}, {8.3, 550e3},
+		{8.3, 320e3}, {7.9, 280e3}, {8.3, 750e3}, {7.5, 300e3},
+		{7.6, 360e3}, {8.2, 500e3}, {6.2, 6.7e3}, {6.5, 9e3},
+	}
+	for i := range attrs {
+		b.SetTextAttrs(NodeID(i), attrs[i]...)
+		b.SetNumAttrs(NodeID(i), nums[i][0], nums[i][1])
+	}
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 8}, {1, 2}, {1, 4}, {1, 8},
+		{2, 3}, {2, 9}, {3, 9}, {4, 5}, {4, 8}, {5, 6}, {5, 7}, {6, 7},
+		{2, 4}, {3, 5}, {6, 9}, {7, 9}, {0, 9}, {1, 3},
+		{10, 11}, {10, 6}, {11, 7}, {10, 7}, {11, 6},
+	}
+	for _, e := range edges {
+		b.AddEdge(NodeID(e[0]), NodeID(e[1]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMetric(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m
+}
+
+func TestQuickstartEndToEnd(t *testing.T) {
+	g, m := buildFigure1(t)
+	const q = 0
+	dist := m.QueryDist(q)
+	ex, err := ExactSearch(g, q, 3, dist, DefaultExactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.K = 3
+	opts.ErrorBound = 0.01
+	res, err := Search(g, m, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Delta <= 0 || res.Delta <= 0 {
+		t.Fatalf("δ: exact %v, sea %v", ex.Delta, res.Delta)
+	}
+	rel := math.Abs(res.Delta-ex.Delta) / ex.Delta
+	if rel > 0.1 {
+		t.Errorf("relative error %v too large on the quickstart graph", rel)
+	}
+	// The low-rated action movies must be excluded.
+	for _, v := range res.Community {
+		if v == 10 || v == 11 {
+			t.Errorf("dissimilar movie %d in community", v)
+		}
+	}
+}
+
+func TestPublicExactMatchesInternalDelta(t *testing.T) {
+	g, m := buildFigure1(t)
+	dist := m.QueryDist(0)
+	ex, err := ExactSearch(g, 0, 3, dist, DefaultExactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Delta(dist, ex.Community, 0); got != ex.Delta {
+		t.Errorf("Delta recomputation %v != %v", got, ex.Delta)
+	}
+}
+
+func TestBaselinesThroughPublicAPI(t *testing.T) {
+	g, m := buildFigure1(t)
+	if _, err := ACQ(g, 0, 3, BaselineKCore); err != nil {
+		t.Errorf("ACQ: %v", err)
+	}
+	if _, err := LocATC(g, 0, 3, BaselineKCore); err != nil {
+		t.Errorf("LocATC: %v", err)
+	}
+	if _, err := VAC(g, m, 0, 3, BaselineKCore); err != nil {
+		t.Errorf("VAC: %v", err)
+	}
+	if _, err := EVAC(g, m, 0, 3, BaselineKCore, 1000); err != nil {
+		t.Errorf("EVAC: %v", err)
+	}
+}
+
+func TestCoreAndTrussHelpers(t *testing.T) {
+	g, _ := buildFigure1(t)
+	core := CoreDecompose(g)
+	if len(core) != g.NumNodes() {
+		t.Fatalf("coreness len = %d", len(core))
+	}
+	members := MaximalConnectedKCore(g, 0, 3)
+	if members == nil {
+		t.Fatal("no 3-core around the query")
+	}
+	if MaximalConnectedKTruss(g, 0, 3) == nil {
+		t.Fatal("no 3-truss around the query")
+	}
+}
+
+func TestHeterogeneousPipeline(t *testing.T) {
+	b := NewHetGraphBuilder()
+	author := b.NodeType("author")
+	paper := b.NodeType("paper")
+	writes := b.EdgeType("writes")
+	var authors []NodeID
+	for i := 0; i < 6; i++ {
+		a := b.AddNode(author)
+		b.SetTextAttrs(a, "topic")
+		b.SetNumAttrs(a, float64(i))
+		authors = append(authors, a)
+	}
+	// Clique of co-authorships among the first five authors.
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			p := b.AddNode(paper)
+			b.AddEdge(authors[i], p, writes)
+			b.AddEdge(authors[j], p, writes)
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := b.MetaPathByNames("author", "writes", "paper", "writes", "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := Project(h, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Graph.NumNodes() != 6 {
+		t.Fatalf("projection nodes = %d", proj.Graph.NumNodes())
+	}
+	m, err := NewMetric(proj.Graph, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.K = 3
+	res, err := Search(proj.Graph, m, proj.FromHet[authors[0]], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Community) < 4 {
+		t.Errorf("community = %v, want the co-author clique", res.Community)
+	}
+	// The isolated sixth author cannot be in it.
+	for _, v := range res.Community {
+		if proj.ToHet[v] == authors[5] {
+			t.Error("isolated author in community")
+		}
+	}
+}
+
+func TestGraphFileRoundTripPublic(t *testing.T) {
+	g, _ := buildFigure1(t)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip changed graph: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGenerateDatasetPublic(t *testing.T) {
+	d, err := GenerateDataset("facebook", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.NumNodes() == 0 {
+		t.Fatal("empty dataset")
+	}
+	hd, err := GenerateHetDataset("dblp", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Het.NumNodes() == 0 {
+		t.Fatal("empty het dataset")
+	}
+	if _, err := GenerateDataset("bogus", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestSearchNoCommunityPublic(t *testing.T) {
+	b := NewGraphBuilder(3, 0)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMetric(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.K = 3
+	if _, err := Search(g, m, 0, opts); !errors.Is(err, ErrNoCommunity) {
+		t.Errorf("err = %v, want ErrNoCommunity", err)
+	}
+}

@@ -1,0 +1,431 @@
+package sea
+
+// One benchmark per table and figure of the paper's evaluation (§VII), each
+// delegating to the experiment runner that regenerates it, plus ablation
+// benchmarks for the design decisions called out in DESIGN.md and
+// micro-benchmarks for the hot substrate operations.
+//
+// The table/figure benchmarks run the miniature experiment configuration so
+// `go test -bench=.` completes in minutes; `cmd/seabench` runs the same code
+// at full scale.
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/clique"
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/sampling"
+	internalsea "repro/internal/sea"
+	"repro/internal/stats"
+	"repro/internal/truss"
+)
+
+// benchCfg is the miniature experiment configuration for benchmarks.
+func benchCfg() experiments.Config {
+	c := experiments.Quick()
+	c.Queries = 2
+	c.Scale = 0.1
+	return c
+}
+
+var (
+	benchOnce sync.Once
+	benchData *dataset.Generated
+	benchM    *attr.Metric
+	benchQ    graph.NodeID
+	benchDist []float64
+)
+
+// benchSetup generates one shared mid-size dataset for the micro and
+// ablation benchmarks.
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		d, err := dataset.Generate(dataset.Spec{
+			Name: "bench", Nodes: 2000, MinCommunity: 16, MaxCommunity: 40,
+			IntraDegree: 10, InterDegree: 0.8,
+			TokensPerNode: 4, PoolSize: 6, Vocab: 160, NoiseProb: 0.15,
+			NumDim: 2, NumSigma: 0.06, Seed: 7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		benchData = d
+		m, err := attr.NewMetric(d.Graph, 0.5)
+		if err != nil {
+			panic(err)
+		}
+		benchM = m
+		benchQ = d.QueryNodes(1, 6, 3)[0]
+		benchDist = m.QueryDist(benchQ)
+	})
+}
+
+// --- Tables and figures -------------------------------------------------
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig5Rows runs the Figure-5 comparison once per iteration on the smallest
+// dataset so the a/b/c views stay cheap.
+func fig5Rows(b *testing.B) []experiments.MethodRow {
+	b.Helper()
+	d, err := dataset.Homogeneous("facebook", 0.15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, err := benchCfg().RunMethods(d, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+func BenchmarkFig5aAttributeDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig5Rows(b)
+		for _, r := range rows {
+			if r.Delta < 0 {
+				b.Fatal("negative δ")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5bRelativeError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig5Rows(b)
+		for _, r := range rows {
+			if r.RelErr < 0 {
+				b.Fatal("negative error")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5cResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig5Rows(b)
+		for _, r := range rows {
+			if r.TimeMS < 0 {
+				b.Fatal("negative time")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5dStepBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5d(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2CrossMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3F1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6EgoNetworks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Pruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Heterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7SizeBounded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Sensitivity(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Queries = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Gamma(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Queries = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalability(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Queries = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Scalability(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md design decisions) ------------------------------
+
+// BenchmarkAblationCloneVsRollback compares rollback-based backtracking
+// against cloning the k-core maintenance structure per state.
+func BenchmarkAblationCloneVsRollback(b *testing.B) {
+	benchSetup(b)
+	members := kcore.MaximalConnectedKCore(benchData.Graph, benchQ, 6)
+	if members == nil {
+		b.Skip("query hosts no 6-core")
+	}
+	b.Run("rollback", func(b *testing.B) {
+		sub, err := kcore.NewSub(benchData.Graph, benchQ, 6, members)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf []graph.NodeID
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = sub.Members(buf[:0])
+			for _, v := range buf {
+				if v == benchQ {
+					continue
+				}
+				removed, _ := sub.RemoveCascade(v)
+				sub.Restore(removed)
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		sub, err := kcore.NewSub(benchData.Graph, benchQ, 6, members)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf []graph.NodeID
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = sub.Members(buf[:0])
+			for _, v := range buf {
+				if v == benchQ {
+					continue
+				}
+				c := sub.Clone()
+				c.RemoveCascade(v)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGqFrontier compares best-first against plain-BFS Gq
+// construction.
+func BenchmarkAblationGqFrontier(b *testing.B) {
+	benchSetup(b)
+	const size = 800
+	b.Run("best-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sampling.BuildGq(benchData.Graph, benchQ, benchDist, size)
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sampling.BuildGqBFS(benchData.Graph, benchQ, size)
+		}
+	})
+}
+
+// BenchmarkAblationSampling compares exponential-keys weighted sampling
+// against roulette-wheel rejection sampling.
+func BenchmarkAblationSampling(b *testing.B) {
+	benchSetup(b)
+	gq := sampling.BuildGq(benchData.Graph, benchQ, benchDist, 800)
+	probs := sampling.Probabilities(gq, benchDist)
+	b.Run("exponential-keys", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			sampling.WeightedSample(gq, probs, 160, benchQ, rng)
+		}
+	})
+	b.Run("roulette", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			sampling.RouletteSample(gq, probs, 160, benchQ, rng)
+		}
+	})
+}
+
+// BenchmarkAblationBLBVsBootstrap compares BLB against a full bootstrap for
+// the MoE computation.
+func BenchmarkAblationBLBVsBootstrap(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]float64, 4000)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	b.Run("blb", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.BLB(values, stats.DefaultBLB(), rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bootstrap", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < b.N; i++ {
+			stats.Bootstrap(values, 50, rng)
+		}
+	})
+}
+
+// BenchmarkAblationStoppingRule compares the default full-trajectory search
+// against the paper's literal first-satisfy stopping rule (Options.NoRefine).
+func BenchmarkAblationStoppingRule(b *testing.B) {
+	benchSetup(b)
+	run := func(b *testing.B, noRefine bool) {
+		opts := internalsea.DefaultOptions()
+		opts.K = 6
+		opts.MaxRounds = 2
+		opts.NoRefine = noRefine
+		for i := 0; i < b.N; i++ {
+			opts.Seed = int64(i + 1)
+			if _, err := internalsea.SearchWithDist(benchData.Graph, benchDist, benchQ, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("refine", func(b *testing.B) { run(b, false) })
+	b.Run("first-satisfy", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationModelRanking measures the §II model hierarchy
+// k-core ⪯ k-truss ⪯ k-clique: extraction cost of each structural model
+// around the same query.
+func BenchmarkAblationModelRanking(b *testing.B) {
+	benchSetup(b)
+	b.Run("k-core", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if kcore.MaximalConnectedKCore(benchData.Graph, benchQ, 6) == nil {
+				b.Skip("no 6-core")
+			}
+		}
+	})
+	b.Run("k-truss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if truss.MaximalConnectedKTruss(benchData.Graph, benchQ, 6) == nil {
+				b.Skip("no 6-truss")
+			}
+		}
+	})
+	b.Run("k-clique", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clique.Community(benchData.Graph, benchQ, 6, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func BenchmarkCoreDecompose(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kcore.Decompose(benchData.Graph)
+	}
+}
+
+func BenchmarkTrussDecompose(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		truss.Decompose(benchData.Graph)
+	}
+}
+
+func BenchmarkMetricQueryDist(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchM.QueryDist(benchQ)
+	}
+}
+
+func BenchmarkSEASearch(b *testing.B) {
+	benchSetup(b)
+	opts := internalsea.DefaultOptions()
+	opts.K = 6
+	opts.MaxRounds = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		if _, err := internalsea.SearchWithDist(benchData.Graph, benchDist, benchQ, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSearch(b *testing.B) {
+	benchSetup(b)
+	cfg := exact.DefaultConfig()
+	cfg.MaxStates = 5000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Search(benchData.Graph, benchQ, 6, benchDist, cfg); err != nil && err != exact.ErrBudgetExhausted {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command seabench regenerates the paper's tables and figures on the
+// synthetic dataset analogs.
+//
+// Usage:
+//
+//	seabench [-exp table1,fig5,...|all] [-scale 0.5] [-queries 20] [-k 6]
+//
+// Experiments: table1, fig5, fig5d, table2, table3, fig6, table4, table5,
+// fig7, fig8, table6, fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// runner dispatches one experiment by name.
+type runner struct {
+	name string
+	desc string
+	fn   func(experiments.Config, io.Writer) error
+}
+
+func wrap[T any](fn func(experiments.Config, io.Writer) (T, error)) func(experiments.Config, io.Writer) error {
+	return func(cfg experiments.Config, w io.Writer) error {
+		_, err := fn(cfg, w)
+		return err
+	}
+}
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		scale   = flag.Float64("scale", 0.5, "dataset scale factor (1.0 = full profile sizes)")
+		queries = flag.Int("queries", 10, "queries per dataset (paper: 200)")
+		k       = flag.Int("k", 6, "structural parameter k")
+		seed    = flag.Int64("seed", 42, "random seed")
+		budget  = flag.Int64("budget", 30000, "state budget for the exact reference")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.Queries = *queries
+	cfg.K = *k
+	cfg.Seed = *seed
+	cfg.ExactBudget = *budget
+
+	runners := []runner{
+		{"table1", "dataset statistics", wrap(experiments.Table1)},
+		{"fig5", "effectiveness & efficiency (Fig 5a-c)", func(c experiments.Config, w io.Writer) error {
+			_, err := experiments.Fig5(c, w)
+			return err
+		}},
+		{"fig5d", "SEA step breakdown", wrap(experiments.Fig5d)},
+		{"table2", "cross-metric cohesiveness", wrap(experiments.Table2)},
+		{"table3", "F1 vs ground truth", wrap(experiments.Table3)},
+		{"fig6", "F1 per ego network", wrap(experiments.Fig6)},
+		{"table4", "pruning ablation", wrap(experiments.Table4)},
+		{"table5", "heterogeneous + truss", wrap(experiments.Table5)},
+		{"fig7", "size-bounded CS", wrap(experiments.Fig7)},
+		{"fig8", "parameter sensitivity", wrap(experiments.Fig8)},
+		{"table6", "case study rounds", wrap(experiments.Table6)},
+		{"fig10", "effect of gamma", wrap(experiments.Fig10)},
+		{"scalability", "SEA vs Exact as the graph grows", wrap(experiments.Scalability)},
+	}
+
+	want := map[string]bool{}
+	if *exps != "all" {
+		for _, name := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for name := range want {
+			if !knownExperiment(runners, name) {
+				fmt.Fprintf(os.Stderr, "seabench: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, r := range runners {
+		if *exps != "all" && !want[r.name] {
+			continue
+		}
+		fmt.Printf("\n### %s — %s\n", r.name, r.desc)
+		start := time.Now()
+		if err := r.fn(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func knownExperiment(rs []runner, name string) bool {
+	for _, r := range rs {
+		if r.name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+// Command seacli runs one community-search query against a generated
+// benchmark analog or a graph file in the exchange format.
+//
+// Usage:
+//
+//	seacli -dataset facebook -q 10 -k 6 -e 0.02
+//	seacli -load graph.txt -q 0 -k 4 -model truss -size 10,30 -method sea
+//
+// Methods: sea (default), exact, acq, locatc, vac.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	sealib "repro"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "facebook", "generated dataset analog name")
+		scale   = flag.Float64("scale", 0.5, "dataset scale factor")
+		load    = flag.String("load", "", "load a graph file instead of generating")
+		q       = flag.Int("q", -1, "query node ID (-1 picks one from a planted community)")
+		k       = flag.Int("k", 6, "structural parameter k")
+		e       = flag.Float64("e", 0.02, "error bound e")
+		conf    = flag.Float64("confidence", 0.95, "confidence level 1-alpha")
+		gamma   = flag.Float64("gamma", 0.5, "attribute balance factor")
+		model   = flag.String("model", "core", "community model: core or truss")
+		size    = flag.String("size", "", "size bound lo,hi (empty = unbounded)")
+		method  = flag.String("method", "sea", "sea, exact, acq, locatc, or vac")
+		seed    = flag.Int64("seed", 1, "random seed")
+		maxAttr = flag.Int("show", 20, "max community members to print")
+	)
+	flag.Parse()
+
+	g, query, err := loadOrGenerate(*load, *dsName, *scale, *q, *k, *seed)
+	if err != nil {
+		fail(err)
+	}
+	m, err := sealib.NewMetric(g, *gamma)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges; query node %d, k=%d, method=%s\n",
+		g.NumNodes(), g.NumEdges(), query, *k, *method)
+
+	var members []sealib.NodeID
+	switch *method {
+	case "sea":
+		opts := sealib.DefaultOptions()
+		opts.K = *k
+		opts.ErrorBound = *e
+		opts.Confidence = *conf
+		opts.Seed = *seed
+		if *model == "truss" {
+			opts.Model = sealib.KTruss
+		}
+		if *size != "" {
+			if _, err := fmt.Sscanf(*size, "%d,%d", &opts.SizeLo, &opts.SizeHi); err != nil {
+				fail(fmt.Errorf("bad -size %q: %v", *size, err))
+			}
+		}
+		res, err := sealib.Search(g, m, query, opts)
+		if err != nil {
+			fail(err)
+		}
+		members = res.Community
+		fmt.Printf("δ* = %.4f, CI = %v, satisfied = %v, rounds = %d\n",
+			res.Delta, res.CI, res.Satisfied, len(res.Rounds))
+		fmt.Printf("steps: S1 %v, S2 %v, S3 %v; |Gq| = %d, |S| = %d\n",
+			res.Steps.Sampling, res.Steps.Estimation, res.Steps.Incremental,
+			res.GqSize, res.SampleSize)
+	case "exact":
+		dist := m.QueryDist(query)
+		cfg := sealib.DefaultExactConfig()
+		cfg.MaxStates = 200000
+		res, err := sealib.ExactSearch(g, query, *k, dist, cfg)
+		if err != nil && !errors.Is(err, sealib.ErrBudgetExhausted) {
+			fail(err)
+		}
+		if errors.Is(err, sealib.ErrBudgetExhausted) {
+			fmt.Println("note: state budget exhausted; best community found so far")
+		}
+		members = res.Community
+		fmt.Printf("δ = %.4f, states explored = %d\n", res.Delta, res.Stats.States)
+	case "acq":
+		members, err = sealib.ACQ(g, query, *k, baselineModel(*model))
+	case "locatc":
+		members, err = sealib.LocATC(g, query, *k, baselineModel(*model))
+	case "vac":
+		members, err = sealib.VAC(g, m, query, *k, baselineModel(*model))
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	fmt.Printf("community (%d nodes):\n", len(members))
+	for i, v := range members {
+		if i >= *maxAttr {
+			fmt.Printf("  … and %d more\n", len(members)-i)
+			break
+		}
+		fmt.Printf("  %6d  text=%s  num=%v  f(v,q)=%.4f\n",
+			v, textOf(g, v), g.NumAttrs(v), m.Distance(v, query))
+	}
+}
+
+func baselineModel(model string) sealib.BaselineModel {
+	if model == "truss" {
+		return sealib.BaselineKTruss
+	}
+	return sealib.BaselineKCore
+}
+
+func loadOrGenerate(load, dsName string, scale float64, q, k int, seed int64) (*sealib.Graph, sealib.NodeID, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		g, err := sealib.LoadGraph(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		if q < 0 {
+			return nil, 0, fmt.Errorf("-q is required with -load")
+		}
+		return g, sealib.NodeID(q), nil
+	}
+	d, err := sealib.GenerateDataset(dsName, scale)
+	if err != nil {
+		return nil, 0, err
+	}
+	if q >= 0 {
+		return d.Graph, sealib.NodeID(q), nil
+	}
+	return d.Graph, d.QueryNodes(1, k, seed)[0], nil
+}
+
+func textOf(g *sealib.Graph, v sealib.NodeID) string {
+	toks := g.TextAttrs(v)
+	if len(toks) == 0 {
+		return "-"
+	}
+	names := make([]string, len(toks))
+	for i, t := range toks {
+		names[i] = g.Dict().Name(t)
+	}
+	return strings.Join(names, ",")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "seacli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Event planning (the cocktail-party scenario of Sozio & Gionis that §VI-B
+// cites): find a workshop cohort of between 12 and 20 mutually-connected
+// people similar to an organizer, using size-bounded SEA on a social-network
+// analog — and show how the size bound changes what comes back.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	sea "repro"
+)
+
+func main() {
+	d, err := sea.GenerateDataset("facebook", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Graph
+	fmt.Printf("social network: %d people, %d friendships\n", g.NumNodes(), g.NumEdges())
+
+	m, err := sea.NewMetric(g, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 5
+	organizer := d.QueryNodes(1, k, 99)[0]
+	fmt.Printf("organizer: node %d\n\n", organizer)
+
+	// Unbounded search first: the natural community around the organizer.
+	free, err := sea.Search(g, m, organizer, withK(k))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unbounded community: %d people, δ* = %.4f\n", len(free.Community), free.Delta)
+
+	// The workshop has between 12 and 20 seats.
+	for _, bound := range [][2]int{{12, 20}, {20, 30}} {
+		opts := withK(k)
+		opts.SizeLo, opts.SizeHi = bound[0], bound[1]
+		res, err := sea.Search(g, m, organizer, opts)
+		if errors.Is(err, sea.ErrNoCommunity) {
+			fmt.Printf("size [%d,%d]: no qualifying cohort\n", bound[0], bound[1])
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("size [%d,%d]: %d people, δ* = %.4f, CI = %v, rounds = %d\n",
+			bound[0], bound[1], len(res.Community), res.Delta, res.CI, len(res.Rounds))
+		// Everyone in the cohort knows at least k others in it — verify.
+		in := map[sea.NodeID]bool{}
+		for _, v := range res.Community {
+			in[v] = true
+		}
+		minFriends := len(res.Community)
+		for _, v := range res.Community {
+			friends := 0
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					friends++
+				}
+			}
+			if friends < minFriends {
+				minFriends = friends
+			}
+		}
+		fmt.Printf("              every attendee knows ≥ %d others in the cohort\n", minFriends)
+	}
+}
+
+func withK(k int) sea.Options {
+	opts := sea.DefaultOptions()
+	opts.K = k
+	return opts
+}

@@ -1,0 +1,102 @@
+// Quickstart: build the small IMDB snippet of the paper's Figure 1 by hand,
+// then find the crime-drama community around The Godfather with both the
+// exact baseline and SEA.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	sea "repro"
+)
+
+func main() {
+	// Figure 1's movies: ⟨type,{genres}⟩ and ⟨rating, #ratings⟩ attributes.
+	titles := []string{
+		"The Godfather", "The Godfather II", "Goodfellas", "Heat",
+		"Once Upon a Time in America", "The Untouchables", "Scarface",
+		"Jackie Brown", "The Godfather III", "Casino", "Body Double",
+		"Running Scared",
+	}
+	b := sea.NewGraphBuilder(len(titles), 2)
+	attrs := [][]string{
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "crime", "drama"}, {"movie", "crime", "drama"},
+		{"movie", "action", "drama"}, {"movie", "action", "crime"},
+	}
+	nums := [][2]float64{
+		{9.2, 1.6e6}, {9.0, 1.1e6}, {8.7, 1.0e6}, {8.3, 550e3},
+		{8.3, 320e3}, {7.9, 280e3}, {8.3, 750e3}, {7.5, 300e3},
+		{7.6, 360e3}, {8.2, 500e3}, {6.2, 6.7e3}, {6.5, 9e3},
+	}
+	for i := range titles {
+		b.SetTextAttrs(sea.NodeID(i), attrs[i]...)
+		b.SetNumAttrs(sea.NodeID(i), nums[i][0], nums[i][1])
+	}
+	// Shared-actor edges: a dense clique among the classic crime dramas, the
+	// two action movies hanging off it.
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 8}, {1, 2}, {1, 4}, {1, 8},
+		{2, 3}, {2, 9}, {3, 9}, {4, 5}, {4, 8}, {5, 6}, {5, 7}, {6, 7},
+		{2, 4}, {3, 5}, {6, 9}, {7, 9}, {0, 9}, {1, 3},
+		{10, 11}, {10, 6}, {11, 7}, {10, 7}, {11, 6},
+	}
+	for _, e := range edges {
+		b.AddEdge(sea.NodeID(e[0]), sea.NodeID(e[1]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const q = 0 // The Godfather
+	m, err := sea.NewMetric(g, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact baseline (the graph is tiny, so it finishes instantly).
+	dist := m.QueryDist(q)
+	ex, err := sea.ExactSearch(g, q, 3, dist, sea.DefaultExactConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Exact:  δ = %.4f  %s\n", ex.Delta, names(titles, ex.Community))
+
+	// SEA with a 1% error bound at 95% confidence.
+	opts := sea.DefaultOptions()
+	opts.K = 3
+	opts.ErrorBound = 0.01
+	res, err := sea.Search(g, m, q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SEA:    δ* = %.4f  CI = %v\n", res.Delta, res.CI)
+	fmt.Printf("        community: %s\n", names(titles, res.Community))
+	fmt.Printf("        relative error vs exact: %.2f%%\n",
+		100*abs(res.Delta-ex.Delta)/ex.Delta)
+}
+
+func names(titles []string, members []sea.NodeID) string {
+	sorted := append([]sea.NodeID(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := ""
+	for i, v := range sorted {
+		if i > 0 {
+			out += ", "
+		}
+		out += titles[v]
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,71 @@
+package attr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNormalizerZeroRangeDimension(t *testing.T) {
+	// A dimension where every node holds the same value must contribute no
+	// distance, not NaN.
+	b := graph.NewBuilder(3, 2)
+	for v := 0; v < 3; v++ {
+		b.SetNumAttrs(graph.NodeID(v), 42, float64(v))
+	}
+	g := b.MustBuild()
+	m, err := NewMetric(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Manhattan(0, 2)
+	if math.IsNaN(d) {
+		t.Fatal("NaN distance on zero-range dimension")
+	}
+	// Only the second dimension varies: distance = (|0−1|)/2 = 0.5.
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("Manhattan = %v, want 0.5", d)
+	}
+}
+
+func TestNormalizerNoNumericDims(t *testing.T) {
+	b := graph.NewBuilder(2, 0)
+	b.SetTextAttrs(0, "a")
+	b.SetTextAttrs(1, "b")
+	g := b.MustBuild()
+	m, err := NewMetric(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Manhattan(0, 1); d != 0 {
+		t.Errorf("Manhattan with no dims = %v, want 0", d)
+	}
+	// Composite collapses to γ·Jaccard.
+	if d := m.Distance(0, 1); math.Abs(d-0.5*1) > 1e-12 {
+		t.Errorf("Distance = %v, want 0.5", d)
+	}
+}
+
+func TestScaleClampsOutOfRange(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.SetNumAttrs(0, 0)
+	b.SetNumAttrs(1, 10)
+	g := b.MustBuild()
+	m, _ := NewMetric(g, 0)
+	nz := m.norm
+	if s := nz.Scale(0, -5); s != 0 {
+		t.Errorf("Scale(-5) = %v, want clamp to 0", s)
+	}
+	if s := nz.Scale(0, 25); s != 1 {
+		t.Errorf("Scale(25) = %v, want clamp to 1", s)
+	}
+}
+
+func TestDeltaSkipsQueryOnly(t *testing.T) {
+	dist := []float64{0.9, 0.2, 0.4}
+	// q included in members must not contribute its own (zero) distance.
+	if got, want := Delta(dist, []graph.NodeID{0, 1, 2}, 1), (0.9+0.4)/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Delta = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,359 @@
+// Package baselines re-implements the competitor community-search methods of
+// the paper's experimental study (§VII-A), from their original definitions:
+//
+//   - ACQ (Fang et al., PVLDB'16): maximize the number of q's attributes
+//     shared by every member of a connected k-core.
+//   - LocATC (Huang & Lakshmanan, PVLDB'17): local search maximizing the
+//     attribute coverage score Σ_a |V_a ∩ V_H|² / |V_H| over q's attributes.
+//   - VAC (Liu et al., ICDE'20): minimize the maximum pairwise attribute
+//     distance inside the community; an approximate peeling variant and an
+//     exact branch-and-bound variant (E-VAC).
+//
+// Each method exists for the k-core and k-truss structure models through the
+// shared cohesive.Maintainer interface.
+package baselines
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/cohesive"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/truss"
+)
+
+// Model selects the structural model for a baseline.
+type Model int
+
+// Structural models.
+const (
+	KCore Model = iota
+	KTruss
+)
+
+// ErrNoCommunity is returned when the query has no qualifying community.
+var ErrNoCommunity = errors.New("baselines: no community containing the query")
+
+// maximal returns the maximal connected structure containing q and a
+// maintainer over it, or nil when none exists.
+func maximal(g *graph.Graph, q graph.NodeID, k int, model Model) (cohesive.Maintainer, []graph.NodeID) {
+	switch model {
+	case KTruss:
+		members := truss.MaximalConnectedKTruss(g, q, k)
+		if members == nil {
+			return nil, nil
+		}
+		m, err := truss.NewSub(g, q, k, members)
+		if err != nil {
+			return nil, nil
+		}
+		return m, members
+	default:
+		members := kcore.MaximalConnectedKCore(g, q, k)
+		if members == nil {
+			return nil, nil
+		}
+		m, err := kcore.NewSub(g, q, k, members)
+		if err != nil {
+			return nil, nil
+		}
+		return m, members
+	}
+}
+
+// minSize is the smallest admissible community for the model.
+func minSize(k int, model Model) int {
+	if model == KTruss {
+		return k
+	}
+	return k + 1
+}
+
+// ACQ finds a connected k-core containing q whose members all share as many
+// of q's textual attributes as possible. It examines q's attributes in
+// decreasing selectivity, greedily growing the shared set while a qualifying
+// community survives, per the ACQ algorithm's core idea.
+func ACQ(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+	base := maximalMembers(g, q, k, model)
+	if base == nil {
+		return nil, ErrNoCommunity
+	}
+	qAttrs := g.TextAttrs(q)
+	best := base
+	shared := []int32{}
+	// Greedily extend the shared attribute set: at each step try adding each
+	// remaining attribute of q and keep the one preserving the largest
+	// community; stop when no attribute can be added.
+	remaining := append([]int32(nil), qAttrs...)
+	for {
+		var bestAttr int32 = -1
+		var bestSet []graph.NodeID
+		for _, a := range remaining {
+			trial := append(append([]int32(nil), shared...), a)
+			set := communityWithAttrs(g, q, k, model, trial)
+			if set != nil && (bestSet == nil || len(set) > len(bestSet)) {
+				bestAttr = a
+				bestSet = set
+			}
+		}
+		if bestAttr < 0 {
+			break
+		}
+		shared = append(shared, bestAttr)
+		best = bestSet
+		out := remaining[:0]
+		for _, a := range remaining {
+			if a != bestAttr {
+				out = append(out, a)
+			}
+		}
+		remaining = out
+	}
+	return best, nil
+}
+
+// communityWithAttrs returns the maximal connected structure containing q
+// restricted to nodes having every attribute in attrs, or nil.
+func communityWithAttrs(g *graph.Graph, q graph.NodeID, k int, model Model, attrs []int32) []graph.NodeID {
+	keep := make([]graph.NodeID, 0, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		if hasAll(g.TextAttrs(graph.NodeID(v)), attrs) {
+			keep = append(keep, graph.NodeID(v))
+		}
+	}
+	sub, orig := g.InducedSubgraph(keep)
+	var subQ graph.NodeID = -1
+	for i, v := range orig {
+		if v == q {
+			subQ = graph.NodeID(i)
+		}
+	}
+	if subQ < 0 {
+		return nil
+	}
+	var members []graph.NodeID
+	if model == KTruss {
+		members = truss.MaximalConnectedKTruss(sub, subQ, k)
+	} else {
+		members = kcore.MaximalConnectedKCore(sub, subQ, k)
+	}
+	if members == nil {
+		return nil
+	}
+	out := make([]graph.NodeID, len(members))
+	for i, v := range members {
+		out[i] = orig[v]
+	}
+	return out
+}
+
+// hasAll reports whether the sorted token set have contains every want token.
+func hasAll(have, want []int32) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func maximalMembers(g *graph.Graph, q graph.NodeID, k int, model Model) []graph.NodeID {
+	if model == KTruss {
+		return truss.MaximalConnectedKTruss(g, q, k)
+	}
+	return kcore.MaximalConnectedKCore(g, q, k)
+}
+
+// CoverageScore computes the LocATC objective over q's attributes:
+// Σ_a |V_a ∩ V_H|² / |V_H|.
+func CoverageScore(g *graph.Graph, q graph.NodeID, members []graph.NodeID) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	counts := map[int32]int{}
+	for _, v := range members {
+		for _, a := range g.TextAttrs(v) {
+			counts[a]++
+		}
+	}
+	score := 0.0
+	for _, a := range g.TextAttrs(q) {
+		c := float64(counts[a])
+		score += c * c
+	}
+	return score / float64(len(members))
+}
+
+// LocATC performs the local search of ATC: starting from the maximal
+// connected structure, iteratively remove the node whose removal most
+// improves the attribute coverage score, stopping at a local optimum.
+func LocATC(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+	maint, members := maximal(g, q, k, model)
+	if maint == nil {
+		return nil, ErrNoCommunity
+	}
+	best := append([]graph.NodeID(nil), members...)
+	bestScore := CoverageScore(g, q, best)
+	buf := make([]graph.NodeID, 0, len(members))
+	// Local search: per step, trial-remove the nodes sharing the fewest of
+	// q's attributes (capped — removing a low-overlap node is what raises
+	// the coverage score) and keep the best single removal.
+	const maxTrials = 48
+	qAttrs := g.TextAttrs(q)
+	for {
+		buf = maint.Members(buf[:0])
+		if len(buf) <= minSize(k, model) {
+			break
+		}
+		sort.Slice(buf, func(i, j int) bool {
+			return attr.SharedTokens(g.TextAttrs(buf[i]), qAttrs) <
+				attr.SharedTokens(g.TextAttrs(buf[j]), qAttrs)
+		})
+		trials := buf
+		if len(trials) > maxTrials {
+			trials = trials[:maxTrials]
+		}
+		var bestV graph.NodeID = -1
+		bestTrial := -math.MaxFloat64
+		var bestRemoved []graph.NodeID
+		for _, v := range trials {
+			if v == maint.Query() {
+				continue
+			}
+			removed, qAlive := maint.RemoveCascade(v)
+			if qAlive && maint.Size() >= minSize(k, model) {
+				trialMembers := maint.Members(nil)
+				score := CoverageScore(g, q, trialMembers)
+				if score > bestTrial {
+					bestTrial = score
+					bestV = v
+					bestRemoved = trialMembers
+				}
+			}
+			maint.Restore(removed)
+		}
+		if bestV < 0 || bestTrial <= bestScore {
+			break
+		}
+		bestScore = bestTrial
+		best = bestRemoved
+		removed, qAlive := maint.RemoveCascade(bestV)
+		if !qAlive {
+			maint.Restore(removed)
+			break
+		}
+	}
+	return best, nil
+}
+
+// VAC is the approximate vertex-centric attributed community search: peel
+// the node of maximum attribute distance to the rest of the community while
+// the structure survives; stop when the worst-case pair cannot be improved.
+// This mirrors the 2-approximation peeling of the VAC paper, using distance
+// to the farthest member as the vertex score.
+func VAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+	maint, members := maximal(g, q, k, model)
+	if maint == nil {
+		return nil, ErrNoCommunity
+	}
+	best := append([]graph.NodeID(nil), members...)
+	bestObj := m.MaxPairwise(best)
+	buf := make([]graph.NodeID, 0, len(members))
+	for {
+		buf = maint.Members(buf[:0])
+		if len(buf) <= minSize(k, model) {
+			break
+		}
+		// The max-distance pair dominates the objective; try deleting each
+		// endpoint of the worst pair (not q).
+		a, b := worstPair(m, buf)
+		improved := false
+		for _, v := range []graph.NodeID{a, b} {
+			if v == maint.Query() || v < 0 {
+				continue
+			}
+			removed, qAlive := maint.RemoveCascade(v)
+			if qAlive && maint.Size() >= minSize(k, model) {
+				trial := maint.Members(nil)
+				obj := m.MaxPairwise(trial)
+				if obj < bestObj {
+					bestObj = obj
+					best = trial
+					improved = true
+					break // keep the deletion
+				}
+			}
+			maint.Restore(removed)
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, nil
+}
+
+// worstPair returns the pair of members with maximum composite distance.
+func worstPair(m *attr.Metric, members []graph.NodeID) (graph.NodeID, graph.NodeID) {
+	var a, b graph.NodeID = -1, -1
+	worst := -1.0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if d := m.Distance(members[i], members[j]); d > worst {
+				worst = d
+				a, b = members[i], members[j]
+			}
+		}
+	}
+	return a, b
+}
+
+// EVAC is the exact min-max search: branch-and-bound over node deletions
+// minimizing the maximum pairwise distance. Exponential; guarded by
+// maxStates, after which the best community so far is returned.
+func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
+	maint, members := maximal(g, q, k, model)
+	if maint == nil {
+		return nil, ErrNoCommunity
+	}
+	best := append([]graph.NodeID(nil), members...)
+	bestObj := m.MaxPairwise(best)
+	states := 0
+	var rec func()
+	buf := make([]graph.NodeID, 0, len(members))
+	rec = func() {
+		states++
+		if states > maxStates {
+			return
+		}
+		buf = maint.Members(buf[:0])
+		cur := append([]graph.NodeID(nil), buf...)
+		obj := m.MaxPairwise(cur)
+		if obj < bestObj {
+			bestObj = obj
+			best = cur
+		}
+		if len(cur) <= minSize(k, model) {
+			return
+		}
+		a, b := worstPair(m, cur)
+		for _, v := range []graph.NodeID{a, b} {
+			if v == maint.Query() || v < 0 || states > maxStates {
+				continue
+			}
+			removed, qAlive := maint.RemoveCascade(v)
+			if qAlive && maint.Size() >= minSize(k, model) {
+				rec()
+			}
+			maint.Restore(removed)
+		}
+	}
+	rec()
+	return best, nil
+}

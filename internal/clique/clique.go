@@ -1,0 +1,290 @@
+// Package clique implements the k-clique community model, the most cohesive
+// (and most expensive) end of the paper's §II structure-cohesiveness ranking
+// k-core ⪯ k-truss ⪯ k-clique. A k-clique community is the classic clique
+// percolation community: the union of k-cliques reachable from one another
+// through (k−1)-node overlaps.
+//
+// The package provides maximal clique enumeration (Bron–Kerbosch with
+// pivoting) and the k-clique community of a query node, both bounded by an
+// explicit work budget because clique enumeration is exponential in the
+// worst case.
+package clique
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/kcore"
+)
+
+// ErrBudgetExceeded is returned when enumeration hits its clique budget.
+var ErrBudgetExceeded = errors.New("clique: enumeration budget exceeded")
+
+// MaximalCliques enumerates the maximal cliques of g with at least minSize
+// nodes using Bron–Kerbosch with pivoting, stopping after maxCliques
+// results (0 means 100000).
+func MaximalCliques(g *graph.Graph, minSize, maxCliques int) ([][]graph.NodeID, error) {
+	if maxCliques <= 0 {
+		maxCliques = 100000
+	}
+	n := g.NumNodes()
+	var out [][]graph.NodeID
+	var overBudget bool
+
+	adjSet := func(v graph.NodeID) []graph.NodeID { return g.Neighbors(v) }
+	var bk func(r, p, x []graph.NodeID)
+	bk = func(r, p, x []graph.NodeID) {
+		if overBudget {
+			return
+		}
+		if len(p) == 0 && len(x) == 0 {
+			if len(r) >= minSize {
+				out = append(out, append([]graph.NodeID(nil), r...))
+				if len(out) >= maxCliques {
+					overBudget = true
+				}
+			}
+			return
+		}
+		// Pivot: the vertex of p ∪ x with most neighbors in p.
+		var pivot graph.NodeID = -1
+		best := -1
+		for _, cand := range [2][]graph.NodeID{p, x} {
+			for _, u := range cand {
+				cnt := countIntersect(adjSet(u), p)
+				if cnt > best {
+					best = cnt
+					pivot = u
+				}
+			}
+		}
+		pivotAdj := adjSet(pivot)
+		for i := 0; i < len(p); i++ {
+			v := p[i]
+			if containsSorted(pivotAdj, v) {
+				continue
+			}
+			nv := adjSet(v)
+			// Copy r: sibling recursions must not share its backing array.
+			rr := make([]graph.NodeID, len(r)+1)
+			copy(rr, r)
+			rr[len(r)] = v
+			bk(rr, intersectSorted(p, nv), intersectSorted(x, nv))
+			// Move v from p to x.
+			p = append(p[:i], p[i+1:]...)
+			i--
+			x = insertSorted(x, v)
+		}
+	}
+	all := make([]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		all[v] = graph.NodeID(v)
+	}
+	bk(nil, all, nil)
+	if overBudget {
+		return out, ErrBudgetExceeded
+	}
+	return out, nil
+}
+
+// Community returns the k-clique (percolation) community of q: the union of
+// all k-cliques connected to a k-clique containing q through chains of
+// (k−1)-node overlaps. Returns nil when q is in no k-clique. maxCliques
+// bounds the enumeration (0 means 200000).
+func Community(g *graph.Graph, q graph.NodeID, k int, maxCliques int) ([]graph.NodeID, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("clique: k must be ≥ 2, got %d", k)
+	}
+	if maxCliques <= 0 {
+		maxCliques = 200000
+	}
+	// k-clique members have coreness ≥ k−1 and the community is connected,
+	// so restrict enumeration to the maximal connected (k−1)-core of q.
+	region := kcore.MaximalConnectedKCore(g, q, k-1)
+	if region == nil {
+		return nil, nil
+	}
+	sub, orig := g.InducedSubgraph(region)
+	var subQ graph.NodeID = -1
+	for i, v := range orig {
+		if v == q {
+			subQ = graph.NodeID(i)
+		}
+	}
+
+	cliques, err := enumerateKCliques(sub, k, maxCliques)
+	if err != nil {
+		return nil, err
+	}
+	if len(cliques) == 0 {
+		return nil, nil
+	}
+
+	// Union-find over cliques; two cliques join when they share k−1 nodes.
+	// Index each clique by all its (k−1)-subsets.
+	parent := make([]int, len(cliques))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(a int) int {
+		for parent[a] != a {
+			parent[a] = parent[parent[a]]
+			a = parent[a]
+		}
+		return a
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	subsets := map[string]int{}
+	key := make([]graph.NodeID, 0, k-1)
+	for ci, c := range cliques {
+		for drop := 0; drop < len(c); drop++ {
+			key = key[:0]
+			for i, v := range c {
+				if i != drop {
+					key = append(key, v)
+				}
+			}
+			s := subsetKey(key)
+			if prev, ok := subsets[s]; ok {
+				union(ci, prev)
+			} else {
+				subsets[s] = ci
+			}
+		}
+	}
+
+	// The community component: any clique containing q.
+	root := -1
+	for ci, c := range cliques {
+		if containsSorted(c, subQ) {
+			root = find(ci)
+			break
+		}
+	}
+	if root < 0 {
+		return nil, nil
+	}
+	memberSet := map[graph.NodeID]bool{}
+	for ci, c := range cliques {
+		if find(ci) == root {
+			for _, v := range c {
+				memberSet[v] = true
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(memberSet))
+	for v := range memberSet {
+		out = append(out, orig[v])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// enumerateKCliques lists every clique of exactly k nodes (sorted ascending)
+// by ordered DFS extension.
+func enumerateKCliques(g *graph.Graph, k int, budget int) ([][]graph.NodeID, error) {
+	var out [][]graph.NodeID
+	cur := make([]graph.NodeID, 0, k)
+	var over bool
+	var extend func(cands []graph.NodeID)
+	extend = func(cands []graph.NodeID) {
+		if over {
+			return
+		}
+		if len(cur) == k {
+			out = append(out, append([]graph.NodeID(nil), cur...))
+			if len(out) >= budget {
+				over = true
+			}
+			return
+		}
+		for i, v := range cands {
+			cur = append(cur, v)
+			// Candidates must follow v and be adjacent to it.
+			next := intersectSorted(cands[i+1:], g.Neighbors(v))
+			if len(cur)+len(next) >= k {
+				extend(next)
+			}
+			cur = cur[:len(cur)-1]
+			if over {
+				return
+			}
+		}
+	}
+	all := make([]graph.NodeID, g.NumNodes())
+	for v := range all {
+		all[v] = graph.NodeID(v)
+	}
+	extend(all)
+	if over {
+		return out, ErrBudgetExceeded
+	}
+	return out, nil
+}
+
+func subsetKey(ids []graph.NodeID) string {
+	b := make([]byte, 0, len(ids)*4)
+	for _, v := range ids {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func countIntersect(a, b []graph.NodeID) int {
+	i, j, cnt := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			cnt++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return cnt
+}
+
+func intersectSorted(a, b []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func containsSorted(s []graph.NodeID, v graph.NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

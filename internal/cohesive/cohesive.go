@@ -1,0 +1,29 @@
+// Package cohesive defines the interface shared by the k-core and k-truss
+// maintenance structures. Community-search algorithms peel nodes from a
+// cohesive subgraph one at a time; deleting a node may cascade (other nodes
+// or edges drop below the structural threshold) and must be reversible so
+// that branch-and-bound enumeration can backtrack.
+package cohesive
+
+import "repro/internal/graph"
+
+// Maintainer maintains a connected cohesive subgraph (a connected k-core or
+// k-truss) around a query node under node deletions with rollback.
+type Maintainer interface {
+	// Query returns the query node the community must contain.
+	Query() graph.NodeID
+	// Size returns the number of alive nodes.
+	Size() int
+	// Alive reports whether v is currently in the subgraph.
+	Alive(v graph.NodeID) bool
+	// Members appends the alive nodes to dst and returns it.
+	Members(dst []graph.NodeID) []graph.NodeID
+	// RemoveCascade deletes v, cascades structural violations, and restricts
+	// the subgraph to the query's connected component. It returns every node
+	// removed (v first) and whether the query survived. If the query did not
+	// survive the caller must still Restore the returned nodes.
+	RemoveCascade(v graph.NodeID) (removed []graph.NodeID, qAlive bool)
+	// Restore re-inserts nodes previously returned by RemoveCascade. The
+	// slice must be passed back unmodified, most recent removal first.
+	Restore(removed []graph.NodeID)
+}

@@ -1,0 +1,311 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/kcore"
+)
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	d, err := Generate(Spec{
+		Name: "t", Nodes: 500, MinCommunity: 10, MaxCommunity: 30,
+		IntraDegree: 8, InterDegree: 1,
+		TokensPerNode: 4, PoolSize: 5, Vocab: 60, NoiseProb: 0.2,
+		NumDim: 2, NumSigma: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.NumNodes() != 500 {
+		t.Errorf("nodes = %d", d.Graph.NumNodes())
+	}
+	// Every node belongs to exactly one community of admissible size.
+	seen := make([]bool, 500)
+	for c, members := range d.Communities {
+		if len(members) < 10 {
+			t.Errorf("community %d has %d members < MinCommunity", c, len(members))
+		}
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("node %d in two communities", v)
+			}
+			seen[v] = true
+			if d.CommunityOf[v] != int32(c) {
+				t.Errorf("CommunityOf[%d] = %d, want %d", v, d.CommunityOf[v], c)
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("node %d in no community", v)
+		}
+	}
+	// Attributes present and normalized.
+	for v := 0; v < 500; v++ {
+		if len(d.Graph.TextAttrs(graph.NodeID(v))) == 0 {
+			t.Fatalf("node %d has no textual attributes", v)
+		}
+		for _, x := range d.Graph.NumAttrs(graph.NodeID(v)) {
+			if x < 0 || x > 1 {
+				t.Fatalf("node %d numerical attr %v outside [0,1]", v, x)
+			}
+		}
+	}
+}
+
+func TestGenerateCommunitiesAreCohesive(t *testing.T) {
+	d, err := Generate(Spec{
+		Name: "t", Nodes: 300, MinCommunity: 12, MaxCommunity: 24,
+		IntraDegree: 8, InterDegree: 0.5,
+		TokensPerNode: 4, PoolSize: 5, Vocab: 50, NoiseProb: 0.1,
+		NumDim: 2, NumSigma: 0.05, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most planted communities should contain a decent k-core around their
+	// members for k=4 — the regime the experiments rely on.
+	hosts := 0
+	for _, members := range d.Communities {
+		q := members[0]
+		core := kcore.MaximalConnectedKCore(d.Graph, q, 4)
+		if core != nil {
+			hosts++
+		}
+	}
+	if hosts*2 < len(d.Communities) {
+		t.Errorf("only %d/%d communities host a 4-core", hosts, len(d.Communities))
+	}
+}
+
+func TestGenerateNumericalOnly(t *testing.T) {
+	d, err := Generate(Spec{
+		Name: "kg", Nodes: 100, MinCommunity: 10, MaxCommunity: 20,
+		IntraDegree: 6, InterDegree: 0.5, NumericalOnly: true,
+		TokensPerNode: 4, PoolSize: 5, Vocab: 50,
+		NumDim: 3, NumSigma: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < d.Graph.NumNodes(); v++ {
+		if len(d.Graph.TextAttrs(graph.NodeID(v))) != 0 {
+			t.Fatalf("numerical-only dataset has textual attrs on %d", v)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Nodes: 1, MinCommunity: 3, MaxCommunity: 5}); err == nil {
+		t.Error("accepted 1 node")
+	}
+	if _, err := Generate(Spec{Nodes: 100, MinCommunity: 2, MaxCommunity: 1}); err == nil {
+		t.Error("accepted bad community bounds")
+	}
+}
+
+func TestHomogeneousProfiles(t *testing.T) {
+	for _, name := range HomogeneousNames {
+		d, err := Homogeneous(name, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Graph.NumNodes() == 0 || d.Graph.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+	if _, err := Homogeneous("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestQueryNodesDeterministic(t *testing.T) {
+	d, _ := Homogeneous("facebook", 0.2)
+	a := d.QueryNodes(10, 4, 7)
+	b := d.QueryNodes(10, 4, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("QueryNodes not deterministic")
+		}
+	}
+	// Ground truth contains the query.
+	for _, q := range a {
+		gt := d.GroundTruth(q)
+		found := false
+		for _, v := range gt {
+			if v == q {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("q=%d not in its ground truth", q)
+		}
+	}
+}
+
+func TestEgoNetworks(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		d, err := EgoNetwork(i)
+		if err != nil {
+			t.Fatalf("ego %d: %v", i, err)
+		}
+		if d.Spec.Name != EgoNames[i] {
+			t.Errorf("ego %d name = %q", i, d.Spec.Name)
+		}
+		if d.Graph.NumNodes() < 100 {
+			t.Errorf("ego %d too small: %d", i, d.Graph.NumNodes())
+		}
+	}
+}
+
+func TestHetProfiles(t *testing.T) {
+	for _, name := range HetNames {
+		d, err := Heterogeneous(name, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Het.NumNodes() == 0 {
+			t.Errorf("%s: empty het graph", name)
+		}
+		if err := d.Path.Validate(); err != nil {
+			t.Errorf("%s: bad meta-path: %v", name, err)
+		}
+		// Targets all have the path's target type.
+		for _, v := range d.Targets[:10] {
+			if d.Het.NodeType(v) != d.Path.Target() {
+				t.Errorf("%s: target %d has wrong type", name, v)
+			}
+		}
+		// Knowledge-graph analogs must be numerical-only.
+		if d.Spec.NumericalOnly {
+			for _, v := range d.Targets[:10] {
+				if len(d.Het.TextAttrs(v)) != 0 {
+					t.Errorf("%s: numerical-only target has text attrs", name)
+				}
+			}
+		}
+	}
+	if _, err := Heterogeneous("nope", 1); err == nil {
+		t.Error("unknown het name accepted")
+	}
+}
+
+func TestHetProjectionRecoversCommunities(t *testing.T) {
+	d, err := Heterogeneous("dblp", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := d.Het.Project(d.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Graph.NumNodes() != len(d.Targets) {
+		t.Fatalf("projection has %d nodes, want %d", proj.Graph.NumNodes(), len(d.Targets))
+	}
+	// Planted intra-community links exist as projected edges: check that the
+	// first community is connected in the projection.
+	members := d.Communities[0]
+	sub := make([]graph.NodeID, len(members))
+	for i, v := range members {
+		sub[i] = proj.FromHet[v]
+	}
+	comp := proj.Graph.Component(sub[0], func(v graph.NodeID) bool {
+		for _, x := range sub {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	})
+	if len(comp) != len(sub) {
+		t.Errorf("community not connected in projection: %d of %d reachable", len(comp), len(sub))
+	}
+}
+
+func TestLoadWriteRoundTrip(t *testing.T) {
+	d, _ := Homogeneous("facebook", 0.1)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, d.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != d.Graph.NumNodes() || g.NumEdges() != d.Graph.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g.NumNodes(), g.NumEdges(), d.Graph.NumNodes(), d.Graph.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if len(g.TextAttrs(id)) != len(d.Graph.TextAttrs(id)) {
+			t.Fatalf("node %d text attrs differ", v)
+		}
+		a, b := g.NumAttrs(id), d.Graph.NumAttrs(id)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d numeric attr %d differs: %v vs %v", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"v 0 - -",
+		"n 2 0\ne 0",
+		"n 2 0\nx 1 2",
+		"n 2 1\nv 0 - 1,2",
+		"n two 0",
+	}
+	for _, in := range cases {
+		if _, err := LoadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadGraph(%q) accepted", in)
+		}
+	}
+}
+
+func TestLoadGraphCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nn 2 1\nv 0 a,b 0.5\nv 1 - -\ne 0 1\n"
+	g, err := LoadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if len(g.TextAttrs(0)) != 2 {
+		t.Errorf("node 0 attrs = %d", len(g.TextAttrs(0)))
+	}
+}
+
+func TestPropertyPowerLawSizesInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := Generate(Spec{
+			Name: "p", Nodes: 200, MinCommunity: 8, MaxCommunity: 20,
+			IntraDegree: 5, InterDegree: 0.3,
+			TokensPerNode: 2, PoolSize: 3, Vocab: 20,
+			NumDim: 1, NumSigma: 0.1, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, members := range d.Communities {
+			// The tail community may absorb leftovers up to Max+Min.
+			if len(members) < 8 || len(members) > 20+8 {
+				return false
+			}
+			total += len(members)
+		}
+		return total == 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// LoadGraph reads an attributed graph from the repository's plain-text
+// exchange format, one record per line:
+//
+//	# comment
+//	n <numNodes> <numDim>
+//	v <id> <tok1,tok2,...|-> <num1,num2,...|->
+//	e <u> <v>
+//
+// The "n" record must come first. "-" stands for no attributes. This is the
+// format cmd/datagen writes.
+func LoadGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var b *graph.Builder
+	numDim := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: line %d: n record needs 2 fields", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			numDim, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			b = graph.NewBuilder(n, numDim)
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("dataset: line %d: v before n", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dataset: line %d: v record needs 3 fields", line)
+			}
+			id64, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			id := graph.NodeID(id64)
+			if fields[2] != "-" {
+				b.SetTextAttrs(id, strings.Split(fields[2], ",")...)
+			}
+			if fields[3] != "-" {
+				parts := strings.Split(fields[3], ",")
+				if len(parts) != numDim {
+					return nil, fmt.Errorf("dataset: line %d: %d numerical values, want %d", line, len(parts), numDim)
+				}
+				vals := make([]float64, numDim)
+				for i, p := range parts {
+					vals[i], err = strconv.ParseFloat(p, 64)
+					if err != nil {
+						return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+					}
+				}
+				b.SetNumAttrs(id, vals...)
+			}
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("dataset: line %d: e before n", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: line %d: e record needs 2 fields", line)
+			}
+			u, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	return b.Build()
+}
+
+// WriteGraph writes g in the exchange format LoadGraph reads.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d %d\n", g.NumNodes(), g.NumDim())
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		toks := g.TextAttrs(id)
+		tf := "-"
+		if len(toks) > 0 {
+			names := make([]string, len(toks))
+			for i, t := range toks {
+				names[i] = g.Dict().Name(t)
+			}
+			tf = strings.Join(names, ",")
+		}
+		nf := "-"
+		if g.NumDim() > 0 {
+			vals := g.NumAttrs(id)
+			parts := make([]string, len(vals))
+			for i, x := range vals {
+				parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+			}
+			nf = strings.Join(parts, ",")
+		}
+		fmt.Fprintf(bw, "v %d %s %s\n", v, tf, nf)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if u > graph.NodeID(v) {
+				fmt.Fprintf(bw, "e %d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,193 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+)
+
+// figure3Graph reproduces the running example of Figures 2(c)/3: the
+// connected 2-core over {v1..v6} with q=v5 and the distances listed at the
+// top of Figure 3. IDs: v1..v6 → 0..5, q = 4.
+func figure3Graph(t testing.TB) (*graph.Graph, []float64, graph.NodeID) {
+	t.Helper()
+	b := graph.NewBuilder(6, 0)
+	// Figure 2(c): a 2-core on six nodes. Ring plus chords so that deleting
+	// any single non-cut node keeps a 2-core.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 2}, {1, 3}, {2, 4}, {3, 5}} {
+		b.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	g := b.MustBuild()
+	// f(v1..v6, q=v5): 0.7, 0.6, 0.6, 0.5, 0 (q), 0.3.
+	dist := []float64{0.7, 0.6, 0.6, 0.5, 0, 0.3}
+	return g, dist, 4
+}
+
+func TestSearchMatchesBruteForceOnFigure3(t *testing.T) {
+	g, dist, q := figure3Graph(t)
+	want, err := BruteForce(g, q, 2, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range allConfigs() {
+		got, err := Search(g, q, 2, dist, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if math.Abs(got.Delta-want.Delta) > 1e-12 {
+			t.Errorf("cfg %+v: δ = %v, want %v (community %v vs %v)",
+				cfg, got.Delta, want.Delta, got.Community, want.Community)
+		}
+	}
+}
+
+// allConfigs enumerates the pruning ablation grid of Table IV.
+func allConfigs() []Config {
+	return []Config{
+		{PruneDuplicates: true, PruneUnnecessary: true, PruneUnpromising: true},
+		{PruneDuplicates: true, PruneUnnecessary: true},
+		{PruneDuplicates: true},
+		{MaxStates: 200000}, // no prunings: bound the duplicate explosion
+	}
+}
+
+func TestSearchRootOnlyWhenNoBetterSubstate(t *testing.T) {
+	// A 4-clique with k=3: the only connected 3-core is the clique itself.
+	b := graph.NewBuilder(4, 0)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	g := b.MustBuild()
+	dist := []float64{0, 0.9, 0.5, 0.2}
+	got, err := Search(g, 0, 3, dist, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Community) != 4 {
+		t.Errorf("community = %v, want whole clique", got.Community)
+	}
+	if want := (0.9 + 0.5 + 0.2) / 3; math.Abs(got.Delta-want) > 1e-12 {
+		t.Errorf("δ = %v, want %v", got.Delta, want)
+	}
+}
+
+func TestSearchNoCommunity(t *testing.T) {
+	g, dist, _ := figure3Graph(t)
+	if _, err := Search(g, 0, 5, dist, DefaultConfig()); !errors.Is(err, ErrNoCommunity) {
+		t.Errorf("err = %v, want ErrNoCommunity", err)
+	}
+}
+
+func TestSearchRejectsBadK(t *testing.T) {
+	g, dist, q := figure3Graph(t)
+	if _, err := Search(g, q, 0, dist, DefaultConfig()); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestPruningReducesStates(t *testing.T) {
+	g, dist, q := figure3Graph(t)
+	full, err := Search(g, q, 2, dist, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1only, err := Search(g, q, 2, dist, Config{PruneDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.States > p1only.Stats.States {
+		t.Errorf("all prunings visited %d states, P1-only %d", full.Stats.States, p1only.Stats.States)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	g, dist, q := figure3Graph(t)
+	res, err := Search(g, q, 2, dist, Config{MaxStates: 1})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Community == nil {
+		t.Error("budget-exhausted search returned no community")
+	}
+}
+
+// randomAttributed builds a random connected-ish attributed graph small
+// enough for BruteForce.
+func randomAttributed(rng *rand.Rand) (*graph.Graph, []float64, graph.NodeID) {
+	n := 5 + rng.Intn(7) // ≤ 11 nodes keeps BruteForce fast
+	b := graph.NewBuilder(n, 0)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	m := n * (1 + rng.Intn(3))
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	g := b.MustBuild()
+	q := graph.NodeID(rng.Intn(n))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = float64(rng.Intn(100)) / 100
+	}
+	dist[q] = 0
+	return g, dist, q
+}
+
+func TestPropertySearchMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dist, q := randomAttributed(rng)
+		k := 1 + rng.Intn(3)
+		want, errWant := BruteForce(g, q, k, dist)
+		for _, cfg := range allConfigs() {
+			got, err := Search(g, q, k, dist, cfg)
+			if errors.Is(errWant, ErrNoCommunity) {
+				if !errors.Is(err, ErrNoCommunity) {
+					return false
+				}
+				continue
+			}
+			if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+				return false
+			}
+			if errors.Is(err, ErrBudgetExhausted) {
+				// Best-effort result: must be valid but may be suboptimal.
+				if got.Delta+1e-9 < want.Delta {
+					return false
+				}
+			} else if math.Abs(got.Delta-want.Delta) > 1e-9 {
+				return false
+			}
+			// The returned community must be a valid connected k-core with q.
+			if !kcore.InKCoreSet(g, got.Community, k) {
+				return false
+			}
+			if attr.Delta(dist, got.Community, q) != got.Delta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g, dist, q := figure3Graph(t)
+	res, err := Search(g, q, 2, dist, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.States < 1 || res.Stats.CandidatesScored < 1 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}

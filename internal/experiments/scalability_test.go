@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestScalabilitySmoke(t *testing.T) {
+	cfg := Quick()
+	cfg.Queries = 3
+	rows, err := Scalability(cfg, quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 scales", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes <= rows[i-1].Nodes {
+			t.Errorf("scale sweep not growing: %d after %d nodes", rows[i].Nodes, rows[i-1].Nodes)
+		}
+	}
+	// SEA must beat the budgeted exact at every scale.
+	for _, r := range rows {
+		if r.SEAMS > 0 && r.Speedup < 1 {
+			t.Errorf("scale %.1f: SEA slower than Exact (%.2fx)", r.Scale, r.Speedup)
+		}
+	}
+}

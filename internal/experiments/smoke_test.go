@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func quickFacebook(cfg Config) (*dataset.Generated, error) {
+	return dataset.Homogeneous("facebook", cfg.Scale)
+}
+
+func TestTable2Smoke(t *testing.T) {
+	rows, err := Table2(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 methods", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalRank < 4 {
+			t.Errorf("%s: total rank %d < 4", r.Method, r.TotalRank)
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	rows, err := Table3(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.F1["SEA"] <= 0 || r.F1["SEA"] > 1 {
+			t.Errorf("%s: SEA F1 = %v", r.Dataset, r.F1["SEA"])
+		}
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	rows, err := Table4(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 configs × 2 datasets
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// Prunings must reduce (or preserve) explored states per dataset.
+	for ds := 0; ds < 2; ds++ {
+		full := rows[ds*4+0].States
+		none := rows[ds*4+3].States
+		if full > none {
+			t.Errorf("%s: P1+P2+P3 states %v > unpruned %v",
+				rows[ds*4].Dataset, full, none)
+		}
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	rows, err := Table5(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*7 {
+		t.Fatalf("rows = %d, want 35", len(rows))
+	}
+	// ACQ must fail on every query of the numerical-only analogs (the '-'
+	// cells of the paper's Table V).
+	for _, r := range rows {
+		if r.Method == "ACQ-Core" && (r.Dataset == "dbpedia" || r.Dataset == "yago" || r.Dataset == "freebase") {
+			if r.Fail == 0 {
+				t.Errorf("%s/%s: expected failures on numerical-only dataset", r.Dataset, r.Method)
+			}
+		}
+	}
+}
+
+func TestTable6Smoke(t *testing.T) {
+	rows, err := Table6(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no case-study rounds")
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	res, err := Fig5(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFig5dSmoke(t *testing.T) {
+	rows, err := Fig5d(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	rows, err := Fig6(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10 ego networks", len(rows))
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	rows, err := Fig7(Quick(), quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 bounds × 2 datasets
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	cfg := Quick()
+	cfg.Queries = 2
+	pts, err := Fig8(cfg, quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no sweep points")
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	cfg := Quick()
+	cfg.Queries = 2
+	rows, err := Fig10(cfg, quietOrVerbose(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 gammas × 2 datasets
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	// γ=1 optimizes Jaccard: its Jaccard distance should not exceed γ=0's.
+	byDataset := map[string]map[float64]Fig10Row{}
+	for _, r := range rows {
+		if byDataset[r.Dataset] == nil {
+			byDataset[r.Dataset] = map[float64]Fig10Row{}
+		}
+		byDataset[r.Dataset][r.Gamma] = r
+	}
+	for ds, m := range byDataset {
+		if m[1.0].Jaccard > m[0.0].Jaccard+0.15 {
+			t.Errorf("%s: γ=1 Jaccard %v much worse than γ=0 %v", ds, m[1.0].Jaccard, m[0.0].Jaccard)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package graph
+
+// Dict interns textual attribute strings to dense int32 token IDs.
+// It is not safe for concurrent writers; freeze it (stop interning) before
+// sharing a graph across goroutines.
+type Dict struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]int32)}
+}
+
+// Intern returns the token ID for s, assigning a fresh ID on first use.
+func (d *Dict) Intern(s string) int32 {
+	if id, ok := d.byName[s]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.byName[s] = id
+	d.names = append(d.names, s)
+	return id
+}
+
+// Lookup returns the token ID for s and whether it is known.
+func (d *Dict) Lookup(s string) (int32, bool) {
+	id, ok := d.byName[s]
+	return id, ok
+}
+
+// Name returns the string for a token ID.
+func (d *Dict) Name(id int32) string { return d.names[id] }
+
+// Len returns the number of interned tokens.
+func (d *Dict) Len() int { return len(d.names) }

@@ -1,0 +1,30 @@
+package graph
+
+import "testing"
+
+func TestSetDictSharesTokens(t *testing.T) {
+	// Intern tokens in one dictionary, build a second graph reusing them.
+	d := NewDict()
+	crime := d.Intern("crime")
+	drama := d.Intern("drama")
+
+	b := NewBuilder(2, 0)
+	b.SetDict(d)
+	b.SetTextTokens(0, []int32{crime, drama})
+	g := b.MustBuild()
+
+	if g.Dict() != d {
+		t.Fatal("dictionary not shared")
+	}
+	toks := g.TextAttrs(0)
+	if len(toks) != 2 {
+		t.Fatalf("attrs = %v", toks)
+	}
+	names := map[string]bool{}
+	for _, tok := range toks {
+		names[g.Dict().Name(tok)] = true
+	}
+	if !names["crime"] || !names["drama"] {
+		t.Errorf("resolved names = %v", names)
+	}
+}

@@ -1,0 +1,162 @@
+package hetgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Builder assembles a HetGraph.
+type Builder struct {
+	nodeTypes []string
+	edgeTypes []string
+	ntByName  map[string]TypeID
+	etByName  map[string]TypeID
+
+	nodeType []TypeID
+	edges    []hetEdge
+	text     [][]int32
+	num      [][]float64
+	dict     *graph.Dict
+}
+
+type hetEdge struct {
+	u, v graph.NodeID
+	t    TypeID
+}
+
+// NewBuilder returns an empty heterogeneous graph builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		ntByName: map[string]TypeID{},
+		etByName: map[string]TypeID{},
+		dict:     graph.NewDict(),
+	}
+}
+
+// NodeType interns a node type name.
+func (b *Builder) NodeType(name string) TypeID {
+	if t, ok := b.ntByName[name]; ok {
+		return t
+	}
+	t := TypeID(len(b.nodeTypes))
+	b.ntByName[name] = t
+	b.nodeTypes = append(b.nodeTypes, name)
+	return t
+}
+
+// EdgeType interns an edge type name.
+func (b *Builder) EdgeType(name string) TypeID {
+	if t, ok := b.etByName[name]; ok {
+		return t
+	}
+	t := TypeID(len(b.edgeTypes))
+	b.etByName[name] = t
+	b.edgeTypes = append(b.edgeTypes, name)
+	return t
+}
+
+// AddNode appends a node of type t and returns its ID.
+func (b *Builder) AddNode(t TypeID) graph.NodeID {
+	id := graph.NodeID(len(b.nodeType))
+	b.nodeType = append(b.nodeType, t)
+	b.text = append(b.text, nil)
+	b.num = append(b.num, nil)
+	return id
+}
+
+// AddEdge records an undirected typed edge.
+func (b *Builder) AddEdge(u, v graph.NodeID, t TypeID) {
+	b.edges = append(b.edges, hetEdge{u, v, t})
+}
+
+// SetTextAttrs sets v's textual attributes.
+func (b *Builder) SetTextAttrs(v graph.NodeID, attrs ...string) {
+	ids := make([]int32, 0, len(attrs))
+	for _, a := range attrs {
+		ids = append(ids, b.dict.Intern(a))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	b.text[v] = out
+}
+
+// SetNumAttrs sets v's numerical attribute vector.
+func (b *Builder) SetNumAttrs(v graph.NodeID, vals ...float64) {
+	b.num[v] = append([]float64(nil), vals...)
+}
+
+// MetaPathByNames builds a meta-path from type names, alternating
+// node, edge, node, edge, …, node.
+func (b *Builder) MetaPathByNames(names ...string) (MetaPath, error) {
+	if len(names) < 3 || len(names)%2 == 0 {
+		return MetaPath{}, fmt.Errorf("hetgraph: meta-path needs odd ≥3 names, got %d", len(names))
+	}
+	var p MetaPath
+	for i, name := range names {
+		if i%2 == 0 {
+			t, ok := b.ntByName[name]
+			if !ok {
+				return MetaPath{}, fmt.Errorf("hetgraph: unknown node type %q", name)
+			}
+			p.NodeTypes = append(p.NodeTypes, t)
+		} else {
+			t, ok := b.etByName[name]
+			if !ok {
+				return MetaPath{}, fmt.Errorf("hetgraph: unknown edge type %q", name)
+			}
+			p.EdgeTypes = append(p.EdgeTypes, t)
+		}
+	}
+	return p, nil
+}
+
+// Build freezes the heterogeneous graph.
+func (b *Builder) Build() (*HetGraph, error) {
+	n := len(b.nodeType)
+	deg := make([]int32, n)
+	for _, e := range b.edges {
+		if int(e.u) >= n || int(e.v) >= n || e.u < 0 || e.v < 0 {
+			return nil, fmt.Errorf("hetgraph: edge (%d,%d) out of range", e.u, e.v)
+		}
+		if e.u == e.v {
+			continue
+		}
+		deg[e.u]++
+		deg[e.v]++
+	}
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	adj := make([]graph.NodeID, offsets[n])
+	ety := make([]TypeID, offsets[n])
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for _, e := range b.edges {
+		if e.u == e.v {
+			continue
+		}
+		adj[fill[e.u]], ety[fill[e.u]] = e.v, e.t
+		fill[e.u]++
+		adj[fill[e.v]], ety[fill[e.v]] = e.u, e.t
+		fill[e.v]++
+	}
+	return &HetGraph{
+		nodeType:      append([]TypeID(nil), b.nodeType...),
+		offsets:       offsets,
+		adj:           adj,
+		etype:         ety,
+		nodeTypeNames: append([]string(nil), b.nodeTypes...),
+		edgeTypeNames: append([]string(nil), b.edgeTypes...),
+		text:          b.text,
+		num:           b.num,
+		attrDic:       b.dict,
+	}, nil
+}

@@ -1,0 +1,200 @@
+// Package hetgraph provides the heterogeneous-graph substrate of §VI-A:
+// typed nodes and edges, meta-paths, P-neighbor computation, and the
+// projection of target nodes onto a homogeneous attributed graph on which
+// the (k,P)-core / (k,P)-truss community search runs via the main pipeline.
+package hetgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// TypeID identifies a node or edge type.
+type TypeID = int32
+
+// HetGraph is an immutable heterogeneous attributed graph. Only nodes can
+// carry attributes (matching the paper's datasets, where e.g. authors have
+// research interests and publication counts).
+type HetGraph struct {
+	nodeType []TypeID
+	offsets  []int32
+	adj      []graph.NodeID
+	etype    []TypeID
+
+	nodeTypeNames []string
+	edgeTypeNames []string
+
+	text    [][]int32
+	num     [][]float64
+	numDim  int
+	attrDic *graph.Dict
+}
+
+// NumNodes returns the node count.
+func (h *HetGraph) NumNodes() int { return len(h.nodeType) }
+
+// NumEdges returns the undirected edge count.
+func (h *HetGraph) NumEdges() int { return len(h.adj) / 2 }
+
+// NumNodeTypes returns the number of node types.
+func (h *HetGraph) NumNodeTypes() int { return len(h.nodeTypeNames) }
+
+// NumEdgeTypes returns the number of edge types.
+func (h *HetGraph) NumEdgeTypes() int { return len(h.edgeTypeNames) }
+
+// NodeType returns v's type.
+func (h *HetGraph) NodeType(v graph.NodeID) TypeID { return h.nodeType[v] }
+
+// NodeTypeName resolves a node type name.
+func (h *HetGraph) NodeTypeName(t TypeID) string { return h.nodeTypeNames[t] }
+
+// EdgeTypeName resolves an edge type name.
+func (h *HetGraph) EdgeTypeName(t TypeID) string { return h.edgeTypeNames[t] }
+
+// Neighbors returns v's neighbors and parallel edge types.
+func (h *HetGraph) Neighbors(v graph.NodeID) ([]graph.NodeID, []TypeID) {
+	lo, hi := h.offsets[v], h.offsets[v+1]
+	return h.adj[lo:hi], h.etype[lo:hi]
+}
+
+// TextAttrs returns v's sorted textual attribute tokens.
+func (h *HetGraph) TextAttrs(v graph.NodeID) []int32 { return h.text[v] }
+
+// NumAttrs returns v's numerical attribute vector (may be nil).
+func (h *HetGraph) NumAttrs(v graph.NodeID) []float64 { return h.num[v] }
+
+// MetaPath is an alternating sequence of node and edge types,
+// NodeTypes[0] —EdgeTypes[0]— NodeTypes[1] … ; len(NodeTypes) =
+// len(EdgeTypes)+1. The paper's A-P-A is {author,paper,author} with edge
+// type "writes" twice.
+type MetaPath struct {
+	NodeTypes []TypeID
+	EdgeTypes []TypeID
+}
+
+// Validate reports malformed paths.
+func (p MetaPath) Validate() error {
+	if len(p.NodeTypes) < 2 || len(p.EdgeTypes) != len(p.NodeTypes)-1 {
+		return fmt.Errorf("hetgraph: meta-path with %d node types and %d edge types", len(p.NodeTypes), len(p.EdgeTypes))
+	}
+	return nil
+}
+
+// Target returns the type of the path's endpoints; community members have
+// this type.
+func (p MetaPath) Target() TypeID { return p.NodeTypes[0] }
+
+// PNeighbors returns the target nodes connected to v by at least one
+// instance of p (excluding v itself). v must have p's target type.
+func (h *HetGraph) PNeighbors(v graph.NodeID, p MetaPath) []graph.NodeID {
+	if h.nodeType[v] != p.Target() {
+		return nil
+	}
+	frontier := map[graph.NodeID]bool{v: true}
+	for step := 0; step < len(p.EdgeTypes); step++ {
+		next := make(map[graph.NodeID]bool)
+		wantNode := p.NodeTypes[step+1]
+		wantEdge := p.EdgeTypes[step]
+		for u := range frontier {
+			ns, ets := h.Neighbors(u)
+			for i, w := range ns {
+				if ets[i] == wantEdge && h.nodeType[w] == wantNode {
+					next[w] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	delete(frontier, v)
+	out := make([]graph.NodeID, 0, len(frontier))
+	for u := range frontier {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountInstances counts the path instances of p starting at v (walks, not
+// necessarily simple), used to rank meta-paths by frequency as in §VII-A.
+func (h *HetGraph) CountInstances(v graph.NodeID, p MetaPath) int64 {
+	if h.nodeType[v] != p.Target() {
+		return 0
+	}
+	counts := map[graph.NodeID]int64{v: 1}
+	for step := 0; step < len(p.EdgeTypes); step++ {
+		next := make(map[graph.NodeID]int64)
+		wantNode := p.NodeTypes[step+1]
+		wantEdge := p.EdgeTypes[step]
+		for u, c := range counts {
+			ns, ets := h.Neighbors(u)
+			for i, w := range ns {
+				if ets[i] == wantEdge && h.nodeType[w] == wantNode {
+					next[w] += c
+				}
+			}
+		}
+		counts = next
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Projection is the homogeneous graph over the target nodes of a meta-path:
+// an edge joins two target nodes iff they are P-neighbors. ToHet maps
+// projected IDs back to heterogeneous IDs.
+type Projection struct {
+	Graph   *graph.Graph
+	ToHet   []graph.NodeID
+	FromHet map[graph.NodeID]graph.NodeID
+}
+
+// Project builds the P-neighbor projection. Numerical attribute width is the
+// maximum over target nodes; missing vectors are zero-filled.
+func (h *HetGraph) Project(p MetaPath) (*Projection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var targets []graph.NodeID
+	for v := 0; v < h.NumNodes(); v++ {
+		if h.nodeType[v] == p.Target() {
+			targets = append(targets, graph.NodeID(v))
+		}
+	}
+	fromHet := make(map[graph.NodeID]graph.NodeID, len(targets))
+	for i, v := range targets {
+		fromHet[v] = graph.NodeID(i)
+	}
+	numDim := 0
+	for _, v := range targets {
+		if d := len(h.num[v]); d > numDim {
+			numDim = d
+		}
+	}
+	b := graph.NewBuilder(len(targets), numDim)
+	// Token IDs below come from the heterogeneous graph's dictionary; share
+	// it so the projected graph resolves them to the same names.
+	b.SetDict(h.attrDic)
+	for i, v := range targets {
+		b.SetTextTokens(graph.NodeID(i), h.text[v])
+		if numDim > 0 {
+			vals := make([]float64, numDim)
+			copy(vals, h.num[v])
+			b.SetNumAttrs(graph.NodeID(i), vals...)
+		}
+		for _, u := range h.PNeighbors(v, p) {
+			if j := fromHet[u]; j > graph.NodeID(i) {
+				b.AddEdge(graph.NodeID(i), j)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Projection{Graph: g, ToHet: targets, FromHet: fromHet}, nil
+}

@@ -1,0 +1,187 @@
+package hetgraph
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// dblpFixture builds a tiny DBLP-like graph: 4 authors, 3 papers, 1 venue.
+// a0,a1 co-wrote p0; a1,a2 co-wrote p1; a3 wrote p2 alone.
+func dblpFixture(t *testing.T) (*Builder, *HetGraph, MetaPath, []graph.NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	author := b.NodeType("author")
+	paper := b.NodeType("paper")
+	venue := b.NodeType("venue")
+	writes := b.EdgeType("writes")
+	publishedIn := b.EdgeType("published_in")
+
+	var a [4]graph.NodeID
+	for i := range a {
+		a[i] = b.AddNode(author)
+	}
+	var p [3]graph.NodeID
+	for i := range p {
+		p[i] = b.AddNode(paper)
+	}
+	v0 := b.AddNode(venue)
+	b.AddEdge(a[0], p[0], writes)
+	b.AddEdge(a[1], p[0], writes)
+	b.AddEdge(a[1], p[1], writes)
+	b.AddEdge(a[2], p[1], writes)
+	b.AddEdge(a[3], p[2], writes)
+	b.AddEdge(p[0], v0, publishedIn)
+	b.SetTextAttrs(a[0], "db", "graphs")
+	b.SetNumAttrs(a[0], 10, 3)
+	b.SetTextAttrs(a[1], "db")
+	b.SetNumAttrs(a[1], 5, 1)
+
+	path, err := b.MetaPathByNames("author", "writes", "paper", "writes", "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, g, path, a[:]
+}
+
+func TestBuilderTypeInterning(t *testing.T) {
+	b := NewBuilder()
+	if b.NodeType("x") != b.NodeType("x") {
+		t.Error("NodeType not idempotent")
+	}
+	if b.EdgeType("e") != b.EdgeType("e") {
+		t.Error("EdgeType not idempotent")
+	}
+	if b.NodeType("x") == b.NodeType("y") {
+		t.Error("distinct node types share ID")
+	}
+}
+
+func TestHetGraphBasics(t *testing.T) {
+	_, g, _, a := dblpFixture(t)
+	if g.NumNodes() != 8 {
+		t.Errorf("nodes = %d, want 8", g.NumNodes())
+	}
+	if g.NumEdges() != 6 {
+		t.Errorf("edges = %d, want 6", g.NumEdges())
+	}
+	if g.NumNodeTypes() != 3 || g.NumEdgeTypes() != 2 {
+		t.Errorf("types = %d/%d, want 3/2", g.NumNodeTypes(), g.NumEdgeTypes())
+	}
+	if g.NodeTypeName(g.NodeType(a[0])) != "author" {
+		t.Errorf("a0 type = %q", g.NodeTypeName(g.NodeType(a[0])))
+	}
+	ns, ets := g.Neighbors(a[1])
+	if len(ns) != 2 || len(ets) != 2 {
+		t.Errorf("a1 has %d neighbors, want 2", len(ns))
+	}
+	if len(g.TextAttrs(a[0])) != 2 || g.NumAttrs(a[0])[0] != 10 {
+		t.Error("attributes lost")
+	}
+}
+
+func TestPNeighbors(t *testing.T) {
+	_, g, path, a := dblpFixture(t)
+	cases := []struct {
+		v    graph.NodeID
+		want []graph.NodeID
+	}{
+		{a[0], []graph.NodeID{a[1]}},
+		{a[1], []graph.NodeID{a[0], a[2]}},
+		{a[3], nil},
+	}
+	for _, c := range cases {
+		got := g.PNeighbors(c.v, path)
+		if len(got) != len(c.want) {
+			t.Errorf("PNeighbors(%d) = %v, want %v", c.v, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PNeighbors(%d) = %v, want %v", c.v, got, c.want)
+			}
+		}
+	}
+	// Wrong-type start returns nil.
+	if got := g.PNeighbors(4, path); got != nil { // node 4 is a paper
+		t.Errorf("PNeighbors(paper) = %v", got)
+	}
+}
+
+func TestCountInstances(t *testing.T) {
+	_, g, path, a := dblpFixture(t)
+	// a1 reaches a0 via p0, a2 via p1, and itself twice (back-and-forth):
+	// walks counted = 2 (to others) + 2 (self) = 4.
+	if got := g.CountInstances(a[1], path); got != 4 {
+		t.Errorf("CountInstances(a1) = %d, want 4", got)
+	}
+	if got := g.CountInstances(a[3], path); got != 1 { // only the self walk
+		t.Errorf("CountInstances(a3) = %d, want 1", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	_, g, path, a := dblpFixture(t)
+	proj, err := g.Project(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Graph.NumNodes() != 4 {
+		t.Fatalf("projection nodes = %d, want 4 authors", proj.Graph.NumNodes())
+	}
+	if proj.Graph.NumEdges() != 2 { // a0-a1, a1-a2
+		t.Errorf("projection edges = %d, want 2", proj.Graph.NumEdges())
+	}
+	// Attribute carry-over.
+	p0 := proj.FromHet[a[0]]
+	if len(proj.Graph.TextAttrs(p0)) != 2 {
+		t.Errorf("projected a0 lost text attrs")
+	}
+	if proj.Graph.NumAttrs(p0)[0] != 10 {
+		t.Errorf("projected a0 lost numeric attrs")
+	}
+	// Round-trip mapping.
+	for i, het := range proj.ToHet {
+		if proj.FromHet[het] != graph.NodeID(i) {
+			t.Errorf("mapping mismatch at %d", i)
+		}
+	}
+}
+
+func TestMetaPathValidate(t *testing.T) {
+	if err := (MetaPath{NodeTypes: []TypeID{0}, EdgeTypes: nil}).Validate(); err == nil {
+		t.Error("accepted single-node path")
+	}
+	if err := (MetaPath{NodeTypes: []TypeID{0, 1}, EdgeTypes: []TypeID{0, 1}}).Validate(); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestMetaPathByNamesErrors(t *testing.T) {
+	b := NewBuilder()
+	b.NodeType("a")
+	b.EdgeType("e")
+	if _, err := b.MetaPathByNames("a", "e"); err == nil {
+		t.Error("accepted even-length path")
+	}
+	if _, err := b.MetaPathByNames("a", "e", "zzz"); err == nil {
+		t.Error("accepted unknown node type")
+	}
+	if _, err := b.MetaPathByNames("a", "zzz", "a"); err == nil {
+		t.Error("accepted unknown edge type")
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder()
+	tt := b.NodeType("x")
+	n := b.AddNode(tt)
+	b.AddEdge(n, 99, 0)
+	if _, err := b.Build(); err == nil {
+		t.Error("accepted out-of-range edge")
+	}
+}

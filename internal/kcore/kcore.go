@@ -1,0 +1,111 @@
+// Package kcore implements k-core decomposition (Batagelj–Zaversnik, O(m)),
+// maximal connected k-core extraction, and an incremental connected-k-core
+// maintenance structure with rollback used by the enumeration algorithms.
+package kcore
+
+import (
+	"repro/internal/graph"
+)
+
+// Decompose computes the coreness of every node with the O(m) bin-sort
+// algorithm of Batagelj and Zaversnik.
+func Decompose(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(graph.NodeID(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// bin[d] = start index in vert of nodes with degree d.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	vert := make([]int32, n) // nodes sorted by degree
+	pos := make([]int32, n)  // position of node in vert
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = int32(v)
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := deg // reuse; peeled in order
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u := range g.Neighbors(v) {
+			if core[u] > core[v] {
+				du, pu := core[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// MaxCoreness returns the maximum and average coreness of g.
+func MaxCoreness(g *graph.Graph) (max int32, avg float64) {
+	core := Decompose(g)
+	sum := 0.0
+	for _, c := range core {
+		if c > max {
+			max = c
+		}
+		sum += float64(c)
+	}
+	if len(core) > 0 {
+		avg = sum / float64(len(core))
+	}
+	return max, avg
+}
+
+// MaximalConnectedKCore returns the node set of the maximal connected k-core
+// containing q, or nil if q is not in any k-core. The result is the connected
+// component of q inside the k-core of g.
+func MaximalConnectedKCore(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID {
+	core := Decompose(g)
+	if int(core[q]) < k {
+		return nil
+	}
+	return g.Component(q, func(v graph.NodeID) bool { return int(core[v]) >= k })
+}
+
+// InKCoreSet reports whether every node of members has at least k neighbors
+// inside members. Used by tests and validators.
+func InKCoreSet(g *graph.Graph, members []graph.NodeID, k int) bool {
+	in := make(map[graph.NodeID]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	for _, v := range members {
+		d := 0
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				d++
+			}
+		}
+		if d < k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+// Package sampling implements the attribute-aware sampling step of the
+// paper (§V-A): construction of the query neighborhood Gq by best-first
+// expansion until the Hoeffding minimum size is reached, sampling
+// probabilities Ps(v) proportional to attribute similarity (Eq. 5), and
+// weighted sampling without replacement.
+package sampling
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// nodeDist orders frontier nodes by composite distance to the query.
+type nodeDist struct {
+	v graph.NodeID
+	d float64
+}
+
+type distHeap []nodeDist
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BuildGq expands a best-first search from q, always visiting the frontier
+// node with the smallest composite distance to q first, until minSize nodes
+// are collected (or the component of q is exhausted). dist[v] must hold
+// f(v,q). q is always the first element of the result.
+func BuildGq(g *graph.Graph, q graph.NodeID, dist []float64, minSize int) []graph.NodeID {
+	if minSize < 1 {
+		minSize = 1
+	}
+	seen := make([]bool, g.NumNodes())
+	h := &distHeap{{q, 0}}
+	seen[q] = true
+	out := make([]graph.NodeID, 0, minSize)
+	for h.Len() > 0 && len(out) < minSize {
+		nd := heap.Pop(h).(nodeDist)
+		out = append(out, nd.v)
+		for _, u := range g.Neighbors(nd.v) {
+			if !seen[u] {
+				seen[u] = true
+				heap.Push(h, nodeDist{u, dist[u]})
+			}
+		}
+	}
+	return out
+}
+
+// BuildGqBFS is the plain hop-order variant used by the frontier ablation
+// benchmark: identical contract to BuildGq but breadth-first instead of
+// best-first.
+func BuildGqBFS(g *graph.Graph, q graph.NodeID, minSize int) []graph.NodeID {
+	if minSize < 1 {
+		minSize = 1
+	}
+	out := make([]graph.NodeID, 0, minSize)
+	g.BFS(q, func(v graph.NodeID, _ int) bool {
+		out = append(out, v)
+		return len(out) < minSize
+	})
+	return out
+}
+
+// Probabilities computes the normalized sampling probabilities of Eq. 5 over
+// the population nodes: Ps(v) ∝ 1 − f(v,q). If all distances are 1 the
+// distribution degenerates to uniform.
+func Probabilities(population []graph.NodeID, dist []float64) []float64 {
+	ps := make([]float64, len(population))
+	sum := 0.0
+	for i, v := range population {
+		w := 1 - dist[v]
+		if w < 0 {
+			w = 0
+		}
+		ps[i] = w
+		sum += w
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(population))
+		for i := range ps {
+			ps[i] = u
+		}
+		return ps
+	}
+	for i := range ps {
+		ps[i] /= sum
+	}
+	return ps
+}
+
+// WeightedSample draws size distinct nodes from population with probability
+// proportional to weights, using the exponential-keys method (Efraimidis &
+// Spirakis A-ES): key_i = U_i^(1/w_i); take the size largest keys. Nodes with
+// zero weight are drawn only if the positive-weight pool is exhausted.
+// The query node, if present in population, is always included.
+func WeightedSample(population []graph.NodeID, weights []float64, size int, q graph.NodeID, rng *rand.Rand) []graph.NodeID {
+	if size >= len(population) {
+		return append([]graph.NodeID(nil), population...)
+	}
+	if size < 1 {
+		size = 1
+	}
+	type keyed struct {
+		v   graph.NodeID
+		key float64
+	}
+	keys := make([]keyed, len(population))
+	for i, v := range population {
+		w := weights[i]
+		var key float64
+		switch {
+		case v == q:
+			key = math.Inf(1) // force inclusion
+		case w <= 0:
+			key = -rng.Float64() // after every positive-weight node
+		default:
+			key = math.Pow(rng.Float64(), 1/w)
+		}
+		keys[i] = keyed{v, key}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
+	out := make([]graph.NodeID, size)
+	for i := 0; i < size; i++ {
+		out[i] = keys[i].v
+	}
+	return out
+}
+
+// RouletteSample is the naive with-rejection alternative used by the
+// sampling ablation benchmark: repeated roulette-wheel draws, rejecting
+// duplicates. Same contract as WeightedSample.
+func RouletteSample(population []graph.NodeID, weights []float64, size int, q graph.NodeID, rng *rand.Rand) []graph.NodeID {
+	if size >= len(population) {
+		return append([]graph.NodeID(nil), population...)
+	}
+	if size < 1 {
+		size = 1
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	chosen := make(map[graph.NodeID]bool, size)
+	out := make([]graph.NodeID, 0, size)
+	add := func(v graph.NodeID) {
+		if !chosen[v] {
+			chosen[v] = true
+			out = append(out, v)
+		}
+	}
+	add(q)
+	attempts := 0
+	maxAttempts := 50 * size
+	for len(out) < size && attempts < maxAttempts && total > 0 {
+		attempts++
+		r := rng.Float64() * total
+		acc := 0.0
+		for i, v := range population {
+			if weights[i] <= 0 {
+				continue
+			}
+			acc += weights[i]
+			if r <= acc {
+				add(v)
+				break
+			}
+		}
+	}
+	// Fill deterministically if rejection stalls.
+	for _, v := range population {
+		if len(out) >= size {
+			break
+		}
+		add(v)
+	}
+	return out
+}

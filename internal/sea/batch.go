@@ -1,0 +1,62 @@
+package sea
+
+// Batch query execution: run many SEA queries concurrently with a bounded
+// worker pool, amortizing nothing across queries except the immutable graph
+// (each worker derives its own RNG so results stay deterministic per query).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/graph"
+)
+
+// BatchResult pairs one query with its outcome.
+type BatchResult struct {
+	Query  graph.NodeID
+	Result *Result // nil when Err != nil
+	Err    error
+}
+
+// BatchSearch runs SEA for every query concurrently using up to workers
+// goroutines (0 means GOMAXPROCS). Results are returned in query order.
+// Each query uses an independent RNG seeded from opts.Seed and its position,
+// so the output is deterministic regardless of scheduling.
+func BatchSearch(g *graph.Graph, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Graph() != g {
+		return nil, fmt.Errorf("sea: metric bound to a different graph")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := queries[i]
+				o := opts
+				o.Seed = opts.Seed + int64(i)*1_000_003
+				res, err := Search(g, m, q, o)
+				out[i] = BatchResult{Query: q, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out, nil
+}

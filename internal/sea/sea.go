@@ -1,0 +1,540 @@
+// Package sea implements the paper's primary contribution: the index-free
+// Sampling-Estimation-based Approximate community search (SEA, §V) with a
+// runtime accuracy guarantee, and its extensions to size-bounded search
+// (§VI-B) and the k-truss model (§VI-C). Heterogeneous graphs (§VI-A) are
+// supported through the target-node projection in internal/hetgraph.
+//
+// The pipeline follows Figure 4 of the paper:
+//
+//  1. Sampling (S1): determine the minimum neighborhood size |Gq| from the
+//     Hoeffding bound (Theorem 10), build Gq best-first around q, draw an
+//     attribute-aware weighted sample S, and extract the maximal connected
+//     k-core (or k-truss) of the induced subgraph Gq[S].
+//  2. Estimation (S2): estimate δ of the candidate with a Bag of Little
+//     Bootstraps confidence interval; terminate early once the Theorem-11
+//     stopping rule ε ≤ δ*·e/(1+e) holds; otherwise greedily peel the most
+//     dissimilar node and re-estimate.
+//  3. Incremental sampling (S3): if no candidate satisfies the rule, enlarge
+//     the sample by the error-driven |ΔS| of Eq. 12 and repeat.
+package sea
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/cohesive"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/truss"
+)
+
+// Model selects the structure-cohesiveness model.
+type Model int
+
+// Supported community models.
+const (
+	KCore  Model = iota // connected k-core (default)
+	KTruss              // connected k-truss (§VI-C)
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case KCore:
+		return "k-core"
+	case KTruss:
+		return "k-truss"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Options configures a SEA search. The zero value is not valid; start from
+// DefaultOptions.
+type Options struct {
+	K          int     // structural parameter of the community model
+	ErrorBound float64 // e: user-desired relative error bound
+	Confidence float64 // 1−α for the confidence interval
+	Lambda     float64 // initial sampling fraction of |Gq|
+	Eps        float64 // ϵ for the Hoeffding bound (Theorem 10)
+	Beta       float64 // β: 1−β is the containment probability (Theorem 10)
+	Model      Model
+	// SizeLo and SizeHi, when SizeHi > 0, activate size-bounded search
+	// (§VI-B): the returned community has between SizeLo and SizeHi nodes.
+	SizeLo, SizeHi int
+	BLB            stats.BLBConfig
+	// MaxRounds caps the sampling→estimation→incremental-sampling loop.
+	// The paper observes convergence within 2 rounds, 5 in the worst case.
+	MaxRounds int
+	// NoRefine stops the greedy search at the FIRST candidate satisfying
+	// Theorem 11, the paper's literal stopping rule. The default (refine)
+	// keeps peeling and returns the best satisfying candidate, which is what
+	// makes SEA's δ track the exact optimum as in Figure 5(a); the
+	// Theorem-11 guarantee holds either way. See DESIGN.md.
+	NoRefine bool
+	Seed     int64
+}
+
+// DefaultOptions mirrors the paper's defaults (§VII-A): k=4, e=2%,
+// 1−α = 95%, λ=0.2, ϵ=0.05, 1−β=95%.
+func DefaultOptions() Options {
+	return Options{
+		K:          4,
+		ErrorBound: 0.02,
+		Confidence: 0.95,
+		Lambda:     0.2,
+		Eps:        0.05,
+		Beta:       0.05,
+		Model:      KCore,
+		BLB:        stats.DefaultBLB(),
+		MaxRounds:  8,
+		Seed:       1,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("sea: K must be ≥ 1, got %d", o.K)
+	}
+	if o.ErrorBound <= 0 || o.ErrorBound >= 1 {
+		return fmt.Errorf("sea: ErrorBound %v outside (0,1)", o.ErrorBound)
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return fmt.Errorf("sea: Confidence %v outside (0,1)", o.Confidence)
+	}
+	if o.Lambda <= 0 || o.Lambda > 1 {
+		return fmt.Errorf("sea: Lambda %v outside (0,1]", o.Lambda)
+	}
+	if o.Eps <= 0 {
+		return fmt.Errorf("sea: Eps must be positive, got %v", o.Eps)
+	}
+	if o.Beta <= 0 || o.Beta >= 1 {
+		return fmt.Errorf("sea: Beta %v outside (0,1)", o.Beta)
+	}
+	if o.SizeHi > 0 && (o.SizeLo < 1 || o.SizeLo > o.SizeHi) {
+		return fmt.Errorf("sea: size bound [%d,%d] invalid", o.SizeLo, o.SizeHi)
+	}
+	if o.MaxRounds < 1 {
+		return fmt.Errorf("sea: MaxRounds must be ≥ 1, got %d", o.MaxRounds)
+	}
+	return o.BLB.Validate()
+}
+
+// StepTimes records per-step wall time: S1 sampling-based maximal structure
+// finding, S2 BLB estimation, S3 error-based incremental sampling.
+type StepTimes struct {
+	Sampling    time.Duration // S1
+	Estimation  time.Duration // S2
+	Incremental time.Duration // S3
+}
+
+// Round traces one sampling-estimation round for the Table-VI case study.
+type Round struct {
+	Round  int           // 1-based round number
+	Delta  float64       // δ* of the best candidate estimated this round
+	MoE    float64       // its margin of error ε
+	DeltaS int           // additional samples drawn before this round (0 for round 1)
+	Time   time.Duration // wall time of the round
+}
+
+// Result is the outcome of a SEA search.
+type Result struct {
+	Community  []graph.NodeID // node IDs in the input graph
+	Delta      float64        // δ* of the community
+	CI         stats.CI       // confidence interval for δ
+	Satisfied  bool           // Theorem-11 stopping rule achieved
+	Rounds     []Round        // per-round trace
+	Steps      StepTimes
+	GqSize     int // |Gq| population size
+	SampleSize int // final |S|
+}
+
+// ErrNoCommunity is returned when no community satisfying the structural
+// (and size) constraints exists around q.
+var ErrNoCommunity = errors.New("sea: no community satisfying the constraints exists")
+
+// Search runs SEA on g for query node q using metric m.
+func Search(g *graph.Graph, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	dist := m.QueryDist(q)
+	return SearchWithDist(g, dist, q, opts)
+}
+
+// SearchWithDist is Search with a precomputed f(·,q) vector, letting callers
+// amortize the distance computation across runs.
+func SearchWithDist(g *graph.Graph, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &seaRun{g: g, dist: dist, q: q, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	return s.run()
+}
+
+type seaRun struct {
+	g    *graph.Graph
+	dist []float64
+	q    graph.NodeID
+	opts Options
+	rng  *rand.Rand
+
+	res Result
+}
+
+// minGqSize applies Theorem 10 for the active model / size bound.
+func (s *seaRun) minGqSize() (int, error) {
+	n := s.g.NumNodes()
+	switch {
+	case s.opts.SizeHi > 0:
+		return stats.MinGqSizeSizeBounded(s.opts.Eps, s.opts.Beta, s.opts.SizeLo, n)
+	case s.opts.Model == KTruss:
+		return stats.MinGqSizeTruss(s.opts.Eps, s.opts.Beta, s.opts.K, n)
+	default:
+		return stats.MinGqSizeCore(s.opts.Eps, s.opts.Beta, s.opts.K, n)
+	}
+}
+
+func (s *seaRun) run() (*Result, error) {
+	t0 := time.Now()
+	minGq, err := s.minGqSize()
+	if err != nil {
+		return nil, err
+	}
+	gq := sampling.BuildGq(s.g, s.q, s.dist, minGq)
+	s.res.GqSize = len(gq)
+	probs := sampling.Probabilities(gq, s.dist)
+
+	sampleSize := int(s.opts.Lambda * float64(len(gq)))
+	if sampleSize < s.opts.K+1 {
+		sampleSize = s.opts.K + 1
+	}
+	sample := sampling.WeightedSample(gq, probs, sampleSize, s.q, s.rng)
+	s.res.Steps.Sampling += time.Since(t0)
+
+	var lastMoE, lastTarget float64
+	var lastBLBTotal int
+	for round := 1; round <= s.opts.MaxRounds; round++ {
+		roundStart := time.Now()
+		deltaS := 0
+		if round > 1 {
+			// S3: error-based incremental sampling (Eq. 12).
+			t3 := time.Now()
+			deltaS = stats.IncrementalSampleSize(lastMoE, lastTarget, lastBLBTotal, s.opts.BLB.Scale)
+			if deltaS == 0 {
+				// Structural miss: no candidate was even estimated, so
+				// Eq. 12 has no error signal. Double the sample — small
+				// samples of a sparse community rarely preserve its k-core.
+				deltaS = len(sample)
+			}
+			sample = s.enlarge(gq, probs, sample, deltaS)
+			s.res.Steps.Incremental += time.Since(t3)
+			if len(sample) >= len(gq) && len(gq) < s.g.NumNodes() {
+				// Sample exhausted the population: enlarge Gq itself.
+				t1 := time.Now()
+				minGq *= 2
+				gq = sampling.BuildGq(s.g, s.q, s.dist, minGq)
+				s.res.GqSize = len(gq)
+				probs = sampling.Probabilities(gq, s.dist)
+				s.res.Steps.Sampling += time.Since(t1)
+			}
+		}
+		s.res.SampleSize = len(sample)
+
+		// S1: maximal connected structure within the induced sample.
+		t1 := time.Now()
+		maint, orig := s.buildMaintainer(sample)
+		s.res.Steps.Sampling += time.Since(t1)
+		if maint == nil {
+			// No structure containing q in this sample; try a larger one.
+			lastMoE, lastTarget, lastBLBTotal = 0, 0, 0
+			s.res.Rounds = append(s.res.Rounds, Round{Round: round, DeltaS: deltaS, Time: time.Since(roundStart)})
+			continue
+		}
+
+		// S2: greedy candidate search with BLB estimation.
+		t2 := time.Now()
+		done, ci, moe, target, blbTotal := s.estimate(maint, orig)
+		s.res.Steps.Estimation += time.Since(t2)
+		s.res.Rounds = append(s.res.Rounds, Round{
+			Round: round, Delta: ci.Center, MoE: ci.MoE, DeltaS: deltaS, Time: time.Since(roundStart),
+		})
+		if done {
+			s.res.CI = ci
+			s.res.Satisfied = true
+			return &s.res, nil
+		}
+		s.res.CI = ci
+		lastMoE, lastTarget, lastBLBTotal = moe, target, blbTotal
+		if len(sample) >= s.g.NumNodes() {
+			// The sample already covers the whole graph; further rounds
+			// cannot add information.
+			break
+		}
+	}
+	if s.res.Community == nil {
+		// Last resort: sampling never preserved a qualifying structure
+		// (typical when community cores are small relative to λ·|Gq|), so
+		// run the greedy estimation directly on the maximal structure of
+		// the full graph.
+		members := s.maximalOnFullGraph()
+		if members == nil {
+			return nil, ErrNoCommunity
+		}
+		maint := s.maintainerOnFullGraph(members)
+		if maint == nil {
+			return nil, ErrNoCommunity
+		}
+		identity := make([]graph.NodeID, s.g.NumNodes())
+		for i := range identity {
+			identity[i] = graph.NodeID(i)
+		}
+		t2 := time.Now()
+		done, ci, _, _, _ := s.estimate(maint, identity)
+		s.res.Steps.Estimation += time.Since(t2)
+		s.res.Satisfied = done
+		s.res.CI = ci
+		if s.res.Community == nil {
+			return nil, ErrNoCommunity
+		}
+	}
+	return &s.res, nil
+}
+
+// enlarge adds up to deltaS fresh weighted samples from gq to sample.
+func (s *seaRun) enlarge(gq []graph.NodeID, probs []float64, sample []graph.NodeID, deltaS int) []graph.NodeID {
+	in := make(map[graph.NodeID]bool, len(sample))
+	for _, v := range sample {
+		in[v] = true
+	}
+	var restNodes []graph.NodeID
+	var restProbs []float64
+	for i, v := range gq {
+		if !in[v] {
+			restNodes = append(restNodes, v)
+			restProbs = append(restProbs, probs[i])
+		}
+	}
+	if len(restNodes) == 0 {
+		return sample
+	}
+	if deltaS > len(restNodes) {
+		deltaS = len(restNodes)
+	}
+	extra := sampling.WeightedSample(restNodes, restProbs, deltaS, -1, s.rng)
+	return append(sample, extra...)
+}
+
+// buildMaintainer extracts the maximal connected structure containing q from
+// the subgraph induced by sample and wraps it in a maintenance structure.
+// The returned orig maps induced IDs back to g's IDs. Returns nil when the
+// sample contains no qualifying structure around q.
+func (s *seaRun) buildMaintainer(sample []graph.NodeID) (cohesive.Maintainer, []graph.NodeID) {
+	if len(sample) == s.g.NumNodes() {
+		// The sample covers the whole graph: skip the induced-subgraph copy
+		// and work on g directly with an identity mapping.
+		members := s.maximalOnFullGraph()
+		if members == nil {
+			return nil, nil
+		}
+		maint := s.maintainerOnFullGraph(members)
+		if maint == nil {
+			return nil, nil
+		}
+		identity := make([]graph.NodeID, s.g.NumNodes())
+		for i := range identity {
+			identity[i] = graph.NodeID(i)
+		}
+		return maint, identity
+	}
+	sub, orig := s.g.InducedSubgraph(sample)
+	var subQ graph.NodeID = -1
+	for i, v := range orig {
+		if v == s.q {
+			subQ = graph.NodeID(i)
+			break
+		}
+	}
+	if subQ < 0 {
+		return nil, nil
+	}
+	switch s.opts.Model {
+	case KTruss:
+		members := truss.MaximalConnectedKTruss(sub, subQ, s.opts.K)
+		if members == nil {
+			return nil, nil
+		}
+		maint, err := truss.NewSub(sub, subQ, s.opts.K, members)
+		if err != nil {
+			return nil, nil
+		}
+		return maint, orig
+	default:
+		members := kcore.MaximalConnectedKCore(sub, subQ, s.opts.K)
+		if members == nil {
+			return nil, nil
+		}
+		maint, err := kcore.NewSub(sub, subQ, s.opts.K, members)
+		if err != nil {
+			return nil, nil
+		}
+		return maint, orig
+	}
+}
+
+// minCommunitySize is the smallest admissible community (including q): the
+// structural floor of the model, raised to the size bound's lower end.
+func (s *seaRun) minCommunitySize() int {
+	structural := s.opts.K + 1
+	if s.opts.Model == KTruss {
+		structural = s.opts.K
+	}
+	if s.opts.SizeHi > 0 && s.opts.SizeLo > structural {
+		return s.opts.SizeLo
+	}
+	return structural
+}
+
+// estimate runs the greedy candidate search of §V-B on maint: estimate δ of
+// the current candidate with BLB, peel the most dissimilar member, repeat.
+//
+// In the default mode the search walks the full greedy trajectory —
+// estimating candidates at log-spaced sizes plus the final one — and keeps
+// the candidate with the smallest δ*. done reports whether that candidate's
+// CI satisfies Theorem 11; this is what makes SEA's δ track the exact
+// optimum in the paper's Figure 5(a) (see DESIGN.md for why the paper's
+// literal first-satisfy rule can return poor communities). Options.NoRefine
+// selects the literal rule: stop at the FIRST candidate satisfying
+// Theorem 11 and return it.
+//
+// On failure the best candidate's MoE/target/BLB-total feed Eq. 12.
+func (s *seaRun) estimate(maint cohesive.Maintainer, orig []graph.NodeID) (done bool, best stats.CI, moe, target float64, blbTotal int) {
+	var members []graph.NodeID
+	var values []float64
+	var bestSet []graph.NodeID
+	haveBest := false
+	minSize := s.minCommunitySize()
+	nextEstimate := maint.Size() // estimate at log-spaced candidate sizes
+	for {
+		members = maint.Members(members[:0])
+		if len(members) < minSize {
+			break
+		}
+		withinSize := s.opts.SizeHi == 0 || len(members) <= s.opts.SizeHi
+		atFloor := len(members) == minSize
+		if withinSize && (len(members) <= nextEstimate || atFloor) {
+			nextEstimate = len(members) * 49 / 50
+			if nextEstimate >= len(members) {
+				nextEstimate = len(members) - 1
+			}
+			values = values[:0]
+			for _, v := range members {
+				if orig[v] != s.q {
+					values = append(values, s.dist[orig[v]])
+				}
+			}
+			res, err := stats.BLB(values, blbConfig(s.opts), s.rng)
+			if err == nil {
+				ci := res.CI
+				satisfied := ci.SatisfiesErrorBound(s.opts.ErrorBound)
+				if s.opts.NoRefine {
+					// Paper-literal rule: first satisfying candidate wins.
+					best, haveBest = ci, true
+					bestSet = append(bestSet[:0], members...)
+					moe = ci.MoE
+					target = stats.MoETarget(ci.Center, s.opts.ErrorBound)
+					blbTotal = res.Total
+					if satisfied {
+						done = true
+						break
+					}
+				} else if !haveBest || ci.Center < best.Center {
+					best, haveBest = ci, true
+					bestSet = append(bestSet[:0], members...)
+					done = satisfied
+					moe = ci.MoE
+					target = stats.MoETarget(ci.Center, s.opts.ErrorBound)
+					blbTotal = res.Total
+				}
+			}
+		}
+		// Peel the most dissimilar member (never q).
+		var worst graph.NodeID = -1
+		worstD := -1.0
+		for _, v := range members {
+			if orig[v] == s.q {
+				continue
+			}
+			if d := s.dist[orig[v]]; d > worstD {
+				worstD = d
+				worst = v
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		removed, qAlive := maint.RemoveCascade(worst)
+		if !qAlive || maint.Size() < minSize {
+			maint.Restore(removed)
+			break
+		}
+	}
+	if haveBest {
+		s.keepCandidateInduced(bestSet, orig)
+	}
+	return done, best, moe, target, blbTotal
+}
+
+// blbConfig clones the BLB options with the run's confidence level.
+func blbConfig(o Options) stats.BLBConfig {
+	cfg := o.BLB
+	cfg.Confidence = o.Confidence
+	return cfg
+}
+
+// keepCandidateInduced records the candidate (in induced IDs) as the current
+// best community, translating back to graph IDs.
+func (s *seaRun) keepCandidateInduced(members []graph.NodeID, orig []graph.NodeID) {
+	out := make([]graph.NodeID, len(members))
+	for i, v := range members {
+		out[i] = orig[v]
+	}
+	s.keepCandidate(out)
+}
+
+func (s *seaRun) keepCandidate(members []graph.NodeID) {
+	s.res.Community = members
+	s.res.Delta = attr.Delta(s.dist, members, s.q)
+}
+
+// maximalOnFullGraph returns the maximal connected structure on the entire
+// graph, the last-resort fallback when sampling never found one.
+func (s *seaRun) maximalOnFullGraph() []graph.NodeID {
+	if s.opts.Model == KTruss {
+		return truss.MaximalConnectedKTruss(s.g, s.q, s.opts.K)
+	}
+	return kcore.MaximalConnectedKCore(s.g, s.q, s.opts.K)
+}
+
+// maintainerOnFullGraph wraps members (a maximal structure of the full
+// graph) in a maintenance structure, or returns nil on failure.
+func (s *seaRun) maintainerOnFullGraph(members []graph.NodeID) cohesive.Maintainer {
+	if s.opts.Model == KTruss {
+		m, err := truss.NewSub(s.g, s.q, s.opts.K, members)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	m, err := kcore.NewSub(s.g, s.q, s.opts.K, members)
+	if err != nil {
+		return nil
+	}
+	return m
+}

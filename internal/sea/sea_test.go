@@ -1,0 +1,290 @@
+package sea
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/truss"
+)
+
+// testDataset builds a small planted-community graph shared by the tests.
+func testDataset(t testing.TB) *dataset.Generated {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "test", Nodes: 400, MinCommunity: 12, MaxCommunity: 28,
+		IntraDegree: 8, InterDegree: 0.8,
+		TokensPerNode: 4, PoolSize: 5, Vocab: 80, NoiseProb: 0.15,
+		NumDim: 2, NumSigma: 0.06, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := DefaultOptions()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.K = 0 },
+		func(o *Options) { o.ErrorBound = 0 },
+		func(o *Options) { o.ErrorBound = 1 },
+		func(o *Options) { o.Confidence = 1 },
+		func(o *Options) { o.Lambda = 0 },
+		func(o *Options) { o.Lambda = 1.5 },
+		func(o *Options) { o.Eps = 0 },
+		func(o *Options) { o.Beta = 0 },
+		func(o *Options) { o.SizeHi = 5; o.SizeLo = 9 },
+		func(o *Options) { o.MaxRounds = 0 },
+		func(o *Options) { o.BLB.Scale = 0.2 },
+	}
+	for i, mutate := range bad {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if KCore.String() != "k-core" || KTruss.String() != "k-truss" {
+		t.Error("Model.String wrong")
+	}
+	if Model(9).String() == "" {
+		t.Error("unknown model String empty")
+	}
+}
+
+func TestSearchReturnsValidCore(t *testing.T) {
+	d := testDataset(t)
+	m, err := attr.NewMetric(d.Graph, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.K = 4
+	for _, q := range d.QueryNodes(5, opts.K, 7) {
+		res, err := Search(d.Graph, m, q, opts)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if !containsNode(res.Community, q) {
+			t.Errorf("q=%d not in community", q)
+		}
+		if !kcore.InKCoreSet(d.Graph, res.Community, opts.K) {
+			t.Errorf("q=%d: community is not a %d-core", q, opts.K)
+		}
+		if res.Delta < 0 || res.Delta > 1 {
+			t.Errorf("q=%d: δ = %v out of range", q, res.Delta)
+		}
+		if len(res.Rounds) == 0 {
+			t.Errorf("q=%d: no round trace", q)
+		}
+	}
+}
+
+func TestSearchTrussModel(t *testing.T) {
+	d := testDataset(t)
+	m, _ := attr.NewMetric(d.Graph, 0.5)
+	opts := DefaultOptions()
+	opts.K = 4
+	opts.Model = KTruss
+	found := 0
+	for _, q := range d.QueryNodes(5, opts.K, 13) {
+		res, err := Search(d.Graph, m, q, opts)
+		if errors.Is(err, ErrNoCommunity) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		found++
+		if !containsNode(res.Community, q) {
+			t.Errorf("q=%d not in community", q)
+		}
+		if !truss.InKTrussSet(d.Graph, res.Community, opts.K) {
+			t.Errorf("q=%d: community is not a %d-truss", q, opts.K)
+		}
+	}
+	if found == 0 {
+		t.Error("no truss community found for any query")
+	}
+}
+
+func TestSearchSizeBounded(t *testing.T) {
+	d := testDataset(t)
+	m, _ := attr.NewMetric(d.Graph, 0.5)
+	opts := DefaultOptions()
+	opts.K = 4
+	opts.SizeLo, opts.SizeHi = 8, 14
+	hit := 0
+	for _, q := range d.QueryNodes(6, opts.K, 23) {
+		res, err := Search(d.Graph, m, q, opts)
+		if errors.Is(err, ErrNoCommunity) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		hit++
+		if len(res.Community) < opts.SizeLo || len(res.Community) > opts.SizeHi {
+			t.Errorf("q=%d: |community| = %d outside [%d,%d]", q, len(res.Community), opts.SizeLo, opts.SizeHi)
+		}
+		if !kcore.InKCoreSet(d.Graph, res.Community, opts.K) {
+			t.Errorf("q=%d: not a %d-core", q, opts.K)
+		}
+	}
+	if hit == 0 {
+		t.Error("size-bounded search never succeeded")
+	}
+}
+
+func TestSearchDeterministicWithSeed(t *testing.T) {
+	d := testDataset(t)
+	m, _ := attr.NewMetric(d.Graph, 0.5)
+	opts := DefaultOptions()
+	q := d.QueryNodes(1, opts.K, 3)[0]
+	r1, err := Search(d.Graph, m, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Search(d.Graph, m, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Delta != r2.Delta || len(r1.Community) != len(r2.Community) {
+		t.Errorf("same seed, different results: δ %v vs %v, size %d vs %d",
+			r1.Delta, r2.Delta, len(r1.Community), len(r2.Community))
+	}
+}
+
+// TestRelativeErrorBound is the headline guarantee check: on graphs small
+// enough for the exact algorithm, SEA's δ* must be within the error bound of
+// the exact δ in the vast majority of runs (the guarantee is probabilistic
+// at confidence 1−α).
+func TestRelativeErrorBound(t *testing.T) {
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "tiny", Nodes: 150, MinCommunity: 10, MaxCommunity: 18,
+		IntraDegree: 7, InterDegree: 0.3,
+		TokensPerNode: 4, PoolSize: 5, Vocab: 50, NoiseProb: 0.1,
+		NumDim: 2, NumSigma: 0.05, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := attr.NewMetric(d.Graph, 0.5)
+	opts := DefaultOptions()
+	opts.K = 6
+	opts.ErrorBound = 0.05
+	within := 0
+	total := 0
+	for _, q := range d.QueryNodes(6, opts.K, 31) {
+		dist := m.QueryDist(q)
+		// A budgeted exact search: with all prunings and these community
+		// sizes the optimum is reached well within the budget.
+		ex, err := exact.Search(d.Graph, q, opts.K, dist, exact.Config{
+			PruneDuplicates: true, PruneUnnecessary: true, PruneUnpromising: true,
+			MaxStates: 60_000,
+		})
+		if errors.Is(err, exact.ErrNoCommunity) {
+			continue
+		}
+		res, err := SearchWithDist(d.Graph, dist, q, opts)
+		if errors.Is(err, ErrNoCommunity) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if ex.Delta == 0 {
+			continue
+		}
+		// The exact reference is budgeted, so SEA beating it counts as
+		// within-bound too.
+		rel := (res.Delta - ex.Delta) / ex.Delta
+		if rel <= opts.ErrorBound+1e-9 {
+			within++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no query produced both exact and approximate results")
+	}
+	if within*10 < total*6 { // the guarantee is probabilistic at 1−α
+		t.Errorf("only %d/%d runs within the error bound", within, total)
+	}
+}
+
+func TestStepTimesAndSampleSizes(t *testing.T) {
+	d := testDataset(t)
+	m, _ := attr.NewMetric(d.Graph, 0.5)
+	opts := DefaultOptions()
+	q := d.QueryNodes(1, opts.K, 5)[0]
+	res, err := Search(d.Graph, m, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GqSize <= 0 || res.SampleSize <= 0 {
+		t.Errorf("sizes not populated: Gq=%d S=%d", res.GqSize, res.SampleSize)
+	}
+	if res.Steps.Sampling <= 0 {
+		t.Error("sampling time not recorded")
+	}
+}
+
+func TestPropertyCommunityValidity(t *testing.T) {
+	d := testDataset(t)
+	m, _ := attr.NewMetric(d.Graph, 0.5)
+	dist := map[graph.NodeID][]float64{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opts := DefaultOptions()
+		opts.K = 3 + rng.Intn(4)
+		opts.Seed = rng.Int63()
+		opts.ErrorBound = 0.01 + rng.Float64()*0.2
+		q := d.QueryNodes(1, opts.K, rng.Int63())[0]
+		dv, ok := dist[q]
+		if !ok {
+			dv = m.QueryDist(q)
+			dist[q] = dv
+		}
+		res, err := SearchWithDist(d.Graph, dv, q, opts)
+		if errors.Is(err, ErrNoCommunity) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		if !containsNode(res.Community, q) {
+			return false
+		}
+		if !kcore.InKCoreSet(d.Graph, res.Community, opts.K) {
+			return false
+		}
+		// δ must equal the recomputed attribute distance.
+		return math.Abs(res.Delta-attr.Delta(dv, res.Community, q)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsNode(s []graph.NodeID, v graph.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateMaxBoundedTail(t *testing.T) {
+	// Uniform(0, 10): bounded tail, the endpoint is 10. Sampling 500 points
+	// gives a sample max near but below 10; EVT should push toward 10.
+	rng := rand.New(rand.NewSource(4))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.Float64() * 10
+	}
+	est, err := EstimateMax(values, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Max < est.SampleMax {
+		t.Errorf("Max %v < SampleMax %v", est.Max, est.SampleMax)
+	}
+	if est.Max < 9.5 || est.Max > 11.5 {
+		t.Errorf("EVT Max = %v, want ≈10 for Uniform(0,10)", est.Max)
+	}
+	if est.Xi >= 0.5 {
+		t.Errorf("ξ = %v, expected a bounded-ish tail for the uniform", est.Xi)
+	}
+}
+
+func TestEstimateMaxNeverBelowSampleMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		values := make([]float64, 100)
+		for i := range values {
+			values[i] = rng.ExpFloat64()
+		}
+		est, err := EstimateMax(values, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Max < est.SampleMax {
+			t.Fatalf("trial %d: Max %v below sample max %v", trial, est.Max, est.SampleMax)
+		}
+		if math.IsNaN(est.Max) || math.IsInf(est.Max, 0) {
+			t.Fatalf("trial %d: Max = %v", trial, est.Max)
+		}
+	}
+}
+
+func TestEstimateMaxValidation(t *testing.T) {
+	if _, err := EstimateMax([]float64{1, 2, 3}, 0.1); err == nil {
+		t.Error("accepted tiny sample")
+	}
+	many := make([]float64, 50)
+	if _, err := EstimateMax(many, 0); err == nil {
+		t.Error("accepted tailFrac 0")
+	}
+	if _, err := EstimateMax(many, 0.9); err == nil {
+		t.Error("accepted tailFrac > 0.5")
+	}
+}
+
+func TestEstimateMaxConstantValues(t *testing.T) {
+	values := make([]float64, 40)
+	for i := range values {
+		values[i] = 7
+	}
+	est, err := EstimateMax(values, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Max != 7 {
+		t.Errorf("constant values: Max = %v, want 7", est.Max)
+	}
+}

@@ -1,0 +1,288 @@
+package truss
+
+import (
+	"fmt"
+
+	"repro/internal/cohesive"
+	"repro/internal/graph"
+)
+
+var _ cohesive.Maintainer = (*Sub)(nil)
+
+// Sub maintains a connected k-truss containing a query node under node
+// deletions with rollback. It implements cohesive.Maintainer.
+//
+// The alive set is a set of edges; a node is alive while it has at least one
+// alive incident edge. RemoveCascade(v) deletes v's edges, cascades support
+// violations, and restricts the alive edges to the query's component.
+type Sub struct {
+	g  *graph.Graph
+	ix *EdgeIndex
+	k  int
+	q  graph.NodeID
+
+	universe  []graph.NodeID // the initial member set; alive nodes ⊆ universe
+	edgeAlive []bool
+	sup       []int32 // support within alive edges
+	nodeDeg   []int32 // number of alive incident edges
+	size      int     // number of alive nodes
+
+	// logStack records, per RemoveCascade, the edges removed (in order) and
+	// the count of removed nodes. Restore must be called LIFO, which is how
+	// every enumeration in this repository backtracks.
+	logStack []removalLog
+
+	stack []int32 // cascade stack of edge IDs
+	mark  []bool
+}
+
+// removalLog pairs the edges removed by one RemoveCascade with the number of
+// nodes that died, for LIFO rollback.
+type removalLog struct {
+	edges    []int32
+	numNodes int
+}
+
+// NewSub builds a maintenance structure over members, which must form a
+// connected k-truss containing q.
+func NewSub(g *graph.Graph, q graph.NodeID, k int, members []graph.NodeID) (*Sub, error) {
+	ix := NewEdgeIndex(g)
+	s := &Sub{
+		g:         g,
+		ix:        ix,
+		k:         k,
+		q:         q,
+		universe:  append([]graph.NodeID(nil), members...),
+		edgeAlive: make([]bool, ix.NumEdges()),
+		sup:       make([]int32, ix.NumEdges()),
+		nodeDeg:   make([]int32, g.NumNodes()),
+		mark:      make([]bool, g.NumNodes()),
+	}
+	in := make([]bool, g.NumNodes())
+	for _, v := range members {
+		in[v] = true
+	}
+	if !in[q] {
+		return nil, fmt.Errorf("truss: query node %d not in member set", q)
+	}
+	// Activate induced edges.
+	for _, v := range members {
+		for _, u := range g.Neighbors(v) {
+			if u > v && in[u] {
+				e, _ := ix.EdgeID(v, u)
+				s.edgeAlive[e] = true
+				s.nodeDeg[v]++
+				s.nodeDeg[u]++
+			}
+		}
+	}
+	s.size = len(members)
+	// Compute supports within alive edges, then peel edges below the
+	// threshold: a k-truss is an edge subgraph, so the node-induced graph of
+	// members may contain extra low-support edges that must go.
+	for e := 0; e < ix.NumEdges(); e++ {
+		if !s.edgeAlive[e] {
+			continue
+		}
+		cnt := int32(0)
+		s.forAliveTriangles(int32(e), func(e1, e2 int32) { cnt++ })
+		s.sup[e] = cnt
+		if int(cnt) < k-2 {
+			s.stack = append(s.stack, int32(e))
+		}
+	}
+	var nodesGone []graph.NodeID
+	var elog []int32
+	for len(s.stack) > 0 {
+		e := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		s.killEdge(e, &nodesGone, &elog)
+	}
+	if s.nodeDeg[q] == 0 {
+		return nil, fmt.Errorf("truss: query node %d has no k-truss edge within the member set", q)
+	}
+	// Restrict to q's component over alive edges.
+	s.restrictToQueryComponent(&nodesGone, &elog)
+	return s, nil
+}
+
+// restrictToQueryComponent kills every alive edge outside q's component.
+func (s *Sub) restrictToQueryComponent(nodes *[]graph.NodeID, elog *[]int32) {
+	base := s.g.Offsets()
+	comp := []graph.NodeID{s.q}
+	s.mark[s.q] = true
+	compSize := 1
+	for i := 0; i < len(comp); i++ {
+		x := comp[i]
+		for j, u := range s.g.Neighbors(x) {
+			e := s.ix.eid[int(base[x])+j]
+			if s.edgeAlive[e] && !s.mark[u] {
+				s.mark[u] = true
+				comp = append(comp, u)
+				compSize++
+			}
+		}
+	}
+	if compSize != s.size {
+		for e := range s.edgeAlive {
+			if s.edgeAlive[e] && !s.mark[s.ix.U[e]] {
+				s.killEdgeNoCascade(int32(e), nodes, elog)
+			}
+		}
+	}
+	for _, u := range comp {
+		s.mark[u] = false
+	}
+}
+
+// forAliveTriangles calls fn for every triangle (e, e1, e2) with all three
+// edges alive.
+func (s *Sub) forAliveTriangles(e int32, fn func(e1, e2 int32)) {
+	u, v := s.ix.U[e], s.ix.V[e]
+	g := s.g
+	base := g.Offsets()
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] == nv[j]:
+			e1 := s.ix.eid[int(base[u])+i]
+			e2 := s.ix.eid[int(base[v])+j]
+			if s.edgeAlive[e1] && s.edgeAlive[e2] {
+				fn(e1, e2)
+			}
+			i++
+			j++
+		case nu[i] < nv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// Query returns the query node.
+func (s *Sub) Query() graph.NodeID { return s.q }
+
+// Size returns the number of alive nodes.
+func (s *Sub) Size() int { return s.size }
+
+// Alive reports whether v has at least one alive incident edge.
+func (s *Sub) Alive(v graph.NodeID) bool { return s.nodeDeg[v] > 0 }
+
+// Members appends alive nodes to dst and returns it. O(initial members),
+// not O(graph).
+func (s *Sub) Members(dst []graph.NodeID) []graph.NodeID {
+	for _, v := range s.universe {
+		if s.nodeDeg[v] > 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// killEdge deactivates edge e, updates node degrees and neighbor supports,
+// cascading edges whose support drops below k-2. Removed nodes are appended
+// to nodes, removed edges to the edge log.
+func (s *Sub) killEdge(e int32, nodes *[]graph.NodeID, elog *[]int32) {
+	if !s.edgeAlive[e] {
+		return
+	}
+	s.edgeAlive[e] = false
+	*elog = append(*elog, e)
+	for _, end := range [2]graph.NodeID{s.ix.U[e], s.ix.V[e]} {
+		s.nodeDeg[end]--
+		if s.nodeDeg[end] == 0 {
+			s.size--
+			*nodes = append(*nodes, end)
+		}
+	}
+	s.forAliveTriangles(e, func(e1, e2 int32) {
+		s.sup[e1]--
+		if int(s.sup[e1]) < s.k-2 {
+			s.stack = append(s.stack, e1)
+		}
+		s.sup[e2]--
+		if int(s.sup[e2]) < s.k-2 {
+			s.stack = append(s.stack, e2)
+		}
+	})
+}
+
+// RemoveCascade deletes node v (all its alive edges), cascades support
+// violations, and restricts alive edges to the query's component.
+func (s *Sub) RemoveCascade(v graph.NodeID) (removed []graph.NodeID, qAlive bool) {
+	if s.nodeDeg[v] == 0 {
+		// No-op removal still pushes a log entry so Restore stays aligned.
+		s.logStack = append(s.logStack, removalLog{})
+		return nil, s.nodeDeg[s.q] > 0
+	}
+	var elog []int32
+	s.stack = s.stack[:0]
+	base := s.g.Offsets()
+	for i := range s.g.Neighbors(v) {
+		e := s.ix.eid[int(base[v])+i]
+		s.killEdge(e, &removed, &elog)
+	}
+	for len(s.stack) > 0 {
+		e := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		s.killEdge(e, &removed, &elog)
+	}
+	if s.nodeDeg[s.q] == 0 {
+		s.logStack = append(s.logStack, removalLog{elog, len(removed)})
+		return removed, false
+	}
+	s.restrictToQueryComponent(&removed, &elog)
+	s.logStack = append(s.logStack, removalLog{elog, len(removed)})
+	return removed, true
+}
+
+// killEdgeNoCascade removes an edge known to be outside the query component.
+func (s *Sub) killEdgeNoCascade(e int32, nodes *[]graph.NodeID, elog *[]int32) {
+	s.edgeAlive[e] = false
+	*elog = append(*elog, e)
+	s.forAliveTriangles(e, func(e1, e2 int32) {
+		s.sup[e1]--
+		s.sup[e2]--
+	})
+	for _, end := range [2]graph.NodeID{s.ix.U[e], s.ix.V[e]} {
+		s.nodeDeg[end]--
+		if s.nodeDeg[end] == 0 {
+			s.size--
+			*nodes = append(*nodes, end)
+		}
+	}
+}
+
+// Restore re-inserts the edges and nodes removed by the most recent
+// RemoveCascade. Restores must proceed LIFO; removed must be the slice
+// returned by that call.
+func (s *Sub) Restore(removed []graph.NodeID) {
+	if len(s.logStack) == 0 {
+		panic("truss: Restore with empty log stack")
+	}
+	top := s.logStack[len(s.logStack)-1]
+	s.logStack = s.logStack[:len(s.logStack)-1]
+	if top.numNodes != len(removed) {
+		panic("truss: Restore out of LIFO order")
+	}
+	elog := top.edges
+	for i := len(elog) - 1; i >= 0; i-- {
+		e := elog[i]
+		s.edgeAlive[e] = true
+		cnt := int32(0)
+		s.forAliveTriangles(e, func(e1, e2 int32) {
+			cnt++
+			s.sup[e1]++
+			s.sup[e2]++
+		})
+		s.sup[e] = cnt
+		for _, end := range [2]graph.NodeID{s.ix.U[e], s.ix.V[e]} {
+			if s.nodeDeg[end] == 0 {
+				s.size++
+			}
+			s.nodeDeg[end]++
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package truss implements k-truss decomposition, maximal connected k-truss
+// extraction, and an incremental connected-k-truss maintenance structure with
+// rollback (the §VI-C extension of the paper).
+//
+// A k-truss is a subgraph in which every edge participates in at least k−2
+// triangles inside the subgraph. Every node of a k-truss has degree ≥ k−1.
+package truss
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// EdgeIndex assigns a dense ID to every undirected edge of a graph and maps
+// adjacency positions to edge IDs so supports can be stored per edge.
+type EdgeIndex struct {
+	g *graph.Graph
+	// eid[p] is the edge ID of the directed adjacency entry at CSR position p.
+	eid []int32
+	// U, V are the endpoints of each edge, U[i] < V[i].
+	U, V []graph.NodeID
+}
+
+// NewEdgeIndex builds the edge index for g.
+func NewEdgeIndex(g *graph.Graph) *EdgeIndex {
+	n := g.NumNodes()
+	idx := &EdgeIndex{g: g, eid: make([]int32, 2*g.NumEdges())}
+	pos := 0
+	var next int32
+	// First pass: assign IDs to (u,v) with u < v in CSR order.
+	starts := make([]int, n)
+	for u := 0; u < n; u++ {
+		starts[u] = pos
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) < v {
+				idx.eid[pos] = next
+				idx.U = append(idx.U, graph.NodeID(u))
+				idx.V = append(idx.V, v)
+				next++
+			}
+			pos++
+		}
+	}
+	// Second pass: fill in the reverse directions by lookup.
+	pos = 0
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) > v {
+				idx.eid[pos] = idx.eid[starts[v]+idx.findPos(v, graph.NodeID(u))]
+			}
+			pos++
+		}
+	}
+	return idx
+}
+
+// findPos returns the index of u within v's sorted neighbor list.
+func (ix *EdgeIndex) findPos(v, u graph.NodeID) int {
+	ns := ix.g.Neighbors(v)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= u })
+	return i
+}
+
+// NumEdges returns the number of undirected edges.
+func (ix *EdgeIndex) NumEdges() int { return len(ix.U) }
+
+// EdgeID returns the edge ID of (u,v) and whether the edge exists.
+func (ix *EdgeIndex) EdgeID(u, v graph.NodeID) (int32, bool) {
+	ns := ix.g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i >= len(ns) || ns[i] != v {
+		return 0, false
+	}
+	base := ix.g.Offsets()
+	return ix.eid[int(base[u])+i], true
+}
+
+// Supports counts, for every edge, the number of triangles it closes.
+func (ix *EdgeIndex) Supports() []int32 {
+	sup := make([]int32, ix.NumEdges())
+	g := ix.g
+	for e := range ix.U {
+		u, v := ix.U[e], ix.V[e]
+		nu, nv := g.Neighbors(u), g.Neighbors(v)
+		i, j := 0, 0
+		for i < len(nu) && j < len(nv) {
+			switch {
+			case nu[i] == nv[j]:
+				sup[e]++
+				i++
+				j++
+			case nu[i] < nv[j]:
+				i++
+			default:
+				j++
+			}
+		}
+	}
+	return sup
+}
+
+// Decompose computes the trussness of every edge by support peeling: the
+// trussness of e is the largest k such that e belongs to a k-truss.
+func Decompose(g *graph.Graph) (*EdgeIndex, []int32) {
+	ix := NewEdgeIndex(g)
+	m := ix.NumEdges()
+	sup := ix.Supports()
+	truss := make([]int32, m)
+
+	// Bucket queue on support.
+	maxSup := int32(0)
+	for _, s := range sup {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	buckets := make([][]int32, maxSup+1)
+	for e := 0; e < m; e++ {
+		buckets[sup[e]] = append(buckets[sup[e]], int32(e))
+	}
+	removed := make([]bool, m)
+	cur := append([]int32(nil), sup...)
+	k := int32(0)
+	processed := 0
+	for processed < m {
+		// Find the lowest non-empty bucket at or below current supports.
+		var e int32 = -1
+		for s := int32(0); s <= maxSup; s++ {
+			for len(buckets[s]) > 0 {
+				cand := buckets[s][len(buckets[s])-1]
+				buckets[s] = buckets[s][:len(buckets[s])-1]
+				if removed[cand] || cur[cand] != s {
+					continue
+				}
+				e = cand
+				break
+			}
+			if e >= 0 {
+				break
+			}
+		}
+		if e < 0 {
+			break
+		}
+		if cur[e] > k {
+			k = cur[e]
+		}
+		truss[e] = k + 2
+		removed[e] = true
+		processed++
+		u, v := ix.U[e], ix.V[e]
+		// Decrement supports of edges forming triangles with e.
+		forEachTriangle(ix, removed, u, v, func(e1, e2 int32) {
+			for _, t := range [2]int32{e1, e2} {
+				if cur[t] > k {
+					cur[t]--
+					buckets[cur[t]] = append(buckets[cur[t]], t)
+				}
+			}
+		})
+	}
+	return ix, truss
+}
+
+// forEachTriangle calls fn(e1,e2) for every common neighbor w of u and v such
+// that edges e1=(u,w) and e2=(v,w) are not removed.
+func forEachTriangle(ix *EdgeIndex, removed []bool, u, v graph.NodeID, fn func(e1, e2 int32)) {
+	g := ix.g
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	base := g.Offsets()
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] == nv[j]:
+			e1 := ix.eid[int(base[u])+i]
+			e2 := ix.eid[int(base[v])+j]
+			if !removed[e1] && !removed[e2] {
+				fn(e1, e2)
+			}
+			i++
+			j++
+		case nu[i] < nv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// MaximalConnectedKTruss returns the node set of the maximal connected
+// k-truss containing q, or nil if none exists. Connectivity is over edges of
+// trussness ≥ k.
+func MaximalConnectedKTruss(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID {
+	ix, truss := Decompose(g)
+	inTruss := func(u, v graph.NodeID) bool {
+		e, ok := ix.EdgeID(u, v)
+		return ok && int(truss[e]) >= k
+	}
+	// BFS from q over qualifying edges.
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var out []graph.NodeID
+	// q qualifies only if it has at least one qualifying edge.
+	hasEdge := false
+	for _, u := range g.Neighbors(q) {
+		if inTruss(q, u) {
+			hasEdge = true
+			break
+		}
+	}
+	if !hasEdge {
+		return nil
+	}
+	seen[q] = true
+	out = append(out, q)
+	for i := 0; i < len(out); i++ {
+		v := out[i]
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] && inTruss(v, u) {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// InKTrussSet reports whether members is a valid connected k-truss
+// community node set: peeling the induced edges to the maximal k-truss
+// leaves every member incident to a surviving edge, and the surviving edges
+// connect all members. A k-truss is an edge subgraph, so the node-induced
+// graph may legitimately contain extra low-support edges; they are peeled,
+// not rejected. Used by tests and validators.
+func InKTrussSet(g *graph.Graph, members []graph.NodeID, k int) bool {
+	if len(members) == 0 {
+		return false
+	}
+	if len(members) == 1 {
+		return k <= 1
+	}
+	in := make(map[graph.NodeID]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	alive := map[[2]graph.NodeID]bool{}
+	for _, v := range members {
+		for _, u := range g.Neighbors(v) {
+			if u > v && in[u] {
+				alive[[2]graph.NodeID{v, u}] = true
+			}
+		}
+	}
+	has := func(a, b graph.NodeID) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return alive[[2]graph.NodeID{a, b}]
+	}
+	for changed := true; changed; {
+		changed = false
+		for e := range alive {
+			u, v := e[0], e[1]
+			sup := 0
+			for _, w := range g.Neighbors(u) {
+				if in[w] && w != v && has(u, w) && has(v, w) {
+					sup++
+				}
+			}
+			if sup < k-2 {
+				delete(alive, e)
+				changed = true
+			}
+		}
+	}
+	// Every member must keep an edge, and the surviving edges must connect
+	// all members.
+	deg := map[graph.NodeID]int{}
+	adj := map[graph.NodeID][]graph.NodeID{}
+	for e := range alive {
+		deg[e[0]]++
+		deg[e[1]]++
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, v := range members {
+		if deg[v] == 0 {
+			return false
+		}
+	}
+	seen := map[graph.NodeID]bool{members[0]: true}
+	stack := []graph.NodeID{members[0]}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return len(seen) == len(members)
+}
