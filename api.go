@@ -7,6 +7,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/clique"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/hetgraph"
@@ -149,6 +150,47 @@ func MaximalConnectedKTruss(g *Graph, q NodeID, k int) []NodeID {
 // k-clique. maxCliques bounds the exponential enumeration (0 = default).
 func KCliqueCommunity(g *Graph, q NodeID, k, maxCliques int) ([]NodeID, error) {
 	return clique.Community(g, q, k, maxCliques)
+}
+
+// Engine is a long-lived, concurrency-safe query-serving layer over one
+// fixed graph: it precomputes and shares the attribute metric and the
+// structural decompositions across queries, caches per-query distance
+// vectors and full Results in sharded LRUs, and coalesces concurrent
+// identical queries single-flight style. Create one with NewEngine; see
+// Engine.Search, Engine.SearchWithMetrics and Engine.BatchSearch.
+type Engine = engine.Engine
+
+// EngineConfig parameterizes NewEngine; start from DefaultEngineConfig.
+type EngineConfig = engine.Config
+
+// DefaultEngineConfig returns a serving configuration suitable for mid-size
+// graphs: γ=0.5, 256 cached distance vectors, 4096 cached results.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// NewEngine builds a serving engine over g, precomputing the shared
+// per-graph state (attribute metric, core decomposition; the truss index is
+// built lazily unless cfg.EagerTruss is set).
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) { return engine.New(g, cfg) }
+
+// QueryMetrics is the flat, CSV-friendly per-request stage timing record
+// produced by Engine.SearchWithMetrics and Engine.BatchSearch.
+type QueryMetrics = engine.QueryMetrics
+
+// QueryMetricsHeader returns the CSV header matching QueryMetrics.CSVRecord.
+func QueryMetricsHeader() []string { return engine.QueryMetricsHeader() }
+
+// EngineStats is a point-in-time snapshot of an Engine's aggregate counters
+// and cache occupancy (Engine.Stats).
+type EngineStats = engine.Stats
+
+// EngineBatchItem pairs one query of Engine.BatchSearch with its outcome and
+// per-stage metrics.
+type EngineBatchItem = engine.BatchItem
+
+// WriteMetricsCSV writes one CSV row per batch item in the QueryMetrics
+// format, header included.
+func WriteMetricsCSV(w io.Writer, items []EngineBatchItem) error {
+	return engine.WriteMetricsCSV(w, items)
 }
 
 // BatchResult pairs one query of BatchSearch with its outcome.

@@ -10,6 +10,7 @@ package sea
 // at full scale.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/clique"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -376,6 +378,97 @@ func BenchmarkAblationModelRanking(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Serving engine -------------------------------------------------------
+
+// BenchmarkEngineColdVsCached quantifies the engine's amortization of
+// per-query serving cost. "cold" is the library path a naive server would
+// pay per request: metric construction, distance vector, search. "shared"
+// reuses the engine's precomputed state but forces a result-cache miss
+// (fresh seed per iteration), isolating the distance-cache benefit.
+// "cached" is the repeated-query fast path; the acceptance criterion is
+// cached ≥ 5× faster than cold (in practice orders of magnitude).
+func BenchmarkEngineColdVsCached(b *testing.B) {
+	benchSetup(b)
+	opts := internalsea.DefaultOptions()
+	opts.K = 6
+	opts.MaxRounds = 2
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := attr.NewMetric(benchData.Graph, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := internalsea.Search(benchData.Graph, m, benchQ, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		e, err := engine.New(benchData.Graph, engine.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opts
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Seed = int64(i + 1) // distinct key: result cache misses, dist cache hits
+			if _, err := e.Search(ctx, benchQ, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e, err := engine.New(benchData.Graph, engine.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Search(ctx, benchQ, opts); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Search(ctx, benchQ, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineThroughput drives a repeated-query batch workload — 64
+// requests over 8 distinct query nodes per iteration — through the engine's
+// worker pool, the shape of traffic a community-search service sees.
+func BenchmarkEngineThroughput(b *testing.B) {
+	benchSetup(b)
+	e, err := engine.New(benchData.Graph, engine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := internalsea.DefaultOptions()
+	opts.K = 2
+	opts.MaxRounds = 2
+	distinct := benchData.QueryNodes(8, 2, 21)
+	queries := make([]graph.NodeID, 64)
+	for i := range queries {
+		queries[i] = distinct[i%len(distinct)]
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := e.BatchSearch(ctx, queries, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range items {
+			if it.Err != nil {
+				b.Fatal(it.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(queries)), "queries/op")
 }
 
 // --- Substrate micro-benchmarks ------------------------------------------

@@ -25,6 +25,20 @@
 // (NewHetGraphBuilder / Project), size-bounded search through
 // Options.SizeLo/SizeHi, and the k-truss model through Options.Model.
 //
+// # Serving
+//
+// For serving many queries over one fixed graph, NewEngine builds a
+// long-lived, concurrency-safe engine that amortizes the per-call cost of
+// Search: the attribute metric and the core/truss decompositions are
+// precomputed once and shared (the decompositions double as an admission
+// index that proves the absence of a community without searching), per-query
+// distance vectors and full Results are held in sharded LRU caches, and
+// concurrent identical queries are coalesced so the work happens once.
+// Engine.Search serves one request under an optional deadline,
+// Engine.BatchSearch drives a worker pool, and both report flat per-stage
+// timing metrics (QueryMetrics, Engine.Stats). cmd/seaserve exposes an
+// engine over HTTP (/search, /batch, /healthz, /stats).
+//
 // # Quickstart
 //
 //	b := sea.NewGraphBuilder(n, 2)        // n nodes, 2 numerical attributes

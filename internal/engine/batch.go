@@ -1,0 +1,86 @@
+package engine
+
+// Batch execution through the engine: a bounded worker pool drives many
+// queries against the shared index and caches, each item carrying its own
+// per-stage metrics. Unlike sea.BatchSearch, repeated or concurrent
+// identical queries in a batch are served once (cache + coalescing).
+
+import (
+	"context"
+	"encoding/csv"
+	"io"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sea"
+)
+
+// BatchItem pairs one query of a batch with its outcome and metrics.
+type BatchItem struct {
+	Query   graph.NodeID
+	Result  *sea.Result // nil when Err != nil
+	Err     error
+	Metrics QueryMetrics
+}
+
+// BatchSearch executes every query with opts through the engine's worker
+// pool (Config.Workers goroutines) and returns the outcomes in query order.
+// Config.RequestTimeout bounds each item individually; cancelling ctx stops
+// feeding the pool and marks unstarted items with ctx's error.
+func (e *Engine) BatchSearch(ctx context.Context, queries []graph.NodeID, opts sea.Options) ([]BatchItem, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	workers := e.cfg.Workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]BatchItem, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := queries[i]
+				res, qm, err := e.SearchWithMetrics(ctx, q, opts)
+				out[i] = BatchItem{Query: q, Result: res, Err: err, Metrics: qm}
+			}
+		}()
+	}
+feed:
+	for i := range queries {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(queries); j++ {
+				out[j] = BatchItem{Query: queries[j], Err: ctx.Err(),
+					Metrics: QueryMetrics{Query: int64(queries[j]), Err: ctx.Err().Error()}}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out, nil
+}
+
+// WriteMetricsCSV writes one CSV row per batch item (header included), the
+// flat per-stage timing format of QueryMetrics.
+func WriteMetricsCSV(w io.Writer, items []BatchItem) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(QueryMetricsHeader()); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if err := cw.Write(it.Metrics.CSVRecord()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

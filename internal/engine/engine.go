@@ -1,0 +1,326 @@
+// Package engine provides a long-lived, concurrency-safe serving layer over
+// a fixed attributed graph. Where the library-level sea.Search pays the full
+// per-query cost — metric construction, distance vectors, structural
+// decompositions — on every call, an Engine precomputes the per-graph state
+// once and shares it across queries:
+//
+//   - the attribute Metric (min/max normalizer scan) is built at construction;
+//   - the core decomposition is built at construction and the truss-level
+//     decomposition on first k-truss query, and both serve as a shared
+//     admission index: a query node whose coreness (or incident trussness)
+//     is below k provably has no community, so the engine answers
+//     ErrNoCommunity without running a search;
+//   - per-query f(·,q) distance vectors and full search Results are held in
+//     sharded LRU caches;
+//   - concurrent identical queries are coalesced single-flight style, so the
+//     work happens once while every caller gets the answer.
+//
+// Requests carry contexts; a per-request deadline bounds the wait, not the
+// computation, so an abandoned query still completes and warms the caches.
+// Every request yields flat, CSV-friendly per-stage timing metrics
+// (QueryMetrics) and the engine aggregates global counters (Stats).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/sea"
+	"repro/internal/truss"
+)
+
+// ErrQueryOutOfRange is returned (wrapped) when the query node ID is not a
+// node of the engine's graph.
+var ErrQueryOutOfRange = errors.New("engine: query node outside the graph")
+
+// Config parameterizes an Engine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Gamma is the attribute-metric balance factor in [0,1] (see attr.Metric).
+	Gamma float64
+	// DistCacheSize bounds the number of cached f(·,q) distance vectors.
+	// Each entry holds 8·NumNodes bytes. ≤0 selects the default.
+	DistCacheSize int
+	// ResultCacheSize bounds the number of cached (query, options) Results.
+	// ≤0 selects the default.
+	ResultCacheSize int
+	// CacheShards is the number of independent LRU shards per cache.
+	// ≤0 selects the default.
+	CacheShards int
+	// MaxConcurrent caps the number of searches executing at once; further
+	// computations queue. ≤0 selects 2×GOMAXPROCS.
+	MaxConcurrent int
+	// Workers is the BatchSearch worker-pool size. ≤0 selects GOMAXPROCS.
+	Workers int
+	// RequestTimeout, when positive, bounds every request (Search and each
+	// BatchSearch item) that does not already carry an earlier deadline.
+	RequestTimeout time.Duration
+	// EagerTruss also builds the truss-level index at construction instead
+	// of on the first k-truss query.
+	EagerTruss bool
+}
+
+// DefaultConfig returns a serving configuration suitable for mid-size graphs.
+func DefaultConfig() Config {
+	return Config{
+		Gamma:           0.5,
+		DistCacheSize:   256,
+		ResultCacheSize: 4096,
+		CacheShards:     16,
+	}
+}
+
+// resultKey identifies one cached search: Options has only value-typed
+// fields, so the key is comparable and equality is exact.
+type resultKey struct {
+	q    graph.NodeID
+	opts sea.Options
+}
+
+func (k resultKey) hash() uint64 {
+	h := fnvMix(fnvOffset, uint64(k.q))
+	h = fnvMix(h, uint64(k.opts.K))
+	h = fnvMix(h, uint64(k.opts.Model))
+	h = fnvMix(h, uint64(k.opts.Seed))
+	h = fnvMix(h, uint64(k.opts.SizeLo)<<32|uint64(k.opts.SizeHi))
+	h = fnvMix(h, math.Float64bits(k.opts.ErrorBound))
+	return h
+}
+
+// searchOutcome is the shared product of one coalesced computation.
+type searchOutcome struct {
+	res      *sea.Result
+	err      error
+	distHit  bool
+	distNS   int64
+	searchNS int64
+}
+
+// Engine is a concurrency-safe query-serving layer over one fixed graph.
+// Returned Results and their Community slices are shared across callers and
+// must be treated as immutable.
+type Engine struct {
+	g      *graph.Graph
+	metric *attr.Metric
+	cfg    Config
+
+	core []int32 // coreness per node, built at construction
+
+	trussOnce sync.Once
+	truss     []int32 // max trussness over edges incident to each node
+
+	dists   *shardedLRU[graph.NodeID, []float64]
+	results *shardedLRU[resultKey, *sea.Result]
+	flight  flightGroup[resultKey, *searchOutcome]
+	dflight flightGroup[graph.NodeID, []float64]
+
+	sem chan struct{} // bounds concurrently executing searches
+
+	ctr counters
+}
+
+// New builds an Engine over g, precomputing the attribute metric and the
+// core decomposition. The graph must not be mutated afterwards (Graphs are
+// immutable by construction).
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("engine: nil graph")
+	}
+	m, err := attr.NewMetric(g, cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	def := DefaultConfig()
+	if cfg.DistCacheSize <= 0 {
+		cfg.DistCacheSize = def.DistCacheSize
+	}
+	if cfg.ResultCacheSize <= 0 {
+		cfg.ResultCacheSize = def.ResultCacheSize
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = def.CacheShards
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		g:      g,
+		metric: m,
+		cfg:    cfg,
+		core:   kcore.Decompose(g),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+	e.dists = newShardedLRU[graph.NodeID, []float64](
+		cfg.DistCacheSize, cfg.CacheShards,
+		func(q graph.NodeID) uint64 { return fnvMix(fnvOffset, uint64(q)) })
+	e.results = newShardedLRU[resultKey, *sea.Result](
+		cfg.ResultCacheSize, cfg.CacheShards, resultKey.hash)
+	if cfg.EagerTruss {
+		e.nodeTruss()
+	}
+	return e, nil
+}
+
+// Graph returns the graph the engine serves.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Metric returns the shared attribute metric.
+func (e *Engine) Metric() *attr.Metric { return e.metric }
+
+// Coreness returns the precomputed coreness of q.
+func (e *Engine) Coreness(q graph.NodeID) int32 { return e.core[q] }
+
+// Search runs one community search, serving from the result cache, the
+// shared admission index, or a (possibly coalesced) SEA execution. See
+// SearchWithMetrics for per-stage timings.
+func (e *Engine) Search(ctx context.Context, q graph.NodeID, opts sea.Options) (*sea.Result, error) {
+	res, _, err := e.SearchWithMetrics(ctx, q, opts)
+	return res, err
+}
+
+// SearchWithMetrics is Search returning per-stage timing metrics alongside
+// the result. The metrics row is valid on error paths too (Err is set).
+func (e *Engine) SearchWithMetrics(ctx context.Context, q graph.NodeID, opts sea.Options) (*sea.Result, QueryMetrics, error) {
+	t0 := time.Now()
+	qm := QueryMetrics{Query: int64(q), K: opts.K, Model: opts.Model.String()}
+	res, err := e.search(ctx, q, opts, &qm)
+	qm.TotalNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		qm.Err = err.Error()
+		e.ctr.errors.Add(1)
+	}
+	return res, qm, err
+}
+
+func (e *Engine) search(ctx context.Context, q graph.NodeID, opts sea.Options, qm *QueryMetrics) (*sea.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if int(q) < 0 || int(q) >= e.g.NumNodes() {
+		return nil, fmt.Errorf("%w: node %d, graph [0,%d)", ErrQueryOutOfRange, q, e.g.NumNodes())
+	}
+	e.ctr.queries.Add(1)
+	if e.cfg.RequestTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.RequestTimeout)
+			defer cancel()
+		}
+	}
+
+	key := resultKey{q: q, opts: opts}
+	if res, ok := e.results.get(key); ok {
+		qm.ResultHit = true
+		return res, nil
+	}
+
+	// Admission: the shared decomposition proves absence without a search.
+	ti := time.Now()
+	admitted := e.admit(q, opts)
+	qm.IndexNS = time.Since(ti).Nanoseconds()
+	if !admitted {
+		qm.IndexHit = true
+		e.ctr.indexRejects.Add(1)
+		return nil, sea.ErrNoCommunity
+	}
+
+	out, err, joined := e.flight.do(ctx, key, func() (*searchOutcome, error) {
+		return e.compute(key), nil
+	})
+	if joined {
+		qm.Coalesced = true
+		e.ctr.coalesced.Add(1)
+	}
+	if err != nil {
+		return nil, err // context expired while waiting
+	}
+	qm.DistHit, qm.DistNS, qm.SearchNS = out.distHit, out.distNS, out.searchNS
+	return out.res, out.err
+}
+
+// compute performs the cache-miss path of one search under the concurrency
+// cap. It runs detached from request contexts so a completed computation
+// always lands in the caches.
+func (e *Engine) compute(key resultKey) *searchOutcome {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	out := &searchOutcome{}
+	td := time.Now()
+	dist, hit := e.queryDist(key.q)
+	out.distHit = hit
+	out.distNS = time.Since(td).Nanoseconds()
+
+	ts := time.Now()
+	e.ctr.searchRuns.Add(1)
+	res, err := sea.SearchWithDist(e.g, dist, key.q, key.opts)
+	out.searchNS = time.Since(ts).Nanoseconds()
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.res = res
+	e.results.put(key, res)
+	return out
+}
+
+// queryDist returns the f(·,q) vector from the distance cache, computing and
+// caching it (single-flight per q) on a miss. hit reports a cache hit.
+func (e *Engine) queryDist(q graph.NodeID) (dist []float64, hit bool) {
+	if d, ok := e.dists.get(q); ok {
+		return d, true
+	}
+	d, _, _ := e.dflight.do(context.Background(), q, func() ([]float64, error) {
+		d := e.metric.QueryDist(q)
+		e.dists.put(q, d)
+		return d, nil
+	})
+	return d, false
+}
+
+// admit reports whether a community satisfying opts' structural model can
+// exist around q, answered from the shared decompositions. A false return is
+// definitive: sea.Search would return ErrNoCommunity. (A k-core or k-truss of
+// any induced subgraph is one of g itself, so a full-graph rejection covers
+// every sample too.)
+func (e *Engine) admit(q graph.NodeID, opts sea.Options) bool {
+	switch opts.Model {
+	case sea.KTruss:
+		return int(e.nodeTruss()[q]) >= opts.K
+	default:
+		return int(e.core[q]) >= opts.K
+	}
+}
+
+// nodeTruss lazily builds the truss-level index: for each node the maximum
+// trussness over its incident edges, i.e. the largest k for which the node
+// belongs to some k-truss.
+func (e *Engine) nodeTruss() []int32 {
+	e.trussOnce.Do(func() {
+		ix, tr := truss.Decompose(e.g)
+		nt := make([]int32, e.g.NumNodes())
+		for eid := range tr {
+			if t := tr[eid]; t > 0 {
+				if u := ix.U[eid]; t > nt[u] {
+					nt[u] = t
+				}
+				if v := ix.V[eid]; t > nt[v] {
+					nt[v] = t
+				}
+			}
+		}
+		e.truss = nt
+	})
+	return e.truss
+}

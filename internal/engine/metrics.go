@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// QueryMetrics captures per-request stage timing and cache provenance. The
+// struct is intentionally flat and CSV-friendly so serving experiments can
+// stream one row per request. All durations are nanoseconds; zero means the
+// stage did not run (e.g. SearchNS on a result-cache hit).
+//
+// For a request that joined an in-flight identical query (Coalesced), the
+// stage timings are those of the shared execution, not of the wait.
+type QueryMetrics struct {
+	Query     int64  `json:"query"`      // query node ID
+	K         int    `json:"k"`          // structural parameter
+	Model     string `json:"model"`      // community model name
+	ResultHit bool   `json:"result_hit"` // served from the result cache
+	DistHit   bool   `json:"dist_hit"`   // f(·,q) vector served from the distance cache
+	Coalesced bool   `json:"coalesced"`  // joined an identical in-flight query
+	IndexHit  bool   `json:"index_hit"`  // shared index answered admission (reject) without a search
+	IndexNS   int64  `json:"index_ns"`   // shared-index admission check
+	DistNS    int64  `json:"dist_ns"`    // distance-vector fetch or compute
+	SearchNS  int64  `json:"search_ns"`  // SEA search proper
+	TotalNS   int64  `json:"total_ns"`   // whole request, queueing included
+	Err       string `json:"err"`        // empty on success
+}
+
+// QueryMetricsHeader returns the CSV header matching CSVRecord.
+func QueryMetricsHeader() []string {
+	return []string{
+		"query", "k", "model", "result_hit", "dist_hit", "coalesced",
+		"index_hit", "index_ns", "dist_ns", "search_ns", "total_ns", "err",
+	}
+}
+
+// CSVRecord renders the metrics as one CSV row.
+func (m QueryMetrics) CSVRecord() []string {
+	return []string{
+		strconv.FormatInt(m.Query, 10),
+		strconv.Itoa(m.K),
+		m.Model,
+		strconv.FormatBool(m.ResultHit),
+		strconv.FormatBool(m.DistHit),
+		strconv.FormatBool(m.Coalesced),
+		strconv.FormatBool(m.IndexHit),
+		strconv.FormatInt(m.IndexNS, 10),
+		strconv.FormatInt(m.DistNS, 10),
+		strconv.FormatInt(m.SearchNS, 10),
+		strconv.FormatInt(m.TotalNS, 10),
+		m.Err,
+	}
+}
+
+// counters aggregates engine-wide event counts with atomic increments.
+type counters struct {
+	queries      atomic.Uint64
+	searchRuns   atomic.Uint64
+	coalesced    atomic.Uint64
+	indexRejects atomic.Uint64
+	errors       atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the engine's aggregate state,
+// flat for JSON (/stats) and CSV export.
+type Stats struct {
+	Queries      uint64 `json:"queries"`       // Search/BatchSearch requests accepted
+	SearchRuns   uint64 `json:"search_runs"`   // SEA executions actually performed
+	Coalesced    uint64 `json:"coalesced"`     // requests that joined an in-flight twin
+	IndexRejects uint64 `json:"index_rejects"` // requests rejected by the shared index
+	Errors       uint64 `json:"errors"`        // requests that returned an error
+
+	ResultHits      uint64 `json:"result_hits"`
+	ResultMisses    uint64 `json:"result_misses"`
+	ResultEvictions uint64 `json:"result_evictions"`
+	ResultEntries   int    `json:"result_entries"`
+
+	DistHits      uint64 `json:"dist_hits"`
+	DistMisses    uint64 `json:"dist_misses"`
+	DistEvictions uint64 `json:"dist_evictions"`
+	DistEntries   int    `json:"dist_entries"`
+}
+
+// Stats returns a snapshot of the engine's counters and cache occupancy.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Queries:      e.ctr.queries.Load(),
+		SearchRuns:   e.ctr.searchRuns.Load(),
+		Coalesced:    e.ctr.coalesced.Load(),
+		IndexRejects: e.ctr.indexRejects.Load(),
+		Errors:       e.ctr.errors.Load(),
+	}
+	s.ResultHits, s.ResultMisses, s.ResultEvictions, s.ResultEntries = e.results.stats()
+	s.DistHits, s.DistMisses, s.DistEvictions, s.DistEntries = e.dists.stats()
+	return s
+}

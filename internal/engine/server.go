@@ -1,0 +1,296 @@
+package engine
+
+// HTTP serving surface for an Engine: a stdlib http.Handler exposing
+// /search, /batch, /healthz and /stats as JSON endpoints. cmd/seaserve
+// wires this to flags and a listener.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/sea"
+)
+
+// toNodeID converts a wire-format node ID, rejecting values that would
+// silently truncate to a different (possibly valid) int32 node.
+func toNodeID(v int64) (graph.NodeID, error) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("query node %d outside the node-ID range", v)
+	}
+	return graph.NodeID(v), nil
+}
+
+// optionsJSON is the wire form of sea.Options; zero-valued fields keep the
+// paper defaults of sea.DefaultOptions.
+type optionsJSON struct {
+	K          int     `json:"k"`
+	Model      string  `json:"model"` // "core" (default) or "truss"
+	ErrorBound float64 `json:"e"`
+	Confidence float64 `json:"confidence"`
+	SizeLo     int     `json:"size_lo"`
+	SizeHi     int     `json:"size_hi"`
+	Seed       int64   `json:"seed"`
+	NoRefine   bool    `json:"no_refine"`
+}
+
+func (o optionsJSON) toOptions() (sea.Options, error) {
+	opts := sea.DefaultOptions()
+	if o.K != 0 {
+		opts.K = o.K
+	}
+	switch o.Model {
+	case "", "core":
+	case "truss":
+		opts.Model = sea.KTruss
+	default:
+		return opts, fmt.Errorf("unknown model %q (want core or truss)", o.Model)
+	}
+	if o.ErrorBound != 0 {
+		opts.ErrorBound = o.ErrorBound
+	}
+	if o.Confidence != 0 {
+		opts.Confidence = o.Confidence
+	}
+	opts.SizeLo, opts.SizeHi = o.SizeLo, o.SizeHi
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	opts.NoRefine = o.NoRefine
+	return opts, opts.Validate()
+}
+
+type searchRequest struct {
+	Q *int64 `json:"q"`
+	optionsJSON
+}
+
+type batchRequest struct {
+	Queries []int64 `json:"queries"`
+	optionsJSON
+}
+
+type ciJSON struct {
+	Center     float64 `json:"center"`
+	MoE        float64 `json:"moe"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Confidence float64 `json:"confidence"`
+}
+
+type searchResponse struct {
+	Query     int64          `json:"query"`
+	Community []graph.NodeID `json:"community,omitempty"`
+	Size      int            `json:"size"`
+	Delta     float64        `json:"delta"`
+	CI        ciJSON         `json:"ci"`
+	Satisfied bool           `json:"satisfied"`
+	Metrics   QueryMetrics   `json:"metrics"`
+	Err       string         `json:"err,omitempty"`
+}
+
+type batchResponse struct {
+	Items []searchResponse `json:"items"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func toResponse(q graph.NodeID, res *sea.Result, qm QueryMetrics, err error) searchResponse {
+	out := searchResponse{Query: int64(q), Metrics: qm}
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Community = res.Community
+	out.Size = len(res.Community)
+	out.Delta = res.Delta
+	out.CI = ciJSON{
+		Center: res.CI.Center, MoE: res.CI.MoE,
+		Lo: res.CI.Lo(), Hi: res.CI.Hi(), Confidence: res.CI.Confidence,
+	}
+	out.Satisfied = res.Satisfied
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// NewHTTPHandler returns the JSON serving surface of e:
+//
+//	POST /search   {"q":12,"k":6,"model":"core",...} → one community
+//	GET  /search?q=12&k=6&model=core                → same, for curl
+//	POST /batch    {"queries":[1,2,3],"k":6,...}    → one item per query
+//	GET  /healthz                                   → liveness + graph shape
+//	GET  /stats                                     → engine counters/caches
+func NewHTTPHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		var req searchRequest
+		switch r.Method {
+		case http.MethodGet:
+			if err := searchRequestFromQuery(r, &req); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		case http.MethodPost:
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+				return
+			}
+		default:
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+			return
+		}
+		if req.Q == nil {
+			writeError(w, http.StatusBadRequest, errors.New("missing query node \"q\""))
+			return
+		}
+		opts, err := req.toOptions()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q, err := toNodeID(*req.Q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, qm, err := e.SearchWithMetrics(r.Context(), q, opts)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, sea.ErrNoCommunity):
+				status = http.StatusNotFound
+			case errors.Is(err, ErrQueryOutOfRange):
+				status = http.StatusBadRequest
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				status = http.StatusRequestTimeout
+			}
+			writeJSON(w, status, toResponse(q, nil, qm, err))
+			return
+		}
+		writeJSON(w, http.StatusOK, toResponse(q, res, qm, nil))
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("missing \"queries\""))
+			return
+		}
+		opts, err := req.toOptions()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		queries := make([]graph.NodeID, len(req.Queries))
+		for i, q := range req.Queries {
+			id, err := toNodeID(q)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			queries[i] = id
+		}
+		items, err := e.BatchSearch(r.Context(), queries, opts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp := batchResponse{Items: make([]searchResponse, len(items))}
+		for i, it := range items {
+			resp.Items[i] = toResponse(it.Query, it.Result, it.Metrics, it.Err)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"nodes":  e.Graph().NumNodes(),
+			"edges":  e.Graph().NumEdges(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	return mux
+}
+
+// searchRequestFromQuery fills req from URL query parameters (GET /search).
+func searchRequestFromQuery(r *http.Request, req *searchRequest) error {
+	vals := r.URL.Query()
+	intField := func(name string, dst *int) error {
+		if s := vals.Get(name); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q", name, s)
+			}
+			*dst = v
+		}
+		return nil
+	}
+	floatField := func(name string, dst *float64) error {
+		if s := vals.Get(name); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q", name, s)
+			}
+			*dst = v
+		}
+		return nil
+	}
+	if s := vals.Get("q"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad q=%q", s)
+		}
+		req.Q = &v
+	}
+	if s := vals.Get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed=%q", s)
+		}
+		req.Seed = v
+	}
+	req.Model = vals.Get("model")
+	req.NoRefine = vals.Get("no_refine") == "true"
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"k", &req.K}, {"size_lo", &req.SizeLo}, {"size_hi", &req.SizeHi}} {
+		if err := intField(f.name, f.dst); err != nil {
+			return err
+		}
+	}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{{"e", &req.ErrorBound}, {"confidence", &req.Confidence}} {
+		if err := floatField(f.name, f.dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

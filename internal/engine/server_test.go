@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e, _, _ := testEngine(t, DefaultConfig())
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, e := testServer(t)
+	var out map[string]any
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &out)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz: %v", out)
+	}
+	if int(out["nodes"].(float64)) != e.Graph().NumNodes() {
+		t.Fatalf("healthz nodes: %v", out)
+	}
+}
+
+func TestServerSearchPostAndGet(t *testing.T) {
+	srv, e := testServer(t)
+	q := int64(testDataset(t).QueryNodes(1, 6, 3)[0])
+
+	var post searchResponse
+	postJSON(t, srv.URL+"/search", fmt.Sprintf(`{"q":%d,"k":6}`, q), http.StatusOK, &post)
+	if post.Size == 0 || len(post.Community) != post.Size || post.Err != "" {
+		t.Fatalf("POST /search: %+v", post)
+	}
+	if post.Metrics.ResultHit {
+		t.Fatal("first request cannot be a cache hit")
+	}
+
+	var get searchResponse
+	getJSON(t, fmt.Sprintf("%s/search?q=%d&k=6", srv.URL, q), http.StatusOK, &get)
+	if !get.Metrics.ResultHit {
+		t.Fatalf("identical GET should hit the result cache: %+v", get.Metrics)
+	}
+	if fmt.Sprint(get.Community) != fmt.Sprint(post.Community) || get.Delta != post.Delta {
+		t.Fatal("GET and POST answers differ")
+	}
+	if s := e.Stats(); s.SearchRuns != 1 {
+		t.Fatalf("server ran %d searches, want 1", s.SearchRuns)
+	}
+}
+
+func TestServerSearchErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"missing q", `{"k":6}`, http.StatusBadRequest},
+		{"bad model", `{"q":1,"model":"clique"}`, http.StatusBadRequest},
+		{"bad options", `{"q":1,"e":7}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"out of range", `{"q":99999999}`, http.StatusBadRequest},
+		{"int32 overflow", `{"q":4294967301}`, http.StatusBadRequest},
+	} {
+		var out map[string]any
+		postJSON(t, srv.URL+"/search", tc.body, tc.status, &out)
+	}
+	// A node ID that truncates to a valid int32 must be rejected in batches too.
+	var batchErr map[string]any
+	postJSON(t, srv.URL+"/batch", `{"queries":[4294967301],"k":2}`, http.StatusBadRequest, &batchErr)
+	// Rejection by the shared index surfaces as 404 with metrics attached.
+	var out searchResponse
+	postJSON(t, srv.URL+"/search", `{"q":0,"k":999}`, http.StatusNotFound, &out)
+	if out.Err == "" || !out.Metrics.IndexHit {
+		t.Fatalf("index reject response: %+v", out)
+	}
+}
+
+func TestServerDeadlineMapsTo408(t *testing.T) {
+	d := testDataset(t)
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 1
+	cfg.RequestTimeout = time.Millisecond
+	e, err := New(d.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	t.Cleanup(srv.Close)
+
+	e.sem <- struct{}{} // hold the compute path so the engine deadline fires
+	defer func() { <-e.sem }()
+	q := int64(d.QueryNodes(1, 6, 3)[0])
+	var out searchResponse
+	postJSON(t, srv.URL+"/search", fmt.Sprintf(`{"q":%d,"k":6}`, q), http.StatusRequestTimeout, &out)
+	if out.Err == "" {
+		t.Fatalf("timeout response missing error: %+v", out)
+	}
+}
+
+func TestServerBatchAndStats(t *testing.T) {
+	srv, _ := testServer(t)
+	qs := testDataset(t).QueryNodes(3, 2, 9)
+	body := fmt.Sprintf(`{"queries":[%d,%d,%d,%d],"k":2}`, qs[0], qs[1], qs[2], qs[0])
+
+	var out batchResponse
+	postJSON(t, srv.URL+"/batch", body, http.StatusOK, &out)
+	if len(out.Items) != 4 {
+		t.Fatalf("got %d items", len(out.Items))
+	}
+	for i, it := range out.Items {
+		if it.Err != "" {
+			t.Fatalf("item %d: %s", i, it.Err)
+		}
+	}
+	if out.Items[3].Query != out.Items[0].Query {
+		t.Fatal("batch order not preserved")
+	}
+
+	var stats Stats
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &stats)
+	if stats.Queries != 4 || stats.SearchRuns != 3 {
+		t.Fatalf("stats after batch: %+v", stats)
+	}
+
+	var errOut map[string]any
+	postJSON(t, srv.URL+"/batch", `{"queries":[]}`, http.StatusBadRequest, &errOut)
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Single-flight request coalescing: concurrent calls with the same key share
+// one execution of the compute function. The computation runs detached from
+// any caller, so a caller whose context expires abandons the wait while the
+// work still completes (and can populate caches for the next request).
+
+type flightCall[V any] struct {
+	done    chan struct{}
+	val     V
+	err     error
+	waiters int // callers currently blocked on done, leader's included
+}
+
+type flightGroup[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+// do returns the result of fn for key, running fn at most once across all
+// concurrent callers of the same key. joined reports whether this caller
+// attached to an already in-flight computation. If ctx expires before the
+// computation finishes, do returns ctx's error; the computation itself is
+// never cancelled.
+func (g *flightGroup[K, V]) do(ctx context.Context, key K, fn func() (V, error)) (val V, err error, joined bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flightCall[V])
+	}
+	c, ok := g.calls[key]
+	if !ok {
+		c = &flightCall[V]{done: make(chan struct{})}
+		g.calls[key] = c
+		go func() {
+			v, e := fn()
+			g.mu.Lock()
+			c.val, c.err = v, e
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+	}
+	c.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.val, c.err, ok
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		g.mu.Unlock()
+		var zero V
+		return zero, ctx.Err(), ok
+	}
+}
+
+// waiting reports how many callers are currently blocked on key's in-flight
+// computation (0 when none is in flight). Used by tests to synchronize.
+func (g *flightGroup[K, V]) waiting(key K) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until true or the deadline elapses.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for ", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFlightCoalesces(t *testing.T) {
+	var g flightGroup[string, int]
+	gate := make(chan struct{})
+	var runs atomic.Int32
+
+	const callers = 8
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i], _ = g.do(context.Background(), "k", func() (int, error) {
+				runs.Add(1)
+				<-gate
+				return 42, nil
+			})
+		}(i)
+	}
+	waitFor(t, func() bool { return g.waiting("k") == callers }, "all callers to join")
+	close(gate)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("caller %d: got %d,%v", i, vals[i], errs[i])
+		}
+	}
+	if g.waiting("k") != 0 {
+		t.Fatal("call not cleaned up")
+	}
+}
+
+func TestFlightDistinctKeysRunIndependently(t *testing.T) {
+	var g flightGroup[int, int]
+	var runs atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.do(context.Background(), i, func() (int, error) {
+				runs.Add(1)
+				return i * 2, nil
+			})
+			if err != nil || v != i*2 {
+				t.Errorf("key %d: got %d,%v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("fn ran %d times, want 4", got)
+	}
+}
+
+func TestFlightContextAbandonsWaitNotWork(t *testing.T) {
+	var g flightGroup[string, int]
+	gate := make(chan struct{})
+	finished := make(chan struct{})
+
+	go func() {
+		g.do(context.Background(), "k", func() (int, error) {
+			<-gate
+			close(finished)
+			return 7, nil
+		})
+	}()
+	waitFor(t, func() bool { return g.waiting("k") == 1 }, "leader to start")
+
+	// A second caller joins, then abandons the wait when its context dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		err    error
+		joined bool
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err, joined := g.do(ctx, "k", func() (int, error) { return 0, errors.New("must not run") })
+		done <- outcome{err, joined}
+	}()
+	waitFor(t, func() bool { return g.waiting("k") == 2 }, "second caller to join")
+	cancel()
+	got := <-done
+	if !errors.Is(got.err, context.Canceled) {
+		t.Fatalf("cancelled waiter got err %v", got.err)
+	}
+	if !got.joined {
+		t.Fatal("second caller should report having joined the in-flight call")
+	}
+	select {
+	case <-finished:
+		t.Fatal("work finished before gate opened")
+	default:
+	}
+	close(gate) // the abandoned work still completes
+	waitFor(t, func() bool {
+		select {
+		case <-finished:
+			return true
+		default:
+			return false
+		}
+	}, "abandoned work to complete")
+}
