@@ -1,17 +1,21 @@
 package sea
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/attr"
 	"repro/internal/baselines"
 	"repro/internal/clique"
+	"repro/internal/cserr"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/hetgraph"
 	"repro/internal/kcore"
+	"repro/internal/query"
 	"repro/internal/sea"
 	"repro/internal/truss"
 )
@@ -44,16 +48,98 @@ func Delta(dist []float64, members []NodeID, q NodeID) float64 {
 	return attr.Delta(dist, members, q)
 }
 
-// Model selects the structure-cohesiveness model for Search.
+// Model selects the structure-cohesiveness model of a Request.
 type Model = sea.Model
 
-// Community models supported by Search.
+// Community models.
 const (
 	KCore  = sea.KCore
 	KTruss = sea.KTruss
 )
 
+// Method names a community-search solver; every registered method answers
+// the same Request through the same Searcher interface.
+type Method = query.Method
+
+// Registered methods: the paper's SEA pipeline, the exact branch-and-bound,
+// the four competing baselines of §VII, and the attribute-free structural
+// community.
+const (
+	MethodSEA        = query.MethodSEA
+	MethodExact      = query.MethodExact
+	MethodACQ        = query.MethodACQ
+	MethodLocATC     = query.MethodLocATC
+	MethodVAC        = query.MethodVAC
+	MethodEVAC       = query.MethodEVAC
+	MethodStructural = query.MethodStructural
+)
+
+// ParseMethod resolves a method's registry name ("sea", "exact", "acq",
+// "locatc", "vac", "evac", "structural").
+func ParseMethod(name string) (Method, error) { return query.ParseMethod(name) }
+
+// Methods returns every registered method in registry order.
+func Methods() []Method { return query.Methods() }
+
+// Request is the graph-independent community-search query spec shared by
+// every method, the Engine, cmd/seacli and the HTTP server: which node,
+// which solver, which structural model, and the accuracy/size/budget
+// parameters. Zero-valued fields select the paper's defaults (Seed
+// excepted — 0 is itself a valid seed); start from DefaultRequest or fill
+// the fields you need.
+type Request = query.Request
+
+// DefaultRequest returns a Request for query node q with the paper's
+// default parameters (§VII-A) fully spelled out.
+func DefaultRequest(q NodeID) Request { return query.DefaultRequest(q) }
+
+// Outcome is the method-agnostic result of one Request: the community, its
+// q-centric attribute distance δ (computed identically for every method),
+// and method-specific detail (SEA's confidence interval, exact's state
+// count, a Truncated marker for best-so-far answers).
+type Outcome = query.Outcome
+
+// Searcher answers Requests with one fixed method; obtain one per method
+// from NewSearcher. Implementations are stateless and safe for concurrent
+// use, and honor ctx cancellation inside their search loops.
+type Searcher = query.Searcher
+
+// NewSearcher returns the Searcher for a registered method.
+func NewSearcher(m Method) (Searcher, error) { return query.NewSearcher(m) }
+
+// Execute answers req on g with the method req names, building the default
+// attribute metric (γ=0.5). Cancelling ctx stops the search promptly; an
+// interrupted search returns its best-so-far Outcome (Truncated set) with
+// ctx's error wrapped. Use ExecuteWithMetric to control γ or amortize the
+// metric across calls.
+func Execute(ctx context.Context, g *Graph, req Request) (*Outcome, error) {
+	return query.Execute(ctx, g, req)
+}
+
+// ExecuteWithMetric is Execute with a caller-supplied attribute metric.
+func ExecuteWithMetric(ctx context.Context, g *Graph, m *Metric, req Request) (*Outcome, error) {
+	return query.Run(ctx, g, m, nil, req)
+}
+
+// Unified error taxonomy: every method classifies its failures behind these
+// errors.Is-able sentinels, whatever entry point produced them.
+var (
+	// ErrNoCommunity reports that no community satisfying the structural
+	// (and size) constraints exists around the query node.
+	ErrNoCommunity = cserr.ErrNoCommunity
+	// ErrBudgetExhausted reports that a state budget cut an exact search
+	// short; the accompanying result carries the best community found.
+	ErrBudgetExhausted = cserr.ErrBudgetExhausted
+	// ErrInvalidRequest reports a malformed Request or Options value: bad
+	// parameters, an unknown method, or an unsupported method/model pair.
+	ErrInvalidRequest = cserr.ErrInvalidRequest
+)
+
 // Options configures a SEA search; start from DefaultOptions.
+//
+// Deprecated: Options survives as the advanced-knob form of a SEA Request;
+// new code should build a Request (every Options field has a Request
+// counterpart) and call Execute.
 type Options = sea.Options
 
 // DefaultOptions returns the paper's default parameters (§VII-A).
@@ -61,20 +147,23 @@ func DefaultOptions() Options { return sea.DefaultOptions() }
 
 // Result is the outcome of a SEA search: the community, its attribute
 // distance δ*, the confidence interval, the per-round trace and step times.
+// Execute returns it as Outcome.SEA.
 type Result = sea.Result
-
-// ErrNoCommunity is returned by Search when no community satisfying the
-// structural (and size) constraints exists around the query node.
-var ErrNoCommunity = sea.ErrNoCommunity
 
 // Search runs the SEA approximate community search (the paper's primary
 // contribution) on g for query node q.
+//
+// Deprecated: use Execute (or ExecuteWithMetric to keep the shared Metric)
+// with a Request naming MethodSEA; the full trace is Outcome.SEA.
 func Search(g *Graph, m *Metric, q NodeID, opts Options) (*Result, error) {
 	return sea.Search(g, m, q, opts)
 }
 
 // SearchWithDist is Search with a precomputed f(·,q) vector, letting callers
 // amortize the distance computation across runs.
+//
+// Deprecated: use Execute with a Request naming MethodSEA, or NewEngine
+// which caches distance vectors across calls.
 func SearchWithDist(g *Graph, dist []float64, q NodeID, opts Options) (*Result, error) {
 	return sea.SearchWithDist(g, dist, q, opts)
 }
@@ -83,49 +172,62 @@ func SearchWithDist(g *Graph, dist []float64, q NodeID, opts Options) (*Result, 
 // search-tree exploration.
 type ExactConfig = exact.Config
 
-// ExactResult is the outcome of an exact search.
+// ExactResult is the outcome of an exact search; Execute returns it as
+// Outcome.Exact.
 type ExactResult = exact.Result
-
-// ErrBudgetExhausted is returned (wrapped) by ExactSearch when the state
-// budget is hit; the result still carries the best community found.
-var ErrBudgetExhausted = exact.ErrBudgetExhausted
 
 // DefaultExactConfig enables all three pruning strategies of §IV.
 func DefaultExactConfig() ExactConfig { return exact.DefaultConfig() }
 
 // ExactSearch solves CS-AG exactly: the connected k-core containing q with
 // the smallest δ. dist must be Metric.QueryDist(q).
+//
+// Deprecated: use Execute with a Request naming MethodExact (Request.
+// MaxStates bounds the search tree; all three prunings stay enabled).
 func ExactSearch(g *Graph, q NodeID, k int, dist []float64, cfg ExactConfig) (ExactResult, error) {
 	return exact.Search(g, q, k, dist, cfg)
 }
 
 // BaselineModel selects the structural model for the baseline methods.
+//
+// Deprecated: Requests use Model (KCore/KTruss) for every method.
 type BaselineModel = baselines.Model
 
 // Structural models for the baselines.
+//
+// Deprecated: use KCore and KTruss with a Request.
 const (
 	BaselineKCore  = baselines.KCore
 	BaselineKTruss = baselines.KTruss
 )
 
 // ACQ runs the shared-attribute baseline (Fang et al., PVLDB'16).
+//
+// Deprecated: use Execute with a Request naming MethodACQ.
 func ACQ(g *Graph, q NodeID, k int, model BaselineModel) ([]NodeID, error) {
 	return baselines.ACQ(g, q, k, model)
 }
 
 // LocATC runs the attribute-coverage local search baseline (Huang &
 // Lakshmanan, PVLDB'17).
+//
+// Deprecated: use Execute with a Request naming MethodLocATC.
 func LocATC(g *Graph, q NodeID, k int, model BaselineModel) ([]NodeID, error) {
 	return baselines.LocATC(g, q, k, model)
 }
 
 // VAC runs the approximate min-max attribute-distance baseline (Liu et al.,
 // ICDE'20).
+//
+// Deprecated: use ExecuteWithMetric with a Request naming MethodVAC.
 func VAC(g *Graph, m *Metric, q NodeID, k int, model BaselineModel) ([]NodeID, error) {
 	return baselines.VAC(g, m, q, k, model)
 }
 
 // EVAC runs the exact min-max baseline with a state budget.
+//
+// Deprecated: use ExecuteWithMetric with a Request naming MethodEVAC and
+// setting Request.MaxStates.
 func EVAC(g *Graph, m *Metric, q NodeID, k int, model BaselineModel, maxStates int) ([]NodeID, error) {
 	return baselines.EVAC(g, m, q, k, model, maxStates)
 }
@@ -155,9 +257,12 @@ func KCliqueCommunity(g *Graph, q NodeID, k, maxCliques int) ([]NodeID, error) {
 // Engine is a long-lived, concurrency-safe query-serving layer over one
 // fixed graph: it precomputes and shares the attribute metric and the
 // structural decompositions across queries, caches per-query distance
-// vectors and full Results in sharded LRUs, and coalesces concurrent
-// identical queries single-flight style. Create one with NewEngine; see
-// Engine.Search, Engine.SearchWithMetrics and Engine.BatchSearch.
+// vectors and full Outcomes in sharded LRUs, and coalesces concurrent
+// identical queries single-flight style. Every request is one Request,
+// whatever the method; Engine.Query is the unified entry point and
+// Engine.Batch its worker-pool form. Per-request deadlines (and client
+// disconnects) cancel the underlying search, not just the wait. Create one
+// with NewEngine.
 type Engine = engine.Engine
 
 // EngineConfig parameterizes NewEngine; start from DefaultEngineConfig.
@@ -172,8 +277,15 @@ func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
 // built lazily unless cfg.EagerTruss is set).
 func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) { return engine.New(g, cfg) }
 
+// NewHTTPHandler returns the JSON serving surface of an Engine: /search
+// (one Request, any method), /batch (one Request spec over many query
+// nodes), /compare (one Request replayed through several methods side by
+// side), /healthz and /stats. cmd/seaserve wires it to flags and a
+// listener.
+func NewHTTPHandler(e *Engine) http.Handler { return engine.NewHTTPHandler(e) }
+
 // QueryMetrics is the flat, CSV-friendly per-request stage timing record
-// produced by Engine.SearchWithMetrics and Engine.BatchSearch.
+// produced by Engine.QueryWithMetrics and Engine.Batch.
 type QueryMetrics = engine.QueryMetrics
 
 // QueryMetricsHeader returns the CSV header matching QueryMetrics.CSVRecord.
@@ -183,14 +295,29 @@ func QueryMetricsHeader() []string { return engine.QueryMetricsHeader() }
 // and cache occupancy (Engine.Stats).
 type EngineStats = engine.Stats
 
-// EngineBatchItem pairs one query of Engine.BatchSearch with its outcome and
+// EngineBatchItem pairs one Request of Engine.Batch with its Outcome and
 // per-stage metrics.
 type EngineBatchItem = engine.BatchItem
 
+// EngineSEABatchItem pairs one query of the legacy Engine.BatchSearch with
+// its outcome.
+//
+// Deprecated: use Engine.Batch, whose EngineBatchItem carries the full
+// Request/Outcome pair.
+type EngineSEABatchItem = engine.SEABatchItem
+
 // WriteMetricsCSV writes one CSV row per batch item in the QueryMetrics
-// format, header included.
-func WriteMetricsCSV(w io.Writer, items []EngineBatchItem) error {
-	return engine.WriteMetricsCSV(w, items)
+// format, header included. It accepts the items of both Engine.Batch and
+// the legacy Engine.BatchSearch.
+func WriteMetricsCSV[T interface {
+	EngineBatchItem | EngineSEABatchItem
+}](w io.Writer, items []T) error {
+	switch items := any(items).(type) {
+	case []EngineBatchItem:
+		return engine.WriteMetricsCSV(w, items)
+	default:
+		return engine.WriteMetricsCSV(w, any(items).([]EngineSEABatchItem))
+	}
 }
 
 // BatchResult pairs one query of BatchSearch with its outcome.
@@ -198,6 +325,9 @@ type BatchResult = sea.BatchResult
 
 // BatchSearch runs SEA for every query concurrently with up to workers
 // goroutines (0 = GOMAXPROCS); results are deterministic and in query order.
+//
+// Deprecated: use Engine.Batch, which shares the metric, the admission
+// index and the caches across queries and honors per-request deadlines.
 func BatchSearch(g *Graph, m *Metric, queries []NodeID, opts Options, workers int) ([]BatchResult, error) {
 	return sea.BatchSearch(g, m, queries, opts, workers)
 }

@@ -1,12 +1,19 @@
 package sea
 
 // Integration tests exercising the public API end to end, the way the
-// examples and a downstream user would.
+// examples and a downstream user would: one Request answered by many
+// methods through Searcher, Engine and HTTP.
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -53,16 +60,19 @@ func buildFigure1(t testing.TB) (*Graph, *Metric) {
 
 func TestQuickstartEndToEnd(t *testing.T) {
 	g, m := buildFigure1(t)
-	const q = 0
-	dist := m.QueryDist(q)
-	ex, err := ExactSearch(g, q, 3, dist, DefaultExactConfig())
+	ctx := context.Background()
+
+	req := DefaultRequest(0) // The Godfather
+	req.K = 3
+	req.ErrorBound = 0.01
+
+	req.Method = MethodExact
+	ex, err := ExecuteWithMetric(ctx, g, m, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := DefaultOptions()
-	opts.K = 3
-	opts.ErrorBound = 0.01
-	res, err := Search(g, m, q, opts)
+	req.Method = MethodSEA
+	res, err := ExecuteWithMetric(ctx, g, m, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,33 +89,149 @@ func TestQuickstartEndToEnd(t *testing.T) {
 			t.Errorf("dissimilar movie %d in community", v)
 		}
 	}
+	if res.SEA == nil || len(res.SEA.Rounds) == 0 {
+		t.Error("SEA outcome missing its trace")
+	}
 }
 
 func TestPublicExactMatchesInternalDelta(t *testing.T) {
 	g, m := buildFigure1(t)
-	dist := m.QueryDist(0)
-	ex, err := ExactSearch(g, 0, 3, dist, DefaultExactConfig())
+	req := DefaultRequest(0)
+	req.K = 3
+	req.Method = MethodExact
+	ex, err := ExecuteWithMetric(context.Background(), g, m, req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	dist := m.QueryDist(0)
 	if got := Delta(dist, ex.Community, 0); got != ex.Delta {
 		t.Errorf("Delta recomputation %v != %v", got, ex.Delta)
 	}
 }
 
-func TestBaselinesThroughPublicAPI(t *testing.T) {
+func TestAllMethodsThroughPublicAPI(t *testing.T) {
+	g, _ := buildFigure1(t)
+	req := DefaultRequest(0)
+	req.K = 3
+	req.MaxStates = 50000
+	for _, m := range Methods() {
+		s, err := NewSearcher(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		out, err := s.Search(context.Background(), g, req)
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+			continue
+		}
+		if len(out.Community) == 0 || out.Method != m {
+			t.Errorf("%v: %+v", m, out)
+		}
+	}
+}
+
+// TestDeprecatedWrappersStillAnswer keeps the migration promise: the legacy
+// free functions compile and agree with the unified API they wrap.
+func TestDeprecatedWrappersStillAnswer(t *testing.T) {
 	g, m := buildFigure1(t)
-	if _, err := ACQ(g, 0, 3, BaselineKCore); err != nil {
-		t.Errorf("ACQ: %v", err)
+	req := DefaultRequest(0)
+	req.K = 3
+
+	//lint:ignore SA1019 the wrapper contract itself is under test
+	legacy, err := Search(g, m, 0, req.Options())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := LocATC(g, 0, 3, BaselineKCore); err != nil {
-		t.Errorf("LocATC: %v", err)
+	unified, err := ExecuteWithMetric(context.Background(), g, m, req)
+	if err != nil {
+		t.Fatal(err)
 	}
+	if fmt.Sprint(legacy.Community) != fmt.Sprint(unified.Community) || legacy.Delta != unified.Delta {
+		t.Fatalf("wrapper diverged: %v δ=%v vs %v δ=%v",
+			legacy.Community, legacy.Delta, unified.Community, unified.Delta)
+	}
+	//lint:ignore SA1019 the wrapper contract itself is under test
 	if _, err := VAC(g, m, 0, 3, BaselineKCore); err != nil {
-		t.Errorf("VAC: %v", err)
+		t.Errorf("VAC wrapper: %v", err)
 	}
-	if _, err := EVAC(g, m, 0, 3, BaselineKCore, 1000); err != nil {
-		t.Errorf("EVAC: %v", err)
+}
+
+// TestRequestRoundTripsEverywhere is the acceptance criterion end to end:
+// one Request answered by the library (Searcher.Search), the Engine, and
+// the HTTP server returns the identical community and δ on every path.
+func TestRequestRoundTripsEverywhere(t *testing.T) {
+	g, _ := buildFigure1(t)
+	ctx := context.Background()
+	req := DefaultRequest(0)
+	req.K = 3
+
+	s, err := NewSearcher(MethodSEA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLibrary, err := s.Search(ctx, g, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(g, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEngine, err := eng.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewHTTPHandler(eng))
+	defer srv.Close()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/search", "application/json", strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP status %d", resp.StatusCode)
+	}
+	var viaHTTP struct {
+		Community []NodeID `json:"community"`
+		Delta     float64  `json:"delta"`
+		Method    string   `json:"method"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+
+	want := fmt.Sprint(viaLibrary.Community)
+	if fmt.Sprint(viaEngine.Community) != want || fmt.Sprint(viaHTTP.Community) != want {
+		t.Fatalf("round trip diverged:\nlibrary %v\nengine  %v\nhttp    %v",
+			viaLibrary.Community, viaEngine.Community, viaHTTP.Community)
+	}
+	if viaEngine.Delta != viaLibrary.Delta || viaHTTP.Delta != viaLibrary.Delta {
+		t.Fatalf("δ diverged: library %v engine %v http %v",
+			viaLibrary.Delta, viaEngine.Delta, viaHTTP.Delta)
+	}
+	if viaHTTP.Method != "sea" {
+		t.Fatalf("method lost on the wire: %+v", viaHTTP)
+	}
+}
+
+// TestExecuteHonorsCancelledContext pins the public cancellation contract.
+func TestExecuteHonorsCancelledContext(t *testing.T) {
+	g, _ := buildFigure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := DefaultRequest(0)
+	req.K = 3
+	for _, m := range []Method{MethodSEA, MethodVAC, MethodEVAC} {
+		req.Method = m
+		if _, err := Execute(ctx, g, req); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: want context.Canceled, got %v", m, err)
+		}
 	}
 }
 
@@ -159,13 +285,9 @@ func TestHeterogeneousPipeline(t *testing.T) {
 	if proj.Graph.NumNodes() != 6 {
 		t.Fatalf("projection nodes = %d", proj.Graph.NumNodes())
 	}
-	m, err := NewMetric(proj.Graph, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := DefaultOptions()
-	opts.K = 3
-	res, err := Search(proj.Graph, m, proj.FromHet[authors[0]], opts)
+	req := DefaultRequest(proj.FromHet[authors[0]])
+	req.K = 3
+	res, err := Execute(context.Background(), proj.Graph, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,13 +345,13 @@ func TestSearchNoCommunityPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMetric(g, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := DefaultOptions()
-	opts.K = 3
-	if _, err := Search(g, m, 0, opts); !errors.Is(err, ErrNoCommunity) {
+	req := DefaultRequest(0)
+	req.K = 3
+	if _, err := Execute(context.Background(), g, req); !errors.Is(err, ErrNoCommunity) {
 		t.Errorf("err = %v, want ErrNoCommunity", err)
+	}
+	req.Method = MethodExact
+	if _, err := Execute(context.Background(), g, req); !errors.Is(err, ErrNoCommunity) {
+		t.Errorf("exact err = %v, want the same ErrNoCommunity", err)
 	}
 }

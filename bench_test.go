@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/kcore"
+	"repro/internal/query"
 	"repro/internal/sampling"
 	internalsea "repro/internal/sea"
 	"repro/internal/stats"
@@ -412,11 +413,11 @@ func BenchmarkEngineColdVsCached(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		o := opts
+		req := query.FromOptions(benchQ, opts)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			o.Seed = int64(i + 1) // distinct key: result cache misses, dist cache hits
-			if _, err := e.Search(ctx, benchQ, o); err != nil {
+			req.Seed = int64(i + 1) // distinct key: result cache misses, dist cache hits
+			if _, err := e.Query(ctx, req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -426,12 +427,13 @@ func BenchmarkEngineColdVsCached(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := e.Search(ctx, benchQ, opts); err != nil { // warm
+		req := query.FromOptions(benchQ, opts)
+		if _, err := e.Query(ctx, req); err != nil { // warm
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Search(ctx, benchQ, opts); err != nil {
+			if _, err := e.Query(ctx, req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -451,14 +453,14 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	opts.K = 2
 	opts.MaxRounds = 2
 	distinct := benchData.QueryNodes(8, 2, 21)
-	queries := make([]graph.NodeID, 64)
-	for i := range queries {
-		queries[i] = distinct[i%len(distinct)]
+	reqs := make([]query.Request, 64)
+	for i := range reqs {
+		reqs[i] = query.FromOptions(distinct[i%len(distinct)], opts)
 	}
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		items, err := e.BatchSearch(ctx, queries, opts)
+		items, err := e.Batch(ctx, reqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -468,7 +470,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			}
 		}
 	}
-	b.ReportMetric(float64(len(queries)), "queries/op")
+	b.ReportMetric(float64(len(reqs)), "queries/op")
 }
 
 // --- Substrate micro-benchmarks ------------------------------------------

@@ -1,123 +1,168 @@
 // Command seacli runs one community-search query against a generated
-// benchmark analog or a graph file in the exchange format.
+// benchmark analog or a graph file in the exchange format. The flags
+// serialize directly into a sea.Request, so the CLI speaks exactly the spec
+// the library, the Engine and the HTTP server answer.
 //
 // Usage:
 //
 //	seacli -dataset facebook -q 10 -k 6 -e 0.02
 //	seacli -load graph.txt -q 0 -k 4 -model truss -size 10,30 -method sea
+//	seacli -dataset github -q 12 -method exact -max-states 200000 -timeout 5s
 //
-// Methods: sea (default), exact, acq, locatc, vac.
+// -method accepts every registered searcher: sea, exact, acq, locatc, vac,
+// evac, structural.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	sealib "repro"
 )
 
-func main() {
-	var (
-		dsName  = flag.String("dataset", "facebook", "generated dataset analog name")
-		scale   = flag.Float64("scale", 0.5, "dataset scale factor")
-		load    = flag.String("load", "", "load a graph file instead of generating")
-		q       = flag.Int("q", -1, "query node ID (-1 picks one from a planted community)")
-		k       = flag.Int("k", 6, "structural parameter k")
-		e       = flag.Float64("e", 0.02, "error bound e")
-		conf    = flag.Float64("confidence", 0.95, "confidence level 1-alpha")
-		gamma   = flag.Float64("gamma", 0.5, "attribute balance factor")
-		model   = flag.String("model", "core", "community model: core or truss")
-		size    = flag.String("size", "", "size bound lo,hi (empty = unbounded)")
-		method  = flag.String("method", "sea", "sea, exact, acq, locatc, or vac")
-		seed    = flag.Int64("seed", 1, "random seed")
-		maxAttr = flag.Int("show", 20, "max community members to print")
-	)
-	flag.Parse()
+// cliFlags is the flag set of one invocation, kept as a struct so tests can
+// exercise the flags → Request serialization without running a search.
+type cliFlags struct {
+	dsName  string
+	scale   float64
+	load    string
+	q       int
+	k       int
+	e       float64
+	conf    float64
+	gamma   float64
+	model   string
+	size    string
+	method  string
+	seed    int64
+	states  int64
+	timeout time.Duration
+	show    int
+}
 
-	g, query, err := loadOrGenerate(*load, *dsName, *scale, *q, *k, *seed)
+func parseFlags(fs *flag.FlagSet, args []string) (*cliFlags, error) {
+	f := &cliFlags{}
+	fs.StringVar(&f.dsName, "dataset", "facebook", "generated dataset analog name")
+	fs.Float64Var(&f.scale, "scale", 0.5, "dataset scale factor")
+	fs.StringVar(&f.load, "load", "", "load a graph file instead of generating")
+	fs.IntVar(&f.q, "q", -1, "query node ID (-1 picks one from a planted community)")
+	fs.IntVar(&f.k, "k", 6, "structural parameter k")
+	fs.Float64Var(&f.e, "e", 0.02, "error bound e")
+	fs.Float64Var(&f.conf, "confidence", 0.95, "confidence level 1-alpha")
+	fs.Float64Var(&f.gamma, "gamma", 0.5, "attribute balance factor")
+	fs.StringVar(&f.model, "model", "core", "community model: core or truss")
+	fs.StringVar(&f.size, "size", "", "size bound lo,hi (empty = unbounded)")
+	fs.StringVar(&f.method, "method", "sea", "search method: "+strings.Join(methodNames(), ", "))
+	fs.Int64Var(&f.seed, "seed", 1, "random seed")
+	fs.Int64Var(&f.states, "max-states", 200000, "state budget for exact/evac (0 = unlimited)")
+	fs.DurationVar(&f.timeout, "timeout", 0, "cancel the search after this long (0 = none)")
+	fs.IntVar(&f.show, "show", 20, "max community members to print")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func methodNames() []string {
+	ms := sealib.Methods()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.String()
+	}
+	return names
+}
+
+// buildRequest serializes the flags into the unified Request. The query
+// node is filled in by the caller once the graph is known (the -q flag may
+// delegate the choice to the dataset's planted communities).
+func (f *cliFlags) buildRequest(q sealib.NodeID) (sealib.Request, error) {
+	req := sealib.DefaultRequest(q)
+	req.K = f.k
+	req.ErrorBound = f.e
+	req.Confidence = f.conf
+	req.Seed = f.seed
+	req.MaxStates = f.states
+	method, err := sealib.ParseMethod(f.method)
+	if err != nil {
+		return req, err
+	}
+	req.Method = method
+	if err := req.Model.UnmarshalText([]byte(f.model)); err != nil {
+		return req, fmt.Errorf("bad -model %q: %w", f.model, err)
+	}
+	if f.size != "" {
+		if _, err := fmt.Sscanf(f.size, "%d,%d", &req.SizeLo, &req.SizeHi); err != nil {
+			return req, fmt.Errorf("bad -size %q: %v", f.size, err)
+		}
+	}
+	return req, req.Validate()
+}
+
+func main() {
+	f, err := parseFlags(flag.CommandLine, os.Args[1:])
 	if err != nil {
 		fail(err)
 	}
-	m, err := sealib.NewMetric(g, *gamma)
+	g, query, err := loadOrGenerate(f.load, f.dsName, f.scale, f.q, f.k, f.seed)
+	if err != nil {
+		fail(err)
+	}
+	req, err := f.buildRequest(query)
+	if err != nil {
+		fail(err)
+	}
+	m, err := sealib.NewMetric(g, f.gamma)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("graph: %d nodes, %d edges; query node %d, k=%d, method=%s\n",
-		g.NumNodes(), g.NumEdges(), query, *k, *method)
+		g.NumNodes(), g.NumEdges(), query, req.K, req.Method)
 
-	var members []sealib.NodeID
-	switch *method {
-	case "sea":
-		opts := sealib.DefaultOptions()
-		opts.K = *k
-		opts.ErrorBound = *e
-		opts.Confidence = *conf
-		opts.Seed = *seed
-		if *model == "truss" {
-			opts.Model = sealib.KTruss
-		}
-		if *size != "" {
-			if _, err := fmt.Sscanf(*size, "%d,%d", &opts.SizeLo, &opts.SizeHi); err != nil {
-				fail(fmt.Errorf("bad -size %q: %v", *size, err))
-			}
-		}
-		res, err := sealib.Search(g, m, query, opts)
-		if err != nil {
-			fail(err)
-		}
-		members = res.Community
-		fmt.Printf("δ* = %.4f, CI = %v, satisfied = %v, rounds = %d\n",
-			res.Delta, res.CI, res.Satisfied, len(res.Rounds))
-		fmt.Printf("steps: S1 %v, S2 %v, S3 %v; |Gq| = %d, |S| = %d\n",
-			res.Steps.Sampling, res.Steps.Estimation, res.Steps.Incremental,
-			res.GqSize, res.SampleSize)
-	case "exact":
-		dist := m.QueryDist(query)
-		cfg := sealib.DefaultExactConfig()
-		cfg.MaxStates = 200000
-		res, err := sealib.ExactSearch(g, query, *k, dist, cfg)
-		if err != nil && !errors.Is(err, sealib.ErrBudgetExhausted) {
-			fail(err)
-		}
-		if errors.Is(err, sealib.ErrBudgetExhausted) {
-			fmt.Println("note: state budget exhausted; best community found so far")
-		}
-		members = res.Community
-		fmt.Printf("δ = %.4f, states explored = %d\n", res.Delta, res.Stats.States)
-	case "acq":
-		members, err = sealib.ACQ(g, query, *k, baselineModel(*model))
-	case "locatc":
-		members, err = sealib.LocATC(g, query, *k, baselineModel(*model))
-	case "vac":
-		members, err = sealib.VAC(g, m, query, *k, baselineModel(*model))
-	default:
-		fail(fmt.Errorf("unknown method %q", *method))
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
 	}
-	if err != nil {
+	out, err := sealib.ExecuteWithMetric(ctx, g, m, req)
+	switch {
+	case err == nil:
+	case errors.Is(err, sealib.ErrBudgetExhausted):
+		fmt.Println("note: state budget exhausted; best community found so far")
+	case errors.Is(err, context.DeadlineExceeded) && out != nil:
+		fmt.Println("note: timeout hit; best community found so far")
+	default:
 		fail(err)
 	}
 
+	fmt.Printf("δ = %.4f\n", out.Delta)
+	if res := out.SEA; res != nil {
+		fmt.Printf("CI = %v, satisfied = %v, rounds = %d\n", res.CI, res.Satisfied, len(res.Rounds))
+		fmt.Printf("steps: S1 %v, S2 %v, S3 %v; |Gq| = %d, |S| = %d\n",
+			res.Steps.Sampling, res.Steps.Estimation, res.Steps.Incremental,
+			res.GqSize, res.SampleSize)
+	}
+	if out.States > 0 {
+		fmt.Printf("states explored = %d\n", out.States)
+	}
+
+	members := append([]sealib.NodeID(nil), out.Community...)
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	fmt.Printf("community (%d nodes):\n", len(members))
 	for i, v := range members {
-		if i >= *maxAttr {
+		if i >= f.show {
 			fmt.Printf("  … and %d more\n", len(members)-i)
 			break
 		}
 		fmt.Printf("  %6d  text=%s  num=%v  f(v,q)=%.4f\n",
 			v, textOf(g, v), g.NumAttrs(v), m.Distance(v, query))
 	}
-}
-
-func baselineModel(model string) sealib.BaselineModel {
-	if model == "truss" {
-		return sealib.BaselineKTruss
-	}
-	return sealib.BaselineKCore
 }
 
 func loadOrGenerate(load, dsName string, scale float64, q, k int, seed int64) (*sealib.Graph, sealib.NodeID, error) {

@@ -1,5 +1,8 @@
 // Command seaserve serves community-search queries over HTTP from a
-// long-lived engine with a shared index and caches.
+// long-lived engine with a shared index and caches. Every query endpoint
+// speaks the unified Request wire format ("method" selects the solver), and
+// per-request deadlines (-timeout, or a client disconnect) cancel the
+// underlying search, not just the wait.
 //
 // Usage:
 //
@@ -8,11 +11,13 @@
 //
 // Endpoints:
 //
-//	POST /search   {"q":12,"k":6,"model":"core","e":0.02}  one community
-//	GET  /search?q=12&k=6                                  same, for curl
-//	POST /batch    {"queries":[1,2,3],"k":6}               one item per query
-//	GET  /healthz                                          liveness + graph shape
-//	GET  /stats                                            engine counters and caches
+//	POST /search    {"q":12,"method":"sea","k":6,"e":0.02}  one community
+//	GET  /search?q=12&k=6&method=exact                      same, for curl
+//	POST /batch     {"queries":[1,2,3],"k":6}               one item per query
+//	POST /compare   {"q":12,"methods":["sea","exact"]}      one item per method
+//	GET  /compare?q=12&methods=sea,exact,vac                same, for curl
+//	GET  /healthz                                           liveness + graph shape
+//	GET  /stats                                             engine counters and caches
 package main
 
 import (

@@ -11,33 +11,84 @@
 // under a composite attribute distance mixing Jaccard distance over textual
 // attributes with normalized Manhattan distance over numerical attributes.
 //
-//   - Search runs SEA, the index-free sampling-estimation pipeline: it is
-//     fast and reports a Bag-of-Little-Bootstraps confidence interval whose
-//     margin of error certifies the relative error of the reported attribute
-//     distance (Theorem 11 of the paper).
-//   - ExactSearch runs the branch-and-bound baseline with the paper's three
-//     pruning strategies; exponential in the worst case, exact when it
-//     finishes within its state budget.
-//   - ACQ, LocATC, VAC and EVAC are the competing methods from the paper's
-//     experimental study, for comparison on your own data.
+// The public API is one request type answered by many methods, mirroring
+// the paper's experimental design (§VII): a Request is the graph-independent
+// query spec — query node, method, k, structural model, accuracy and size
+// parameters, seed — and every solver answers it through the same Searcher
+// interface with the same Outcome shape:
+//
+//	req := sea.DefaultRequest(q)          // method SEA, the paper's defaults
+//	req.K, req.ErrorBound = 6, 0.01
+//	out, err := sea.Execute(ctx, g, req)  // or NewSearcher(m).Search(ctx, g, req)
+//	fmt.Println(out.Community, out.Delta, out.SEA.CI)
+//
+// Registered methods (Request.Method / NewSearcher):
+//
+//   - MethodSEA — the index-free sampling-estimation pipeline (§V), fast,
+//     with a Bag-of-Little-Bootstraps confidence interval certifying the
+//     relative error of the reported attribute distance (Theorem 11);
+//   - MethodExact — the branch-and-bound baseline with the paper's three
+//     pruning strategies (§IV); Request.MaxStates bounds the search tree,
+//     returning the best-so-far with ErrBudgetExhausted;
+//   - MethodACQ, MethodLocATC, MethodVAC, MethodEVAC — the competing
+//     methods of the paper's experimental study;
+//   - MethodStructural — the plain maximal connected k-core/k-truss,
+//     attributes ignored.
+//
+// Every Outcome carries the same q-centric δ, recomputed identically
+// whatever the method, so outcomes are directly comparable. Failures
+// classify through errors.Is against the shared sentinels ErrNoCommunity,
+// ErrBudgetExhausted and ErrInvalidRequest.
+//
+// Execution is context-aware end to end: the search loops of every method
+// poll the context, so cancelling it (deadline, client disconnect) stops
+// the work promptly. Direct calls (Execute, Searcher.Search) return the
+// best community found so far with the context's error wrapped; the
+// serving path (Engine.Query, HTTP) returns the deadline error and
+// discards the cancelled computation.
 //
 // Heterogeneous graphs are supported through meta-path projections
 // (NewHetGraphBuilder / Project), size-bounded search through
-// Options.SizeLo/SizeHi, and the k-truss model through Options.Model.
+// Request.SizeLo/SizeHi, and the k-truss model through Request.Model.
 //
 // # Serving
 //
 // For serving many queries over one fixed graph, NewEngine builds a
 // long-lived, concurrency-safe engine that amortizes the per-call cost of
-// Search: the attribute metric and the core/truss decompositions are
+// Execute: the attribute metric and the core/truss decompositions are
 // precomputed once and shared (the decompositions double as an admission
-// index that proves the absence of a community without searching), per-query
-// distance vectors and full Results are held in sharded LRU caches, and
-// concurrent identical queries are coalesced so the work happens once.
-// Engine.Search serves one request under an optional deadline,
-// Engine.BatchSearch drives a worker pool, and both report flat per-stage
-// timing metrics (QueryMetrics, Engine.Stats). cmd/seaserve exposes an
-// engine over HTTP (/search, /batch, /healthz, /stats).
+// index that proves the absence of a community for any method without
+// searching), per-query distance vectors and full Outcomes are held in
+// sharded LRU caches keyed by the canonical Request, and concurrent
+// identical requests are coalesced so the work happens once.
+//
+// Engine.Query serves one Request with whatever method it names,
+// Engine.Batch drives a worker pool, and both report flat per-stage timing
+// metrics (QueryMetrics, Engine.Stats). Per-request deadlines cancel the
+// underlying search — a stuck query frees its concurrency slot at its
+// deadline instead of holding it until the search finishes on its own.
+// NewHTTPHandler (wired by cmd/seaserve) exposes an engine over HTTP:
+// /search and /batch speak the Request JSON form, and /compare replays one
+// Request through several methods side by side.
+//
+// # Migrating from the method-specific entry points
+//
+// The pre-Request free functions remain as thin deprecated wrappers:
+//
+//	Search(g, m, q, opts)            → Execute/ExecuteWithMetric, MethodSEA (trace in Outcome.SEA)
+//	SearchWithDist(g, dist, q, opts) → Execute with MethodSEA, or NewEngine (cached dist vectors)
+//	ExactSearch(g, q, k, dist, cfg)  → Execute with MethodExact and Request.MaxStates
+//	ACQ(g, q, k, model)              → Execute with MethodACQ
+//	LocATC(g, q, k, model)           → Execute with MethodLocATC
+//	VAC(g, m, q, k, model)           → ExecuteWithMetric with MethodVAC
+//	EVAC(g, m, q, k, model, states)  → ExecuteWithMetric with MethodEVAC and Request.MaxStates
+//	BatchSearch(g, m, qs, opts, w)   → Engine.Batch over []Request
+//	Engine.Search(ctx, q, opts)      → Engine.Query(ctx, Request)
+//	Engine.BatchSearch(ctx, qs, o)   → Engine.Batch(ctx, []Request)
+//
+// Every sea.Options field has a Request counterpart (FromOptions/Options
+// convert losslessly), and the old per-package error values now alias the
+// shared sentinels, so errors.Is checks keep working unchanged.
 //
 // # Quickstart
 //
@@ -46,9 +97,9 @@
 //	b.SetTextAttrs(0, "movie", "crime")   // textual attributes
 //	b.SetNumAttrs(0, 9.2, 1.6e6)          // numerical attributes
 //	g, err := b.Build()
-//	m, err := sea.NewMetric(g, 0.5)       // γ=0.5 balances text vs numbers
-//	res, err := sea.Search(g, m, q, sea.DefaultOptions())
-//	fmt.Println(res.Community, res.Delta, res.CI)
+//	req := sea.DefaultRequest(q)          // SEA, k=4, e=2%, 95% confidence
+//	out, err := sea.Execute(ctx, g, req)
+//	fmt.Println(out.Community, out.Delta, out.SEA.CI)
 //
 // See examples/ for runnable programs and internal/experiments for the code
 // that regenerates every table and figure of the paper.

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -28,8 +29,10 @@ func main() {
 	organizer := d.QueryNodes(1, k, 99)[0]
 	fmt.Printf("organizer: node %d\n\n", organizer)
 
+	ctx := context.Background()
+
 	// Unbounded search first: the natural community around the organizer.
-	free, err := sea.Search(g, m, organizer, withK(k))
+	free, err := sea.ExecuteWithMetric(ctx, g, m, withK(organizer, k))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,9 +40,9 @@ func main() {
 
 	// The workshop has between 12 and 20 seats.
 	for _, bound := range [][2]int{{12, 20}, {20, 30}} {
-		opts := withK(k)
-		opts.SizeLo, opts.SizeHi = bound[0], bound[1]
-		res, err := sea.Search(g, m, organizer, opts)
+		req := withK(organizer, k)
+		req.SizeLo, req.SizeHi = bound[0], bound[1]
+		res, err := sea.ExecuteWithMetric(ctx, g, m, req)
 		if errors.Is(err, sea.ErrNoCommunity) {
 			fmt.Printf("size [%d,%d]: no qualifying cohort\n", bound[0], bound[1])
 			continue
@@ -48,7 +51,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("size [%d,%d]: %d people, δ* = %.4f, CI = %v, rounds = %d\n",
-			bound[0], bound[1], len(res.Community), res.Delta, res.CI, len(res.Rounds))
+			bound[0], bound[1], len(res.Community), res.Delta, res.SEA.CI, len(res.SEA.Rounds))
 		// Everyone in the cohort knows at least k others in it — verify.
 		in := map[sea.NodeID]bool{}
 		for _, v := range res.Community {
@@ -70,8 +73,8 @@ func main() {
 	}
 }
 
-func withK(k int) sea.Options {
-	opts := sea.DefaultOptions()
-	opts.K = k
-	return opts
+func withK(q sea.NodeID, k int) sea.Request {
+	req := sea.DefaultRequest(q)
+	req.K = k
+	return req
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -95,10 +96,10 @@ func main() {
 		k     int
 	}{{sea.KCore, 4}, {sea.KTruss, 3}} {
 		model := cfg.model
-		opts := sea.DefaultOptions()
-		opts.K = cfg.k
-		opts.Model = model
-		res, err := sea.Search(proj.Graph, m, q, opts)
+		req := sea.DefaultRequest(q)
+		req.K = cfg.k
+		req.Model = model
+		res, err := sea.ExecuteWithMetric(context.Background(), proj.Graph, m, req)
 		if err != nil {
 			fmt.Printf("%v: no community (%v)\n", model, err)
 			continue
@@ -113,7 +114,7 @@ func main() {
 			}
 		}
 		fmt.Printf("%v experts around author %d: %d members, δ* = %.4f (CI %v)\n",
-			model, q, len(res.Community), res.Delta, res.CI)
+			model, q, len(res.Community), res.Delta, res.SEA.CI)
 		fmt.Printf("  %d/%d members share the 'databases' interest\n",
 			dbCount, len(res.Community))
 	}

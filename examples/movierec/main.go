@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -37,23 +38,27 @@ func main() {
 	q := proj.FromHet[hetQ]
 	fmt.Printf("seed actor: heterogeneous node %d (projected %d)\n\n", hetQ, q)
 
-	opts := sea.DefaultOptions()
-	opts.K = k
-	res, err := sea.Search(proj.Graph, m, q, opts)
+	// One Request, three solvers: the Outcome's δ is computed identically
+	// for every method, so the numbers below are directly comparable.
+	ctx := context.Background()
+	req := sea.DefaultRequest(q)
+	req.K = k
+	res, err := sea.ExecuteWithMetric(ctx, proj.Graph, m, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dist := m.QueryDist(q)
 	fmt.Printf("SEA (k,P)-core community: %d actors, δ* = %.4f, CI = %v\n",
-		len(res.Community), res.Delta, res.CI)
+		len(res.Community), res.Delta, res.SEA.CI)
 
-	if members, err := sea.VAC(proj.Graph, m, q, k, sea.BaselineKCore); err == nil {
+	req.Method = sea.MethodVAC
+	if out, err := sea.ExecuteWithMetric(ctx, proj.Graph, m, req); err == nil {
 		fmt.Printf("VAC community:            %d actors, δ  = %.4f\n",
-			len(members), sea.Delta(dist, members, q))
+			len(out.Community), out.Delta)
 	}
-	if members, err := sea.ACQ(proj.Graph, q, k, sea.BaselineKCore); err == nil {
+	req.Method = sea.MethodACQ
+	if out, err := sea.ExecuteWithMetric(ctx, proj.Graph, m, req); err == nil {
 		fmt.Printf("ACQ community:            %d actors, δ  = %.4f\n",
-			len(members), sea.Delta(dist, members, q))
+			len(out.Community), out.Delta)
 	} else if errors.Is(err, sea.ErrNoCommunity) {
 		fmt.Println("ACQ found no shared-attribute community")
 	}

@@ -1,9 +1,11 @@
 // Quickstart: build the small IMDB snippet of the paper's Figure 1 by hand,
-// then find the crime-drama community around The Godfather with both the
-// exact baseline and SEA.
+// then find the crime-drama community around The Godfather by running one
+// Request through two searchers — the exact baseline and SEA — the way the
+// /compare endpoint does.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -53,29 +55,32 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const q = 0 // The Godfather
-	m, err := sea.NewMetric(g, 0.5)
+	// One Request describes the query — node, k, accuracy — independent of
+	// the solver; each Searcher answers it with its own method.
+	req := sea.DefaultRequest(0) // The Godfather
+	req.K = 3
+	req.ErrorBound = 0.01 // 1% error bound at the default 95% confidence
+	ctx := context.Background()
+
+	exact, err := sea.NewSearcher(sea.MethodExact)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Exact baseline (the graph is tiny, so it finishes instantly).
-	dist := m.QueryDist(q)
-	ex, err := sea.ExactSearch(g, q, 3, dist, sea.DefaultExactConfig())
+	ex, err := exact.Search(ctx, g, req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Exact:  δ = %.4f  %s\n", ex.Delta, names(titles, ex.Community))
 
-	// SEA with a 1% error bound at 95% confidence.
-	opts := sea.DefaultOptions()
-	opts.K = 3
-	opts.ErrorBound = 0.01
-	res, err := sea.Search(g, m, q, opts)
+	approx, err := sea.NewSearcher(sea.MethodSEA)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SEA:    δ* = %.4f  CI = %v\n", res.Delta, res.CI)
+	res, err := approx.Search(ctx, g, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SEA:    δ* = %.4f  CI = %v\n", res.Delta, res.SEA.CI)
 	fmt.Printf("        community: %s\n", names(titles, res.Community))
 	fmt.Printf("        relative error vs exact: %.2f%%\n",
 		100*abs(res.Delta-ex.Delta)/ex.Delta)

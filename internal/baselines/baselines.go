@@ -14,12 +14,14 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
 
 	"repro/internal/attr"
 	"repro/internal/cohesive"
+	"repro/internal/cserr"
 	"repro/internal/graph"
 	"repro/internal/kcore"
 	"repro/internal/truss"
@@ -35,7 +37,16 @@ const (
 )
 
 // ErrNoCommunity is returned when the query has no qualifying community.
-var ErrNoCommunity = errors.New("baselines: no community containing the query")
+// It is the shared sentinel of internal/cserr, so errors.Is matches it
+// across every search method.
+var ErrNoCommunity = cserr.ErrNoCommunity
+
+// interrupted builds the cancelled-search return for a baseline: the best
+// community found so far (nil when none) with ctx's error wrapped, matching
+// the contract of sea.SearchContext and exact.SearchContext.
+func interrupted(ctx context.Context, name string, best []graph.NodeID) ([]graph.NodeID, error) {
+	return best, cserr.Interruptedf(ctx.Err(), "baselines: %s interrupted", name)
+}
 
 // maximal returns the maximal connected structure containing q and a
 // maintainer over it, or nil when none exists.
@@ -77,6 +88,13 @@ func minSize(k int, model Model) int {
 // decreasing selectivity, greedily growing the shared set while a qualifying
 // community survives, per the ACQ algorithm's core idea.
 func ACQ(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+	return ACQContext(context.Background(), g, q, k, model)
+}
+
+// ACQContext is ACQ under a context: the greedy attribute-extension loop
+// checks ctx before every trial and, when cancelled, returns the best
+// community found so far with ctx's error wrapped.
+func ACQContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	base := maximalMembers(g, q, k, model)
 	if base == nil {
 		return nil, ErrNoCommunity
@@ -89,9 +107,15 @@ func ACQ(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, er
 	// community; stop when no attribute can be added.
 	remaining := append([]int32(nil), qAttrs...)
 	for {
+		if ctx.Err() != nil {
+			return interrupted(ctx, "acq", best)
+		}
 		var bestAttr int32 = -1
 		var bestSet []graph.NodeID
 		for _, a := range remaining {
+			if ctx.Err() != nil {
+				return interrupted(ctx, "acq", best)
+			}
 			trial := append(append([]int32(nil), shared...), a)
 			set := communityWithAttrs(g, q, k, model, trial)
 			if set != nil && (bestSet == nil || len(set) > len(bestSet)) {
@@ -195,6 +219,13 @@ func CoverageScore(g *graph.Graph, q graph.NodeID, members []graph.NodeID) float
 // connected structure, iteratively remove the node whose removal most
 // improves the attribute coverage score, stopping at a local optimum.
 func LocATC(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+	return LocATCContext(context.Background(), g, q, k, model)
+}
+
+// LocATCContext is LocATC under a context: the local search checks ctx
+// before every trial removal and, when cancelled, returns the best
+// community found so far with ctx's error wrapped.
+func LocATCContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	maint, members := maximal(g, q, k, model)
 	if maint == nil {
 		return nil, ErrNoCommunity
@@ -224,6 +255,9 @@ func LocATC(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID,
 		bestTrial := -math.MaxFloat64
 		var bestRemoved []graph.NodeID
 		for _, v := range trials {
+			if ctx.Err() != nil {
+				return interrupted(ctx, "locatc", best)
+			}
 			if v == maint.Query() {
 				continue
 			}
@@ -259,6 +293,13 @@ func LocATC(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID,
 // This mirrors the 2-approximation peeling of the VAC paper, using distance
 // to the farthest member as the vertex score.
 func VAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+	return VACContext(context.Background(), g, m, q, k, model)
+}
+
+// VACContext is VAC under a context: the peeling loop checks ctx before
+// every endpoint trial and, when cancelled, returns the best community
+// found so far with ctx's error wrapped.
+func VACContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	maint, members := maximal(g, q, k, model)
 	if maint == nil {
 		return nil, ErrNoCommunity
@@ -267,6 +308,9 @@ func VAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]
 	bestObj := m.MaxPairwise(best)
 	buf := make([]graph.NodeID, 0, len(members))
 	for {
+		if ctx.Err() != nil {
+			return interrupted(ctx, "vac", best)
+		}
 		buf = maint.Members(buf[:0])
 		if len(buf) <= minSize(k, model) {
 			break
@@ -276,6 +320,9 @@ func VAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]
 		a, b := worstPair(m, buf)
 		improved := false
 		for _, v := range []graph.NodeID{a, b} {
+			if ctx.Err() != nil {
+				return interrupted(ctx, "vac", best)
+			}
 			if v == maint.Query() || v < 0 {
 				continue
 			}
@@ -316,8 +363,31 @@ func worstPair(m *attr.Metric, members []graph.NodeID) (graph.NodeID, graph.Node
 
 // EVAC is the exact min-max search: branch-and-bound over node deletions
 // minimizing the maximum pairwise distance. Exponential; guarded by
-// maxStates, after which the best community so far is returned.
+// maxStates. It keeps its historical contract for legacy callers: a
+// non-positive budget returns the starting community without searching, and
+// an exhausted budget returns the best-so-far silently. New code should use
+// EVACContext, which reports exhaustion through ErrBudgetExhausted.
 func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
+	if maxStates <= 0 {
+		members := maximalMembers(g, q, k, model)
+		if members == nil {
+			return nil, ErrNoCommunity
+		}
+		return members, nil
+	}
+	members, err := EVACContext(context.Background(), g, m, q, k, model, maxStates)
+	if errors.Is(err, cserr.ErrBudgetExhausted) {
+		return members, nil
+	}
+	return members, err
+}
+
+// EVACContext is EVAC under a context: the branch-and-bound checks ctx on
+// every state and, when cancelled, returns the best community found so far
+// with ctx's error wrapped. maxStates ≤ 0 means unlimited; when a positive
+// budget is hit, the best-so-far is returned with ErrBudgetExhausted,
+// symmetric with exact.SearchContext.
+func EVACContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
 	maint, members := maximal(g, q, k, model)
 	if maint == nil {
 		return nil, ErrNoCommunity
@@ -325,11 +395,17 @@ func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, ma
 	best := append([]graph.NodeID(nil), members...)
 	bestObj := m.MaxPairwise(best)
 	states := 0
+	cancelled := false
+	exceeded := func() bool { return maxStates > 0 && states > maxStates }
 	var rec func()
 	buf := make([]graph.NodeID, 0, len(members))
 	rec = func() {
 		states++
-		if states > maxStates {
+		if exceeded() {
+			return
+		}
+		if ctx.Err() != nil {
+			cancelled = true
 			return
 		}
 		buf = maint.Members(buf[:0])
@@ -344,7 +420,7 @@ func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, ma
 		}
 		a, b := worstPair(m, cur)
 		for _, v := range []graph.NodeID{a, b} {
-			if v == maint.Query() || v < 0 || states > maxStates {
+			if v == maint.Query() || v < 0 || exceeded() || cancelled {
 				continue
 			}
 			removed, qAlive := maint.RemoveCascade(v)
@@ -355,5 +431,11 @@ func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, ma
 		}
 	}
 	rec()
+	if cancelled {
+		return interrupted(ctx, "evac", best)
+	}
+	if exceeded() {
+		return best, cserr.ErrBudgetExhausted
+	}
 	return best, nil
 }

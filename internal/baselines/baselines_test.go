@@ -1,8 +1,11 @@
 package baselines
 
 import (
+	"context"
 	"errors"
+	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/dataset"
@@ -199,4 +202,93 @@ func assertContains(t *testing.T, members []graph.NodeID, q graph.NodeID) {
 		}
 	}
 	t.Errorf("query %d not in community %v", q, members)
+}
+
+// cancelRing builds a circulant graph (every node linked to its d
+// successors) with one numerical attribute spreading nodes apart, so the
+// min-max objective keeps improving and branch-and-bound has work to do.
+func cancelRing(t testing.TB, n, d int) (*graph.Graph, *attr.Metric) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	b := graph.NewBuilder(n, 2)
+	for i := 0; i < n; i++ {
+		b.SetNumAttrs(graph.NodeID(i), rng.Float64(), rng.Float64())
+		for j := 1; j <= d; j++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID((i+j)%n))
+		}
+	}
+	g := b.MustBuild()
+	m, err := attr.NewMetric(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m
+}
+
+// TestEVACContextCancellation proves the acceptance criterion for a
+// baseline: a context cancelled mid-search returns promptly (well under
+// 50ms) with the best community found so far and an error wrapping the
+// context's error.
+func TestEVACContextCancellation(t *testing.T) {
+	g, m := cancelRing(t, 120, 6)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type answer struct {
+		members []graph.NodeID
+		err     error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		// Unlimited states: with random attributes both endpoints of the
+		// worst pair are viable deletions, so the branch-and-bound tree is
+		// exponential and cannot finish within any test budget on its own.
+		members, err := EVACContext(ctx, g, m, 0, 4, KCore, 0)
+		done <- answer{members, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	t0 := time.Now()
+	var got answer
+	select {
+	case got = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled EVAC search did not return")
+	}
+	if el := time.Since(t0); el > 50*time.Millisecond {
+		t.Fatalf("cancelled search took %v to return, want < 50ms", el)
+	}
+	if !errors.Is(got.err, context.Canceled) {
+		t.Fatalf("want error wrapping context.Canceled, got %v", got.err)
+	}
+	if len(got.members) == 0 {
+		t.Fatal("interrupted EVAC should carry the best community found so far")
+	}
+}
+
+// TestBaselinesHonorDeadContext pins the fast path of every baseline: a
+// context that is already cancelled stops the expansion loop on its first
+// check, returning the starting community with the context error wrapped.
+func TestBaselinesHonorDeadContext(t *testing.T) {
+	g, m := cancelRing(t, 60, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		run  func() ([]graph.NodeID, error)
+	}{
+		{"acq", func() ([]graph.NodeID, error) { return ACQContext(ctx, g, 0, 3, KCore) }},
+		{"locatc", func() ([]graph.NodeID, error) { return LocATCContext(ctx, g, 0, 3, KCore) }},
+		{"vac", func() ([]graph.NodeID, error) { return VACContext(ctx, g, m, 0, 3, KCore) }},
+		{"evac", func() ([]graph.NodeID, error) { return EVACContext(ctx, g, m, 0, 3, KCore, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			members, err := tc.run()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if len(members) == 0 {
+				t.Fatal("dead-context baseline should still return its starting community")
+			}
+		})
+	}
 }

@@ -1,0 +1,51 @@
+// Package cserr defines the error taxonomy shared by every community-search
+// method in this module. The SEA pipeline, the exact branch-and-bound, and
+// the ACQ/LocATC/VAC/EVAC baselines historically each declared their own
+// sentinel errors; a caller comparing methods (the Engine, the /compare HTTP
+// endpoint, the CLI) had to know which package produced an error to classify
+// it. Every method-level package now aliases its sentinels to the ones here,
+// so a single errors.Is check classifies an outcome regardless of the method
+// that produced it:
+//
+//	errors.Is(err, cserr.ErrNoCommunity)     // no qualifying community exists
+//	errors.Is(err, cserr.ErrBudgetExhausted) // search truncated by a state budget
+//	errors.Is(err, cserr.ErrInvalidRequest)  // the request itself is malformed
+//
+// Interrupted searches (deadline, client disconnect) are reported by wrapping
+// the context's own error, so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) classify them; no extra sentinel exists.
+package cserr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCommunity reports that no community satisfying the structural (and
+// size) constraints exists around the query node. It is definitive: no
+// budget or parameter change short of relaxing the constraints can help.
+var ErrNoCommunity = errors.New("community search: no community satisfying the constraints")
+
+// ErrBudgetExhausted reports that a state budget cut an exact search short.
+// The accompanying result still carries the best community found, so callers
+// may treat it as a valid (if unproven) answer.
+var ErrBudgetExhausted = errors.New("community search: state budget exhausted")
+
+// ErrInvalidRequest reports a malformed request: bad parameters, an unknown
+// method, a method/model combination that is not supported, or a query node
+// outside the graph. The HTTP layer maps it to 400 Bad Request.
+var ErrInvalidRequest = errors.New("community search: invalid request")
+
+// Invalidf builds an error wrapping ErrInvalidRequest with a detail message
+// formatted by fmt.Sprintf. The %w verb is NOT supported — a cause passed
+// to it is flattened into text, not wrapped; format causes with %v.
+func Invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidRequest, fmt.Sprintf(format, args...))
+}
+
+// Interruptedf wraps a context error with a formatted prefix describing
+// where the search was when it stopped. cause must be non-nil (typically
+// ctx.Err()); the result satisfies errors.Is against cause.
+func Interruptedf(cause error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), cause)
+}

@@ -1,9 +1,12 @@
 package engine
 
 // Batch execution through the engine: a bounded worker pool drives many
-// queries against the shared index and caches, each item carrying its own
+// requests against the shared index and caches, each item carrying its own
 // per-stage metrics. Unlike sea.BatchSearch, repeated or concurrent
-// identical queries in a batch are served once (cache + coalescing).
+// identical requests in a batch are served once (cache + coalescing), and
+// Config.RequestTimeout genuinely interrupts each item's search — a stuck
+// query is cancelled at its deadline instead of holding a worker and a
+// concurrency slot until it finishes on its own.
 
 import (
 	"context"
@@ -12,33 +15,40 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/query"
 	"repro/internal/sea"
 )
 
-// BatchItem pairs one query of a batch with its outcome and metrics.
+// BatchItem pairs one request of a batch with its outcome and metrics. A
+// truncated search (exhausted state budget) sets both Outcome — carrying
+// the best-so-far community — and Err; Outcome is nil only when the request
+// produced nothing at all.
 type BatchItem struct {
-	Query   graph.NodeID
-	Result  *sea.Result // nil when Err != nil
+	Request query.Request
+	Outcome *query.Outcome
 	Err     error
 	Metrics QueryMetrics
 }
 
-// BatchSearch executes every query with opts through the engine's worker
-// pool (Config.Workers goroutines) and returns the outcomes in query order.
-// Config.RequestTimeout bounds each item individually; cancelling ctx stops
-// feeding the pool and marks unstarted items with ctx's error.
-func (e *Engine) BatchSearch(ctx context.Context, queries []graph.NodeID, opts sea.Options) ([]BatchItem, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
+// Batch executes every request through the engine's worker pool
+// (Config.Workers goroutines) and returns the outcomes in request order.
+// Config.RequestTimeout bounds — and on expiry cancels — each item
+// individually; cancelling ctx stops feeding the pool, interrupts running
+// items, and marks unstarted items with ctx's error.
+func (e *Engine) Batch(ctx context.Context, reqs []query.Request) ([]BatchItem, error) {
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return nil, err
+		}
 	}
 	workers := e.cfg.Workers
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > len(reqs) {
+		workers = len(reqs)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	out := make([]BatchItem, len(queries))
+	out := make([]BatchItem, len(reqs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -46,20 +56,19 @@ func (e *Engine) BatchSearch(ctx context.Context, queries []graph.NodeID, opts s
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				q := queries[i]
-				res, qm, err := e.SearchWithMetrics(ctx, q, opts)
-				out[i] = BatchItem{Query: q, Result: res, Err: err, Metrics: qm}
+				res, qm, err := e.QueryWithMetrics(ctx, reqs[i])
+				out[i] = BatchItem{Request: reqs[i], Outcome: res, Err: err, Metrics: qm}
 			}
 		}()
 	}
 feed:
-	for i := range queries {
+	for i := range reqs {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
-			for j := i; j < len(queries); j++ {
-				out[j] = BatchItem{Query: queries[j], Err: ctx.Err(),
-					Metrics: QueryMetrics{Query: int64(queries[j]), Err: ctx.Err().Error()}}
+			for j := i; j < len(reqs); j++ {
+				out[j] = BatchItem{Request: reqs[j], Err: ctx.Err(),
+					Metrics: QueryMetrics{Query: int64(reqs[j].Query), Err: ctx.Err().Error()}}
 			}
 			break feed
 		}
@@ -69,15 +78,56 @@ feed:
 	return out, nil
 }
 
+// SEABatchItem pairs one query of the legacy BatchSearch with its outcome.
+// New code should use Batch, whose BatchItem carries the full
+// Request/Outcome pair.
+type SEABatchItem struct {
+	Query   graph.NodeID
+	Result  *sea.Result // nil when Err != nil
+	Err     error
+	Metrics QueryMetrics
+}
+
+// BatchSearch executes every query as a SEA request with opts; it is a
+// thin legacy adapter over Batch.
+func (e *Engine) BatchSearch(ctx context.Context, queries []graph.NodeID, opts sea.Options) ([]SEABatchItem, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := make([]query.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = query.FromOptions(q, opts)
+	}
+	items, err := e.Batch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SEABatchItem, len(items))
+	for i, it := range items {
+		out[i] = SEABatchItem{Query: it.Request.Query, Err: it.Err, Metrics: it.Metrics}
+		if it.Outcome != nil {
+			out[i].Result = it.Outcome.SEA
+		}
+	}
+	return out, nil
+}
+
+// metricsRow is any batch item exposing per-request metrics.
+type metricsRow interface{ metrics() QueryMetrics }
+
+func (it BatchItem) metrics() QueryMetrics    { return it.Metrics }
+func (it SEABatchItem) metrics() QueryMetrics { return it.Metrics }
+
 // WriteMetricsCSV writes one CSV row per batch item (header included), the
-// flat per-stage timing format of QueryMetrics.
-func WriteMetricsCSV(w io.Writer, items []BatchItem) error {
+// flat per-stage timing format of QueryMetrics. It accepts the items of
+// both Batch and the legacy BatchSearch.
+func WriteMetricsCSV[T metricsRow](w io.Writer, items []T) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(QueryMetricsHeader()); err != nil {
 		return err
 	}
 	for _, it := range items {
-		if err := cw.Write(it.Metrics.CSVRecord()); err != nil {
+		if err := cw.Write(it.metrics().CSVRecord()); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,6 @@
 // Package engine provides a long-lived, concurrency-safe serving layer over
-// a fixed attributed graph. Where the library-level sea.Search pays the full
-// per-query cost — metric construction, distance vectors, structural
+// a fixed attributed graph. Where the library-level query.Execute pays the
+// full per-query cost — metric construction, distance vectors, structural
 // decompositions — on every call, an Engine precomputes the per-graph state
 // once and shares it across queries:
 //
@@ -9,21 +9,23 @@
 //     decomposition on first k-truss query, and both serve as a shared
 //     admission index: a query node whose coreness (or incident trussness)
 //     is below k provably has no community, so the engine answers
-//     ErrNoCommunity without running a search;
-//   - per-query f(·,q) distance vectors and full search Results are held in
-//     sharded LRU caches;
+//     ErrNoCommunity without running a search — for every method;
+//   - per-query f(·,q) distance vectors and full Outcomes are held in
+//     sharded LRU caches, keyed by the canonical query.Request;
 //   - concurrent identical queries are coalesced single-flight style, so the
 //     work happens once while every caller gets the answer.
 //
-// Requests carry contexts; a per-request deadline bounds the wait, not the
-// computation, so an abandoned query still completes and warms the caches.
-// Every request yields flat, CSV-friendly per-stage timing metrics
-// (QueryMetrics) and the engine aggregates global counters (Stats).
+// Every request is one query.Request, whatever the method; Engine.Query is
+// the unified entry point and Engine.Search the SEA-only legacy form.
+// Requests carry contexts all the way into the search loops: a per-request
+// deadline (or a client disconnect) genuinely stops the computation once no
+// caller is waiting on it, freeing its concurrency slot. Every request
+// yields flat, CSV-friendly per-stage timing metrics (QueryMetrics) and the
+// engine aggregates global counters (Stats).
 package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -31,15 +33,17 @@ import (
 	"time"
 
 	"repro/internal/attr"
+	"repro/internal/cserr"
 	"repro/internal/graph"
 	"repro/internal/kcore"
+	"repro/internal/query"
 	"repro/internal/sea"
 	"repro/internal/truss"
 )
 
 // ErrQueryOutOfRange is returned (wrapped) when the query node ID is not a
-// node of the engine's graph.
-var ErrQueryOutOfRange = errors.New("engine: query node outside the graph")
+// node of the engine's graph. It wraps cserr.ErrInvalidRequest.
+var ErrQueryOutOfRange = fmt.Errorf("%w: query node outside the graph", cserr.ErrInvalidRequest)
 
 // Config parameterizes an Engine. The zero value is not valid; start from
 // DefaultConfig.
@@ -49,7 +53,7 @@ type Config struct {
 	// DistCacheSize bounds the number of cached f(·,q) distance vectors.
 	// Each entry holds 8·NumNodes bytes. ≤0 selects the default.
 	DistCacheSize int
-	// ResultCacheSize bounds the number of cached (query, options) Results.
+	// ResultCacheSize bounds the number of cached Request → Outcome entries.
 	// ≤0 selects the default.
 	ResultCacheSize int
 	// CacheShards is the number of independent LRU shards per cache.
@@ -60,8 +64,9 @@ type Config struct {
 	MaxConcurrent int
 	// Workers is the BatchSearch worker-pool size. ≤0 selects GOMAXPROCS.
 	Workers int
-	// RequestTimeout, when positive, bounds every request (Search and each
-	// BatchSearch item) that does not already carry an earlier deadline.
+	// RequestTimeout, when positive, bounds every request (Query, Search and
+	// each batch item) that does not already carry an earlier deadline. The
+	// deadline cancels the underlying search, not just the wait.
 	RequestTimeout time.Duration
 	// EagerTruss also builds the truss-level index at construction instead
 	// of on the first k-truss query.
@@ -78,26 +83,23 @@ func DefaultConfig() Config {
 	}
 }
 
-// resultKey identifies one cached search: Options has only value-typed
-// fields, so the key is comparable and equality is exact.
-type resultKey struct {
-	q    graph.NodeID
-	opts sea.Options
-}
-
-func (k resultKey) hash() uint64 {
-	h := fnvMix(fnvOffset, uint64(k.q))
-	h = fnvMix(h, uint64(k.opts.K))
-	h = fnvMix(h, uint64(k.opts.Model))
-	h = fnvMix(h, uint64(k.opts.Seed))
-	h = fnvMix(h, uint64(k.opts.SizeLo)<<32|uint64(k.opts.SizeHi))
-	h = fnvMix(h, math.Float64bits(k.opts.ErrorBound))
+// requestHash folds the discriminating fields of a canonical Request into
+// the shard/bucket hash. Equality is still exact (the full struct is the
+// map key); the hash only spreads entries.
+func requestHash(r query.Request) uint64 {
+	h := fnvMix(fnvOffset, uint64(r.Query))
+	h = fnvMix(h, uint64(r.Method))
+	h = fnvMix(h, uint64(r.K))
+	h = fnvMix(h, uint64(r.Model))
+	h = fnvMix(h, uint64(r.Seed))
+	h = fnvMix(h, uint64(r.SizeLo)<<32|uint64(r.SizeHi))
+	h = fnvMix(h, math.Float64bits(r.ErrorBound))
 	return h
 }
 
 // searchOutcome is the shared product of one coalesced computation.
 type searchOutcome struct {
-	res      *sea.Result
+	out      *query.Outcome
 	err      error
 	distHit  bool
 	distNS   int64
@@ -105,8 +107,8 @@ type searchOutcome struct {
 }
 
 // Engine is a concurrency-safe query-serving layer over one fixed graph.
-// Returned Results and their Community slices are shared across callers and
-// must be treated as immutable.
+// Returned Outcomes and their Community slices are shared across callers
+// and must be treated as immutable.
 type Engine struct {
 	g      *graph.Graph
 	metric *attr.Metric
@@ -118,8 +120,8 @@ type Engine struct {
 	truss     []int32 // max trussness over edges incident to each node
 
 	dists   *shardedLRU[graph.NodeID, []float64]
-	results *shardedLRU[resultKey, *sea.Result]
-	flight  flightGroup[resultKey, *searchOutcome]
+	results *shardedLRU[query.Request, *query.Outcome]
+	flight  flightGroup[query.Request, *searchOutcome]
 	dflight flightGroup[graph.NodeID, []float64]
 
 	sem chan struct{} // bounds concurrently executing searches
@@ -132,7 +134,7 @@ type Engine struct {
 // immutable by construction).
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if g == nil {
-		return nil, fmt.Errorf("engine: nil graph")
+		return nil, cserr.Invalidf("engine: nil graph")
 	}
 	m, err := attr.NewMetric(g, cfg.Gamma)
 	if err != nil {
@@ -164,8 +166,8 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	e.dists = newShardedLRU[graph.NodeID, []float64](
 		cfg.DistCacheSize, cfg.CacheShards,
 		func(q graph.NodeID) uint64 { return fnvMix(fnvOffset, uint64(q)) })
-	e.results = newShardedLRU[resultKey, *sea.Result](
-		cfg.ResultCacheSize, cfg.CacheShards, resultKey.hash)
+	e.results = newShardedLRU[query.Request, *query.Outcome](
+		cfg.ResultCacheSize, cfg.CacheShards, requestHash)
 	if cfg.EagerTruss {
 		e.nodeTruss()
 	}
@@ -181,36 +183,69 @@ func (e *Engine) Metric() *attr.Metric { return e.metric }
 // Coreness returns the precomputed coreness of q.
 func (e *Engine) Coreness(q graph.NodeID) int32 { return e.core[q] }
 
-// Search runs one community search, serving from the result cache, the
-// shared admission index, or a (possibly coalesced) SEA execution. See
-// SearchWithMetrics for per-stage timings.
+// Query runs one community-search request with whatever method it names,
+// serving from the result cache, the shared admission index, or a (possibly
+// coalesced) execution. See QueryWithMetrics for per-stage timings.
+func (e *Engine) Query(ctx context.Context, req query.Request) (*query.Outcome, error) {
+	out, _, err := e.QueryWithMetrics(ctx, req)
+	return out, err
+}
+
+// QueryWithMetrics is Query returning per-stage timing metrics alongside
+// the outcome. The metrics row is valid on error paths too (Err is set).
+func (e *Engine) QueryWithMetrics(ctx context.Context, req query.Request) (*query.Outcome, QueryMetrics, error) {
+	t0 := time.Now()
+	req = req.WithDefaults()
+	qm := QueryMetrics{Query: int64(req.Query), K: req.K, Model: req.Model.String(), Method: req.Method.String()}
+	out, err := e.serve(ctx, req, &qm)
+	qm.TotalNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		qm.Err = err.Error()
+		e.ctr.errors.Add(1)
+	}
+	return out, qm, err
+}
+
+// Search runs one SEA request in the legacy (query, options) form; it is a
+// thin adapter over Query, kept so the deprecated public wrappers and older
+// callers keep working. New code should build a query.Request and use Query.
 func (e *Engine) Search(ctx context.Context, q graph.NodeID, opts sea.Options) (*sea.Result, error) {
 	res, _, err := e.SearchWithMetrics(ctx, q, opts)
 	return res, err
 }
 
 // SearchWithMetrics is Search returning per-stage timing metrics alongside
-// the result. The metrics row is valid on error paths too (Err is set).
+// the result. Like Search, it is a legacy adapter over QueryWithMetrics.
 func (e *Engine) SearchWithMetrics(ctx context.Context, q graph.NodeID, opts sea.Options) (*sea.Result, QueryMetrics, error) {
-	t0 := time.Now()
-	qm := QueryMetrics{Query: int64(q), K: opts.K, Model: opts.Model.String()}
-	res, err := e.search(ctx, q, opts, &qm)
-	qm.TotalNS = time.Since(t0).Nanoseconds()
-	if err != nil {
-		qm.Err = err.Error()
-		e.ctr.errors.Add(1)
+	// Validate the literal options first: the Request form resolves zero
+	// values to defaults, but the legacy contract rejects them.
+	if err := opts.Validate(); err != nil {
+		return nil, QueryMetrics{Query: int64(q), K: opts.K, Model: opts.Model.String(),
+			Method: query.MethodSEA.String(), Err: err.Error()}, err
 	}
-	return res, qm, err
+	out, qm, err := e.QueryWithMetrics(ctx, query.FromOptions(q, opts))
+	if err != nil {
+		return nil, qm, err
+	}
+	return out.SEA, qm, nil
 }
 
-func (e *Engine) search(ctx context.Context, q graph.NodeID, opts sea.Options, qm *QueryMetrics) (*sea.Result, error) {
-	if err := opts.Validate(); err != nil {
+func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics) (*query.Outcome, error) {
+	e.ctr.queries.Add(1)
+	// Cache first, validation after: only validated requests ever land in
+	// the cache, so a hit proves validity and the hot path skips the
+	// Validate/Options projection entirely; anything malformed misses and
+	// is rejected below before reaching the indexes.
+	if out, ok := e.results.get(req); ok {
+		qm.ResultHit = true
+		return out, nil
+	}
+	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	if int(q) < 0 || int(q) >= e.g.NumNodes() {
-		return nil, fmt.Errorf("%w: node %d, graph [0,%d)", ErrQueryOutOfRange, q, e.g.NumNodes())
+	if int(req.Query) < 0 || int(req.Query) >= e.g.NumNodes() {
+		return nil, fmt.Errorf("%w: node %d, graph [0,%d)", ErrQueryOutOfRange, req.Query, e.g.NumNodes())
 	}
-	e.ctr.queries.Add(1)
 	if e.cfg.RequestTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -219,24 +254,20 @@ func (e *Engine) search(ctx context.Context, q graph.NodeID, opts sea.Options, q
 		}
 	}
 
-	key := resultKey{q: q, opts: opts}
-	if res, ok := e.results.get(key); ok {
-		qm.ResultHit = true
-		return res, nil
-	}
-
 	// Admission: the shared decomposition proves absence without a search.
+	// Every registered method returns a connected k-core or k-truss around
+	// the query node, so the check is method-agnostic.
 	ti := time.Now()
-	admitted := e.admit(q, opts)
+	admitted := e.admit(req.Query, req.K, req.Model)
 	qm.IndexNS = time.Since(ti).Nanoseconds()
 	if !admitted {
 		qm.IndexHit = true
 		e.ctr.indexRejects.Add(1)
-		return nil, sea.ErrNoCommunity
+		return nil, cserr.ErrNoCommunity
 	}
 
-	out, err, joined := e.flight.do(ctx, key, func() (*searchOutcome, error) {
-		return e.compute(key), nil
+	out, err, joined := e.flight.do(ctx, req, func(cctx context.Context) (*searchOutcome, error) {
+		return e.compute(cctx, req), nil
 	})
 	if joined {
 		qm.Coalesced = true
@@ -246,42 +277,48 @@ func (e *Engine) search(ctx context.Context, q graph.NodeID, opts sea.Options, q
 		return nil, err // context expired while waiting
 	}
 	qm.DistHit, qm.DistNS, qm.SearchNS = out.distHit, out.distNS, out.searchNS
-	return out.res, out.err
+	return out.out, out.err
 }
 
-// compute performs the cache-miss path of one search under the concurrency
-// cap. It runs detached from request contexts so a completed computation
-// always lands in the caches.
-func (e *Engine) compute(key resultKey) *searchOutcome {
-	e.sem <- struct{}{}
+// compute performs the cache-miss path of one request under the concurrency
+// cap. ctx is the flight's computation context: it is cancelled when every
+// caller has abandoned the request, which stops the search loops and frees
+// the slot. Only error-free outcomes land in the cache.
+func (e *Engine) compute(ctx context.Context, req query.Request) *searchOutcome {
+	out := &searchOutcome{}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		out.err = ctx.Err()
+		return out
+	}
 	defer func() { <-e.sem }()
 
-	out := &searchOutcome{}
 	td := time.Now()
-	dist, hit := e.queryDist(key.q)
+	dist, hit := e.queryDist(req.Query)
 	out.distHit = hit
 	out.distNS = time.Since(td).Nanoseconds()
 
 	ts := time.Now()
 	e.ctr.searchRuns.Add(1)
-	res, err := sea.SearchWithDist(e.g, dist, key.q, key.opts)
+	res, err := query.Run(ctx, e.g, e.metric, dist, req)
 	out.searchNS = time.Since(ts).Nanoseconds()
-	if err != nil {
-		out.err = err
-		return out
+	out.out, out.err = res, err
+	if err == nil {
+		e.results.put(req, res)
 	}
-	out.res = res
-	e.results.put(key, res)
 	return out
 }
 
 // queryDist returns the f(·,q) vector from the distance cache, computing and
-// caching it (single-flight per q) on a miss. hit reports a cache hit.
+// caching it (single-flight per q) on a miss. hit reports a cache hit. The
+// computation is brief and always completes, so it runs detached from
+// request contexts and warms the cache even for abandoned requests.
 func (e *Engine) queryDist(q graph.NodeID) (dist []float64, hit bool) {
 	if d, ok := e.dists.get(q); ok {
 		return d, true
 	}
-	d, _, _ := e.dflight.do(context.Background(), q, func() ([]float64, error) {
+	d, _, _ := e.dflight.do(context.Background(), q, func(context.Context) ([]float64, error) {
 		d := e.metric.QueryDist(q)
 		e.dists.put(q, d)
 		return d, nil
@@ -289,17 +326,17 @@ func (e *Engine) queryDist(q graph.NodeID) (dist []float64, hit bool) {
 	return d, false
 }
 
-// admit reports whether a community satisfying opts' structural model can
-// exist around q, answered from the shared decompositions. A false return is
-// definitive: sea.Search would return ErrNoCommunity. (A k-core or k-truss of
-// any induced subgraph is one of g itself, so a full-graph rejection covers
-// every sample too.)
-func (e *Engine) admit(q graph.NodeID, opts sea.Options) bool {
-	switch opts.Model {
+// admit reports whether a community under the structural model can exist
+// around q, answered from the shared decompositions. A false return is
+// definitive: any method would return ErrNoCommunity. (A k-core or k-truss
+// of any induced subgraph is one of g itself, so a full-graph rejection
+// covers every sample too.)
+func (e *Engine) admit(q graph.NodeID, k int, model sea.Model) bool {
+	switch model {
 	case sea.KTruss:
-		return int(e.nodeTruss()[q]) >= opts.K
+		return int(e.nodeTruss()[q]) >= k
 	default:
-		return int(e.core[q]) >= opts.K
+		return int(e.core[q]) >= k
 	}
 }
 

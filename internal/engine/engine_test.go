@@ -11,6 +11,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/query"
 	"repro/internal/sea"
 )
 
@@ -191,7 +192,7 @@ func TestEngineCoalescing(t *testing.T) {
 	cfg.MaxConcurrent = 1
 	e, _, q := testEngine(t, cfg)
 	opts := testOpts()
-	key := resultKey{q: q, opts: opts}
+	key := query.FromOptions(q, opts).WithDefaults()
 
 	e.sem <- struct{}{} // block the compute path behind the concurrency cap
 
@@ -243,12 +244,19 @@ func TestEngineRequestDeadline(t *testing.T) {
 	}
 	<-e.sem
 
-	// The abandoned computation still completes and warms the cache …
-	waitFor(t, func() bool { return e.Stats().ResultEntries == 1 }, "abandoned search to land in cache")
-	// … so the same request now succeeds inside any deadline.
-	res, qm, err := e.SearchWithMetrics(context.Background(), q, opts)
-	if err != nil || res == nil || !qm.ResultHit {
-		t.Fatalf("cached retry: res=%v metrics=%+v err=%v", res, qm, err)
+	// The deadline cancelled the underlying computation (no caller was left
+	// waiting), so nothing lands in the cache and the slot is free again; a
+	// request that brings its own ample deadline succeeds from scratch.
+	waitFor(t, func() bool {
+		e.flight.mu.Lock()
+		defer e.flight.mu.Unlock()
+		return len(e.flight.calls) == 0
+	}, "cancelled computation to drain")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, qm, err := e.SearchWithMetrics(ctx, q, opts)
+	if err != nil || res == nil || qm.ResultHit {
+		t.Fatalf("fresh retry: res=%v metrics=%+v err=%v", res, qm, err)
 	}
 }
 

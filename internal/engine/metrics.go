@@ -16,6 +16,7 @@ type QueryMetrics struct {
 	Query     int64  `json:"query"`      // query node ID
 	K         int    `json:"k"`          // structural parameter
 	Model     string `json:"model"`      // community model name
+	Method    string `json:"method"`     // search method name
 	ResultHit bool   `json:"result_hit"` // served from the result cache
 	DistHit   bool   `json:"dist_hit"`   // f(·,q) vector served from the distance cache
 	Coalesced bool   `json:"coalesced"`  // joined an identical in-flight query
@@ -30,7 +31,7 @@ type QueryMetrics struct {
 // QueryMetricsHeader returns the CSV header matching CSVRecord.
 func QueryMetricsHeader() []string {
 	return []string{
-		"query", "k", "model", "result_hit", "dist_hit", "coalesced",
+		"query", "k", "model", "method", "result_hit", "dist_hit", "coalesced",
 		"index_hit", "index_ns", "dist_ns", "search_ns", "total_ns", "err",
 	}
 }
@@ -41,6 +42,7 @@ func (m QueryMetrics) CSVRecord() []string {
 		strconv.FormatInt(m.Query, 10),
 		strconv.Itoa(m.K),
 		m.Model,
+		m.Method,
 		strconv.FormatBool(m.ResultHit),
 		strconv.FormatBool(m.DistHit),
 		strconv.FormatBool(m.Coalesced),

@@ -1,7 +1,10 @@
 package engine
 
 // HTTP serving surface for an Engine: a stdlib http.Handler exposing
-// /search, /batch, /healthz and /stats as JSON endpoints. cmd/seaserve
+// /search, /batch, /compare, /healthz and /stats as JSON endpoints. All
+// query endpoints decode the same wire form of query.Request, so one JSON
+// body works across single search, batch and method comparison; /compare
+// replays one request through several methods side by side. cmd/seaserve
 // wires this to flags and a listener.
 
 import (
@@ -12,67 +15,48 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
+	"repro/internal/cserr"
 	"repro/internal/graph"
-	"repro/internal/sea"
+	"repro/internal/query"
+	"repro/internal/stats"
 )
 
 // toNodeID converts a wire-format node ID, rejecting values that would
 // silently truncate to a different (possibly valid) int32 node.
 func toNodeID(v int64) (graph.NodeID, error) {
 	if v < math.MinInt32 || v > math.MaxInt32 {
-		return 0, fmt.Errorf("query node %d outside the node-ID range", v)
+		return 0, cserr.Invalidf("query node %d outside the node-ID range", v)
 	}
 	return graph.NodeID(v), nil
 }
 
-// optionsJSON is the wire form of sea.Options; zero-valued fields keep the
-// paper defaults of sea.DefaultOptions.
-type optionsJSON struct {
-	K          int     `json:"k"`
-	Model      string  `json:"model"` // "core" (default) or "truss"
-	ErrorBound float64 `json:"e"`
-	Confidence float64 `json:"confidence"`
-	SizeLo     int     `json:"size_lo"`
-	SizeHi     int     `json:"size_hi"`
-	Seed       int64   `json:"seed"`
-	NoRefine   bool    `json:"no_refine"`
+// wireRequest is the JSON wire form shared by /search, /batch and /compare:
+// the fields of query.Request plus the endpoint-specific Q/Queries/Methods.
+// The outer Q shadows the embedded Request's "q" tag so a missing query
+// node is distinguishable from node 0.
+type wireRequest struct {
+	Q       *int64   `json:"q"`
+	Queries []int64  `json:"queries"`
+	Methods []string `json:"methods"`
+	query.Request
 }
 
-func (o optionsJSON) toOptions() (sea.Options, error) {
-	opts := sea.DefaultOptions()
-	if o.K != 0 {
-		opts.K = o.K
+// toRequest resolves the wire form into one canonical Request (using q, not
+// Queries/Methods) and validates it.
+func (w wireRequest) toRequest() (query.Request, error) {
+	req := w.Request
+	if w.Q == nil {
+		return req, cserr.Invalidf("missing query node \"q\"")
 	}
-	switch o.Model {
-	case "", "core":
-	case "truss":
-		opts.Model = sea.KTruss
-	default:
-		return opts, fmt.Errorf("unknown model %q (want core or truss)", o.Model)
+	q, err := toNodeID(*w.Q)
+	if err != nil {
+		return req, err
 	}
-	if o.ErrorBound != 0 {
-		opts.ErrorBound = o.ErrorBound
-	}
-	if o.Confidence != 0 {
-		opts.Confidence = o.Confidence
-	}
-	opts.SizeLo, opts.SizeHi = o.SizeLo, o.SizeHi
-	if o.Seed != 0 {
-		opts.Seed = o.Seed
-	}
-	opts.NoRefine = o.NoRefine
-	return opts, opts.Validate()
-}
-
-type searchRequest struct {
-	Q *int64 `json:"q"`
-	optionsJSON
-}
-
-type batchRequest struct {
-	Queries []int64 `json:"queries"`
-	optionsJSON
+	req.Query = q
+	req = req.WithDefaults()
+	return req, req.Validate()
 }
 
 type ciJSON struct {
@@ -85,11 +69,14 @@ type ciJSON struct {
 
 type searchResponse struct {
 	Query     int64          `json:"query"`
+	Method    string         `json:"method,omitempty"`
 	Community []graph.NodeID `json:"community,omitempty"`
 	Size      int            `json:"size"`
 	Delta     float64        `json:"delta"`
 	CI        ciJSON         `json:"ci"`
 	Satisfied bool           `json:"satisfied"`
+	States    int64          `json:"states,omitempty"`
+	Truncated bool           `json:"truncated,omitempty"`
 	Metrics   QueryMetrics   `json:"metrics"`
 	Err       string         `json:"err,omitempty"`
 }
@@ -98,25 +85,56 @@ type batchResponse struct {
 	Items []searchResponse `json:"items"`
 }
 
+type compareResponse struct {
+	Query int64 `json:"query"`
+	// Best names the method with the smallest δ among the successful runs
+	// (empty when none succeeded).
+	Best  string           `json:"best,omitempty"`
+	Items []searchResponse `json:"items"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func toResponse(q graph.NodeID, res *sea.Result, qm QueryMetrics, err error) searchResponse {
-	out := searchResponse{Query: int64(q), Metrics: qm}
+// statusFor maps the unified error taxonomy to HTTP statuses: invalid
+// requests → 400, provable absence → 404, interruptions → 408, exhausted
+// budgets still carry a best-so-far community → 200 with Err set.
+func statusFor(err error) int {
+	switch {
+	case err == nil, errors.Is(err, cserr.ErrBudgetExhausted):
+		return http.StatusOK
+	case errors.Is(err, cserr.ErrInvalidRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, cserr.ErrNoCommunity):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func toResponse(req query.Request, out *query.Outcome, qm QueryMetrics, err error) searchResponse {
+	resp := searchResponse{Query: int64(req.Query), Method: req.Method.String(), Metrics: qm}
 	if err != nil {
-		out.Err = err.Error()
-		return out
+		resp.Err = err.Error()
 	}
-	out.Community = res.Community
-	out.Size = len(res.Community)
-	out.Delta = res.Delta
-	out.CI = ciJSON{
-		Center: res.CI.Center, MoE: res.CI.MoE,
-		Lo: res.CI.Lo(), Hi: res.CI.Hi(), Confidence: res.CI.Confidence,
+	if out == nil {
+		return resp
 	}
-	out.Satisfied = res.Satisfied
-	return out
+	resp.Community = out.Community
+	resp.Size = len(out.Community)
+	resp.Delta = out.Delta
+	resp.CI = toCIJSON(out.CI)
+	resp.Satisfied = out.Satisfied
+	resp.States = out.States
+	resp.Truncated = out.Truncated
+	return resp
+}
+
+func toCIJSON(ci stats.CI) ciJSON {
+	return ciJSON{Center: ci.Center, MoE: ci.MoE, Lo: ci.Lo(), Hi: ci.Hi(), Confidence: ci.Confidence}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,104 +149,139 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // NewHTTPHandler returns the JSON serving surface of e:
 //
-//	POST /search   {"q":12,"k":6,"model":"core",...} → one community
-//	GET  /search?q=12&k=6&model=core                → same, for curl
-//	POST /batch    {"queries":[1,2,3],"k":6,...}    → one item per query
-//	GET  /healthz                                   → liveness + graph shape
-//	GET  /stats                                     → engine counters/caches
+//	POST /search    {"q":12,"method":"sea","k":6,...}       → one community
+//	GET  /search?q=12&k=6&method=exact                      → same, for curl
+//	POST /batch     {"queries":[1,2,3],"k":6,...}           → one item per query
+//	POST /compare   {"q":12,"methods":["sea","exact"],...}  → one item per method
+//	GET  /compare?q=12&methods=sea,exact,vac                → same, for curl
+//	GET  /healthz                                           → liveness + graph shape
+//	GET  /stats                                             → engine counters/caches
 func NewHTTPHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		var req searchRequest
-		switch r.Method {
-		case http.MethodGet:
-			if err := searchRequestFromQuery(r, &req); err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-		case http.MethodPost:
-			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-				return
-			}
-		default:
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		wire, ok := decodeWire(w, r, http.MethodGet, http.MethodPost)
+		if !ok {
 			return
 		}
-		if req.Q == nil {
-			writeError(w, http.StatusBadRequest, errors.New("missing query node \"q\""))
-			return
-		}
-		opts, err := req.toOptions()
+		req, err := wire.toRequest()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusFor(err), err)
 			return
 		}
-		q, err := toNodeID(*req.Q)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		res, qm, err := e.SearchWithMetrics(r.Context(), q, opts)
-		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, sea.ErrNoCommunity):
-				status = http.StatusNotFound
-			case errors.Is(err, ErrQueryOutOfRange):
-				status = http.StatusBadRequest
-			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-				status = http.StatusRequestTimeout
-			}
-			writeJSON(w, status, toResponse(q, nil, qm, err))
-			return
-		}
-		writeJSON(w, http.StatusOK, toResponse(q, res, qm, nil))
+		out, qm, err := e.QueryWithMetrics(r.Context(), req)
+		writeJSON(w, statusFor(err), toResponse(req, out, qm, err))
 	})
 	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		wire, ok := decodeWire(w, r, http.MethodPost)
+		if !ok {
 			return
 		}
-		var req batchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if len(wire.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, cserr.Invalidf("missing \"queries\""))
 			return
 		}
-		if len(req.Queries) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New("missing \"queries\""))
-			return
-		}
-		opts, err := req.toOptions()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		queries := make([]graph.NodeID, len(req.Queries))
-		for i, q := range req.Queries {
+		reqs := make([]query.Request, len(wire.Queries))
+		for i, q := range wire.Queries {
 			id, err := toNodeID(q)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, err)
 				return
 			}
-			queries[i] = id
+			req := wire.Request
+			req.Query = id
+			reqs[i] = req.WithDefaults()
 		}
-		items, err := e.BatchSearch(r.Context(), queries, opts)
+		items, err := e.Batch(r.Context(), reqs)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, statusFor(err), err)
 			return
 		}
 		resp := batchResponse{Items: make([]searchResponse, len(items))}
 		for i, it := range items {
-			resp.Items[i] = toResponse(it.Query, it.Result, it.Metrics, it.Err)
+			resp.Items[i] = toResponse(it.Request, it.Outcome, it.Metrics, it.Err)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) {
+		wire, ok := decodeWire(w, r, http.MethodGet, http.MethodPost)
+		if !ok {
+			return
+		}
+		if wire.Q == nil {
+			writeError(w, http.StatusBadRequest, cserr.Invalidf("missing query node \"q\""))
+			return
+		}
+		q, err := toNodeID(*wire.Q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		names := wire.Methods
+		if len(names) == 0 {
+			writeError(w, http.StatusBadRequest, cserr.Invalidf("missing \"methods\""))
+			return
+		}
+		reqs := make([]query.Request, len(names))
+		for i, name := range names {
+			if name == "" {
+				// ParseMethod resolves "" to SEA for omitted single-method
+				// fields; in an explicit list it is a malformed entry
+				// (typically a stray comma), not a request for SEA.
+				writeError(w, http.StatusBadRequest, cserr.Invalidf("empty method name in \"methods\""))
+				return
+			}
+			m, err := query.ParseMethod(name)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			// Canonicalize from the raw wire request per method, never from
+			// another method's canonical form: WithDefaults neutralizes the
+			// parameters a method ignores (e.g. MaxStates under SEA), so a
+			// shared canonical base would silently drop parameters the
+			// other methods need.
+			req := wire.Request
+			req.Query = q
+			req.Method = m
+			req = req.WithDefaults()
+			if err := req.Validate(); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			reqs[i] = req
+		}
+		// One request, several solvers, side by side, through the engine's
+		// bounded worker pool (admission, caches, coalescing, per-stage
+		// metrics all apply per method).
+		items, err := e.Batch(r.Context(), reqs)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		resp := compareResponse{Query: int64(q), Items: make([]searchResponse, len(items))}
+		for i, it := range items {
+			resp.Items[i] = toResponse(it.Request, it.Outcome, it.Metrics, it.Err)
+		}
+		best := -1
+		for i := range resp.Items {
+			if resp.Items[i].Err != "" && !resp.Items[i].Truncated {
+				continue
+			}
+			if best < 0 || resp.Items[i].Delta < resp.Items[best].Delta {
+				best = i
+			}
+		}
+		if best >= 0 {
+			resp.Best = resp.Items[best].Method
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"nodes":  e.Graph().NumNodes(),
-			"edges":  e.Graph().NumEdges(),
+			"status":  "ok",
+			"nodes":   e.Graph().NumNodes(),
+			"edges":   e.Graph().NumEdges(),
+			"methods": query.MethodNames(),
 		})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -237,14 +290,53 @@ func NewHTTPHandler(e *Engine) http.Handler {
 	return mux
 }
 
-// searchRequestFromQuery fills req from URL query parameters (GET /search).
-func searchRequestFromQuery(r *http.Request, req *searchRequest) error {
+// decodeWire extracts a wireRequest from the body (POST) or the URL query
+// parameters (GET), writing the error response itself when it fails.
+func decodeWire(w http.ResponseWriter, r *http.Request, allowed ...string) (wireRequest, bool) {
+	var wire wireRequest
+	methodOK := false
+	for _, m := range allowed {
+		methodOK = methodOK || r.Method == m
+	}
+	switch {
+	case !methodOK:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", strings.Join(allowed, " or ")))
+		return wire, false
+	case r.Method == http.MethodGet:
+		if err := wireFromQuery(r, &wire); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return wire, false
+		}
+	default:
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			if !errors.Is(err, cserr.ErrInvalidRequest) {
+				err = cserr.Invalidf("bad request body: %v", err)
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return wire, false
+		}
+	}
+	return wire, true
+}
+
+// wireFromQuery fills wire from URL query parameters (GET endpoints).
+func wireFromQuery(r *http.Request, wire *wireRequest) error {
 	vals := r.URL.Query()
 	intField := func(name string, dst *int) error {
 		if s := vals.Get(name); s != "" {
 			v, err := strconv.Atoi(s)
 			if err != nil {
-				return fmt.Errorf("bad %s=%q", name, s)
+				return cserr.Invalidf("bad %s=%q", name, s)
+			}
+			*dst = v
+		}
+		return nil
+	}
+	int64Field := func(name string, dst *int64) error {
+		if s := vals.Get(name); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return cserr.Invalidf("bad %s=%q", name, s)
 			}
 			*dst = v
 		}
@@ -254,7 +346,7 @@ func searchRequestFromQuery(r *http.Request, req *searchRequest) error {
 		if s := vals.Get(name); s != "" {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
-				return fmt.Errorf("bad %s=%q", name, s)
+				return cserr.Invalidf("bad %s=%q", name, s)
 			}
 			*dst = v
 		}
@@ -263,31 +355,40 @@ func searchRequestFromQuery(r *http.Request, req *searchRequest) error {
 	if s := vals.Get("q"); s != "" {
 		v, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad q=%q", s)
+			return cserr.Invalidf("bad q=%q", s)
 		}
-		req.Q = &v
+		wire.Q = &v
 	}
-	if s := vals.Get("seed"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad seed=%q", s)
-		}
-		req.Seed = v
+	if s := vals.Get("methods"); s != "" {
+		wire.Methods = strings.Split(s, ",")
 	}
-	req.Model = vals.Get("model")
-	req.NoRefine = vals.Get("no_refine") == "true"
+	if err := wire.Method.UnmarshalText([]byte(vals.Get("method"))); err != nil {
+		return err
+	}
+	if err := wire.Model.UnmarshalText([]byte(vals.Get("model"))); err != nil {
+		return err
+	}
+	wire.NoRefine = vals.Get("no_refine") == "true"
 	for _, f := range []struct {
 		name string
 		dst  *int
-	}{{"k", &req.K}, {"size_lo", &req.SizeLo}, {"size_hi", &req.SizeHi}} {
+	}{{"k", &wire.K}, {"size_lo", &wire.SizeLo}, {"size_hi", &wire.SizeHi}, {"max_rounds", &wire.MaxRounds}} {
 		if err := intField(f.name, f.dst); err != nil {
 			return err
 		}
 	}
 	for _, f := range []struct {
 		name string
+		dst  *int64
+	}{{"seed", &wire.Seed}, {"max_states", &wire.MaxStates}} {
+		if err := int64Field(f.name, f.dst); err != nil {
+			return err
+		}
+	}
+	for _, f := range []struct {
+		name string
 		dst  *float64
-	}{{"e", &req.ErrorBound}, {"confidence", &req.Confidence}} {
+	}{{"e", &wire.ErrorBound}, {"confidence", &wire.Confidence}, {"lambda", &wire.Lambda}} {
 		if err := floatField(f.name, f.dst); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/query"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *Engine) {
@@ -162,4 +165,116 @@ func TestServerBatchAndStats(t *testing.T) {
 
 	var errOut map[string]any
 	postJSON(t, srv.URL+"/batch", `{"queries":[]}`, http.StatusBadRequest, &errOut)
+}
+
+func TestServerSearchWithMethod(t *testing.T) {
+	srv, _ := testServer(t)
+	q := int64(testDataset(t).QueryNodes(1, 6, 3)[0])
+
+	var exact searchResponse
+	postJSON(t, srv.URL+"/search", fmt.Sprintf(`{"q":%d,"k":6,"method":"exact","max_states":500000}`, q), http.StatusOK, &exact)
+	if exact.Method != "exact" || exact.Size == 0 || exact.States == 0 {
+		t.Fatalf("exact via HTTP: %+v", exact)
+	}
+	var structural searchResponse
+	getJSON(t, fmt.Sprintf("%s/search?q=%d&k=6&method=structural", srv.URL, q), http.StatusOK, &structural)
+	if structural.Method != "structural" || structural.Size < exact.Size {
+		t.Fatalf("structural ⊇ exact expected: %+v vs %+v", structural, exact)
+	}
+	var bad map[string]any
+	postJSON(t, srv.URL+"/search", fmt.Sprintf(`{"q":%d,"method":"bogus"}`, q), http.StatusBadRequest, &bad)
+	// Method/model mismatch is a 400, not a silent fallback.
+	postJSON(t, srv.URL+"/search", fmt.Sprintf(`{"q":%d,"method":"exact","model":"truss"}`, q), http.StatusBadRequest, &bad)
+}
+
+// TestServerCompare pins the /compare contract: one request replayed
+// through several methods, one item per method, with Best naming the
+// smallest δ among the successful runs.
+func TestServerCompare(t *testing.T) {
+	srv, e := testServer(t)
+	q := int64(testDataset(t).QueryNodes(1, 6, 3)[0])
+
+	var out compareResponse
+	postJSON(t, srv.URL+"/compare",
+		fmt.Sprintf(`{"q":%d,"k":6,"methods":["sea","exact","vac","structural"],"max_states":500000}`, q),
+		http.StatusOK, &out)
+	if len(out.Items) != 4 {
+		t.Fatalf("got %d items", len(out.Items))
+	}
+	deltas := map[string]float64{}
+	for i, it := range out.Items {
+		if it.Err != "" {
+			t.Fatalf("item %d (%s): %s", i, it.Method, it.Err)
+		}
+		if it.Size == 0 {
+			t.Fatalf("item %d (%s) has no community", i, it.Method)
+		}
+		deltas[it.Method] = it.Delta
+	}
+	// The exact δ is the optimum: nothing beats it, and Best reflects that.
+	for m, d := range deltas {
+		if d < deltas["exact"] {
+			t.Fatalf("method %s beat the exact optimum: %v < %v", m, d, deltas["exact"])
+		}
+	}
+	if out.Best == "" || deltas[out.Best] != deltas["exact"] {
+		t.Fatalf("best=%q deltas=%v", out.Best, deltas)
+	}
+	if s := e.Stats(); s.Queries < 4 {
+		t.Fatalf("compare ran %d queries", s.Queries)
+	}
+
+	// GET form with comma-separated methods.
+	var out2 compareResponse
+	getJSON(t, fmt.Sprintf("%s/compare?q=%d&k=6&methods=sea,structural", srv.URL, q), http.StatusOK, &out2)
+	if len(out2.Items) != 2 {
+		t.Fatalf("GET compare: %+v", out2)
+	}
+	// max_states must reach the budgeted method, not be neutralized by the
+	// wire request's default (SEA) canonical form: a 2-state budget forces a
+	// truncated best-so-far exact answer.
+	var tiny compareResponse
+	postJSON(t, srv.URL+"/compare",
+		fmt.Sprintf(`{"q":%d,"k":2,"methods":["exact"],"max_states":2}`, q), http.StatusOK, &tiny)
+	if len(tiny.Items) != 1 || !tiny.Items[0].Truncated || tiny.Items[0].Err == "" || tiny.Items[0].Size == 0 {
+		t.Fatalf("budgeted compare item: %+v", tiny.Items)
+	}
+
+	var errOut map[string]any
+	postJSON(t, srv.URL+"/compare", fmt.Sprintf(`{"q":%d,"k":6}`, q), http.StatusBadRequest, &errOut)
+	postJSON(t, srv.URL+"/compare", fmt.Sprintf(`{"q":%d,"methods":["bogus"]}`, q), http.StatusBadRequest, &errOut)
+	// An empty entry (stray trailing comma) is malformed, not implicit SEA.
+	getJSON(t, fmt.Sprintf("%s/compare?q=%d&k=6&methods=sea,exact,", srv.URL, q), http.StatusBadRequest, &errOut)
+}
+
+// TestRequestRoundTripsThroughHTTP is the acceptance criterion's HTTP leg:
+// the same Request serialized as JSON and answered over HTTP returns the
+// identical community the library returns, field for field through the wire.
+func TestRequestRoundTripsThroughHTTP(t *testing.T) {
+	srv, e := testServer(t)
+	d := testDataset(t)
+	q := d.QueryNodes(1, 6, 3)[0]
+
+	req := query.DefaultRequest(q)
+	req.K = 6
+	req.Method = query.MethodSEA
+
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaHTTP searchResponse
+	postJSON(t, srv.URL+"/search", string(blob), http.StatusOK, &viaHTTP)
+
+	direct, err := query.Run(context.Background(), d.Graph, e.Metric(), nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(viaHTTP.Community) != fmt.Sprint(direct.Community) || viaHTTP.Delta != direct.Delta {
+		t.Fatalf("HTTP %v δ=%v vs library %v δ=%v",
+			viaHTTP.Community, viaHTTP.Delta, direct.Community, direct.Delta)
+	}
+	if viaHTTP.Method != req.Method.String() {
+		t.Fatalf("method lost on the wire: %+v", viaHTTP)
+	}
 }

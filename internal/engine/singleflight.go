@@ -6,15 +6,19 @@ import (
 )
 
 // Single-flight request coalescing: concurrent calls with the same key share
-// one execution of the compute function. The computation runs detached from
-// any caller, so a caller whose context expires abandons the wait while the
-// work still completes (and can populate caches for the next request).
+// one execution of the compute function. The computation runs under its own
+// context, detached from any single caller's, and is cancelled only when the
+// last waiting caller abandons the wait — so an abandoned-by-all computation
+// genuinely stops work (freeing its concurrency slot), while one that still
+// has an audience completes and can populate caches.
 
 type flightCall[V any] struct {
-	done    chan struct{}
-	val     V
-	err     error
-	waiters int // callers currently blocked on done, leader's included
+	done      chan struct{}
+	cancel    context.CancelFunc
+	val       V
+	err       error
+	waiters   int  // callers currently blocked on done, leader's included
+	cancelled bool // every waiter left and the computation context was cancelled
 }
 
 type flightGroup[K comparable, V any] struct {
@@ -23,27 +27,40 @@ type flightGroup[K comparable, V any] struct {
 }
 
 // do returns the result of fn for key, running fn at most once across all
-// concurrent callers of the same key. joined reports whether this caller
-// attached to an already in-flight computation. If ctx expires before the
-// computation finishes, do returns ctx's error; the computation itself is
-// never cancelled.
-func (g *flightGroup[K, V]) do(ctx context.Context, key K, fn func() (V, error)) (val V, err error, joined bool) {
+// concurrent live callers of the same key. joined reports whether this
+// caller attached to an already in-flight computation. If ctx expires
+// before the computation finishes, do returns ctx's error and abandons the
+// wait; when the last waiter abandons, the context passed to fn is
+// cancelled so the computation can stop early. A caller that arrives after
+// that cancellation (but before the doomed computation winds down) starts a
+// fresh computation rather than inheriting a Canceled error it never caused.
+func (g *flightGroup[K, V]) do(ctx context.Context, key K, fn func(ctx context.Context) (V, error)) (val V, err error, joined bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[K]*flightCall[V])
 	}
 	c, ok := g.calls[key]
+	if ok && c.cancelled {
+		ok = false // the in-flight computation is doomed; replace it
+	}
 	if !ok {
-		c = &flightCall[V]{done: make(chan struct{})}
-		g.calls[key] = c
+		cctx, cancel := context.WithCancel(context.Background())
+		nc := &flightCall[V]{done: make(chan struct{}), cancel: cancel}
+		g.calls[key] = nc
 		go func() {
-			v, e := fn()
+			v, e := fn(cctx)
 			g.mu.Lock()
-			c.val, c.err = v, e
-			delete(g.calls, key)
+			nc.val, nc.err = v, e
+			// A doomed call may have been replaced in the map; only remove
+			// the entry if it is still ours.
+			if g.calls[key] == nc {
+				delete(g.calls, key)
+			}
 			g.mu.Unlock()
-			close(c.done)
+			close(nc.done)
+			cancel() // release the context's resources; the result is stored
 		}()
+		c = nc
 	}
 	c.waiters++
 	g.mu.Unlock()
@@ -54,7 +71,14 @@ func (g *flightGroup[K, V]) do(ctx context.Context, key K, fn func() (V, error))
 	case <-ctx.Done():
 		g.mu.Lock()
 		c.waiters--
+		abandoned := c.waiters == 0
+		if abandoned {
+			c.cancelled = true
+		}
 		g.mu.Unlock()
+		if abandoned {
+			c.cancel()
+		}
 		var zero V
 		return zero, ctx.Err(), ok
 	}

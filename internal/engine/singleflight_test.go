@@ -34,7 +34,7 @@ func TestFlightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			vals[i], errs[i], _ = g.do(context.Background(), "k", func() (int, error) {
+			vals[i], errs[i], _ = g.do(context.Background(), "k", func(context.Context) (int, error) {
 				runs.Add(1)
 				<-gate
 				return 42, nil
@@ -66,7 +66,7 @@ func TestFlightDistinctKeysRunIndependently(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, _ := g.do(context.Background(), i, func() (int, error) {
+			v, err, _ := g.do(context.Background(), i, func(context.Context) (int, error) {
 				runs.Add(1)
 				return i * 2, nil
 			})
@@ -87,7 +87,7 @@ func TestFlightContextAbandonsWaitNotWork(t *testing.T) {
 	finished := make(chan struct{})
 
 	go func() {
-		g.do(context.Background(), "k", func() (int, error) {
+		g.do(context.Background(), "k", func(context.Context) (int, error) {
 			<-gate
 			close(finished)
 			return 7, nil
@@ -103,7 +103,7 @@ func TestFlightContextAbandonsWaitNotWork(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		_, err, joined := g.do(ctx, "k", func() (int, error) { return 0, errors.New("must not run") })
+		_, err, joined := g.do(ctx, "k", func(context.Context) (int, error) { return 0, errors.New("must not run") })
 		done <- outcome{err, joined}
 	}()
 	waitFor(t, func() bool { return g.waiting("k") == 2 }, "second caller to join")
@@ -129,4 +129,87 @@ func TestFlightContextAbandonsWaitNotWork(t *testing.T) {
 			return false
 		}
 	}, "abandoned work to complete")
+}
+
+// TestFlightCancelsWorkWhenLastWaiterLeaves pins the cancellation contract:
+// the computation's context is cancelled once every caller has abandoned the
+// wait, so deadlines genuinely stop work instead of detaching from it.
+func TestFlightCancelsWorkWhenLastWaiterLeaves(t *testing.T) {
+	var g flightGroup[string, int]
+	cancelled := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(ctx, "k", func(cctx context.Context) (int, error) {
+			<-cctx.Done() // simulate a search polling its context
+			close(cancelled)
+			return 0, cctx.Err()
+		})
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.waiting("k") == 1 }, "leader to start")
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got err %v", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation context was not cancelled after the last waiter left")
+	}
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.calls) == 0
+	}, "cancelled call to be cleaned up")
+}
+
+// TestFlightReplacesDoomedCall pins the late-joiner contract: a caller that
+// arrives after a computation was cancelled (last waiter left) but before
+// it wound down starts a fresh computation instead of inheriting the
+// doomed call's Canceled error.
+func TestFlightReplacesDoomedCall(t *testing.T) {
+	var g flightGroup[string, int]
+	var runs atomic.Int32
+	release := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(ctx, "k", func(cctx context.Context) (int, error) {
+			runs.Add(1)
+			<-cctx.Done()
+			<-release // hold the doomed call in flight past its cancellation
+			return 0, cctx.Err()
+		})
+		firstDone <- err
+	}()
+	waitFor(t, func() bool { return g.waiting("k") == 1 }, "leader to start")
+	cancel()
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v", err)
+	}
+
+	// The doomed call is still in flight (blocked on release); a fresh
+	// caller must get a fresh run, not the doomed call's error.
+	v, err, joined := g.do(context.Background(), "k", func(context.Context) (int, error) {
+		runs.Add(1)
+		return 9, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("late joiner got %d, %v", v, err)
+	}
+	if joined {
+		t.Fatal("late joiner should have started a fresh call, not joined the doomed one")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2", got)
+	}
+	close(release)
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.calls) == 0
+	}, "all calls to clean up")
 }

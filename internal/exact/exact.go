@@ -9,12 +9,13 @@
 package exact
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/attr"
+	"repro/internal/cserr"
 	"repro/internal/graph"
 	"repro/internal/kcore"
 )
@@ -51,13 +52,15 @@ type Result struct {
 }
 
 // ErrBudgetExhausted is returned (wrapped) when MaxStates is hit; the Result
-// still carries the best community found.
-var ErrBudgetExhausted = errors.New("exact: state budget exhausted")
+// still carries the best community found. It is the shared sentinel of
+// internal/cserr, so errors.Is matches it across every search method.
+var ErrBudgetExhausted = cserr.ErrBudgetExhausted
 
 // ErrNoCommunity is returned when q belongs to no connected k-core.
-var ErrNoCommunity = errors.New("exact: query node is in no connected k-core")
+var ErrNoCommunity = cserr.ErrNoCommunity
 
 type searcher struct {
+	ctx   context.Context
 	sub   *kcore.Sub
 	dist  []float64
 	q     graph.NodeID
@@ -65,18 +68,34 @@ type searcher struct {
 	cfg   Config
 	stats Stats
 
-	sumDist  float64 // Σ f(v,q) over alive nodes (f(q,q)=0 contributes nothing)
-	bestSet  []graph.NodeID
-	best     float64
-	exceeded bool
+	sumDist     float64 // Σ f(v,q) over alive nodes (f(q,q)=0 contributes nothing)
+	bestSet     []graph.NodeID
+	best        float64
+	exceeded    bool
+	interrupted bool
 }
+
+// ctxCheckMask sets how often the state-expansion loop polls the context: on
+// every state whose ordinal has these low bits clear. 64 states sit well
+// under a millisecond even on dense graphs, so cancellation is prompt while
+// the poll itself stays out of the profile.
+const ctxCheckMask = 63
 
 // Search solves CS-AG exactly: it finds the connected k-core containing q
 // with the smallest q-centric attribute distance δ. dist[v] must hold f(v,q)
 // for every node (see attr.Metric.QueryDist).
 func Search(g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (Result, error) {
+	return SearchContext(context.Background(), g, q, k, dist, cfg)
+}
+
+// SearchContext is Search under a context. The state-expansion loop polls
+// ctx every few states; when it is cancelled the search stops promptly and
+// returns the best community found so far together with an error wrapping
+// ctx's error — symmetric with the ErrBudgetExhausted contract, so a
+// deadline behaves like a budget that ran out mid-search.
+func SearchContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (Result, error) {
 	if k < 1 {
-		return Result{}, fmt.Errorf("exact: k must be ≥ 1, got %d", k)
+		return Result{}, cserr.Invalidf("exact: k must be ≥ 1, got %d", k)
 	}
 	members := kcore.MaximalConnectedKCore(g, q, k)
 	if members == nil {
@@ -86,7 +105,7 @@ func Search(g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (
 	if err != nil {
 		return Result{}, err
 	}
-	s := &searcher{sub: sub, dist: dist, q: q, k: k, cfg: cfg, best: math.Inf(1)}
+	s := &searcher{ctx: ctx, sub: sub, dist: dist, q: q, k: k, cfg: cfg, best: math.Inf(1)}
 	for _, v := range members {
 		s.sumDist += dist[v]
 	}
@@ -98,6 +117,9 @@ func Search(g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (
 		Community: s.bestSet,
 		Delta:     attr.Delta(dist, s.bestSet, q),
 		Stats:     s.stats,
+	}
+	if s.interrupted {
+		return res, cserr.Interruptedf(ctx.Err(), "exact: search interrupted after %d states", s.stats.States)
 	}
 	if s.exceeded {
 		return res, ErrBudgetExhausted
@@ -187,6 +209,10 @@ func (s *searcher) enumerate(fuq float64) {
 		s.exceeded = true
 		return
 	}
+	if s.stats.States&ctxCheckMask == 0 && s.ctx.Err() != nil {
+		s.interrupted = true
+		return
+	}
 	// P3: prune unpromising states (Theorem 6).
 	if s.cfg.PruneUnpromising {
 		if s.lowerBound() >= s.best {
@@ -213,7 +239,7 @@ func (s *searcher) enumerate(fuq float64) {
 		})
 	}
 	for _, v := range candidates {
-		if s.exceeded {
+		if s.exceeded || s.interrupted {
 			return
 		}
 		if !s.sub.Alive(v) {

@@ -1,11 +1,13 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/graph"
@@ -189,5 +191,60 @@ func TestStatsPopulated(t *testing.T) {
 	}
 	if res.Stats.States < 1 || res.Stats.CandidatesScored < 1 {
 		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}
+
+// TestSearchContextCancellation proves the acceptance criterion for the
+// exact method: a context cancelled mid-search returns promptly (well under
+// 50ms) with the best community found so far and an error wrapping the
+// context's error — symmetric with the ErrBudgetExhausted contract.
+func TestSearchContextCancellation(t *testing.T) {
+	// A complete graph on 40 nodes with distinct distances: without pruning
+	// the enumeration tree has ~2^39 states, so the search cannot finish on
+	// its own within any test budget.
+	const n = 40
+	b := graph.NewBuilder(n, 0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	g := b.MustBuild()
+	rng := rand.New(rand.NewSource(7))
+	dist := make([]float64, n)
+	for i := 1; i < n; i++ {
+		dist[i] = rng.Float64()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type answer struct {
+		res Result
+		err error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		res, err := SearchContext(ctx, g, 0, 3, dist, Config{}) // no pruning, no budget
+		done <- answer{res, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the enumeration get going
+	cancel()
+	t0 := time.Now()
+	var got answer
+	select {
+	case got = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled exact search did not return")
+	}
+	if el := time.Since(t0); el > 50*time.Millisecond {
+		t.Fatalf("cancelled search took %v to return, want < 50ms", el)
+	}
+	if !errors.Is(got.err, context.Canceled) {
+		t.Fatalf("want error wrapping context.Canceled, got %v", got.err)
+	}
+	if len(got.res.Community) == 0 {
+		t.Fatal("interrupted search should carry the best community found so far")
+	}
+	if got.res.Stats.States == 0 {
+		t.Fatal("search did not explore any states before cancellation")
 	}
 }

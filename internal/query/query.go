@@ -1,0 +1,510 @@
+// Package query defines the unified, method-agnostic community-search
+// request type and the Searcher registry over it. The paper's experimental
+// story (§VII) is one query answered by many methods — SEA vs. the exact
+// branch-and-bound vs. the ACQ/LocATC/VAC/EVAC baselines — and this package
+// is that story as an API: a single graph-independent Request describes the
+// query, a Method names the solver, and every solver answers through the
+// same Searcher interface with the same Outcome shape, so the library, the
+// Engine, the CLI and the HTTP server all speak one spec.
+//
+// Execution is context-aware end to end: every method's hot loop polls the
+// context, so a deadline or client disconnect genuinely stops work instead
+// of merely abandoning it. Interrupted and budget-exhausted searches return
+// the best community found so far together with a classifying error (see
+// internal/cserr for the taxonomy).
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/baselines"
+	"repro/internal/cserr"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/sea"
+	"repro/internal/stats"
+	"repro/internal/truss"
+)
+
+// Method names a community-search solver. The zero value is MethodSEA.
+type Method int
+
+// Registered methods.
+const (
+	MethodSEA        Method = iota // SEA sampling-estimation search (§V)
+	MethodExact                    // exact branch-and-bound (§IV)
+	MethodACQ                      // shared-attribute baseline (Fang et al., PVLDB'16)
+	MethodLocATC                   // attribute-coverage local search (Huang & Lakshmanan, PVLDB'17)
+	MethodVAC                      // approximate min-max distance baseline (Liu et al., ICDE'20)
+	MethodEVAC                     // exact min-max distance baseline with a state budget
+	MethodStructural               // plain maximal connected k-core / k-truss, attributes ignored
+	numMethods
+)
+
+var methodNames = [numMethods]string{
+	MethodSEA:        "sea",
+	MethodExact:      "exact",
+	MethodACQ:        "acq",
+	MethodLocATC:     "locatc",
+	MethodVAC:        "vac",
+	MethodEVAC:       "evac",
+	MethodStructural: "structural",
+}
+
+// String returns the method's registry name (the wire form).
+func (m Method) String() string {
+	if m >= 0 && m < numMethods {
+		return methodNames[m]
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Valid reports whether m names a registered method.
+func (m Method) Valid() bool { return m >= 0 && m < numMethods }
+
+// MarshalText renders the method's registry name, so a Method round-trips
+// through JSON.
+func (m Method) MarshalText() ([]byte, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("query: unknown method %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText parses a registry name; the empty string selects MethodSEA.
+func (m *Method) UnmarshalText(text []byte) error {
+	parsed, err := ParseMethod(string(text))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
+// ParseMethod resolves a registry name ("sea", "exact", "acq", "locatc",
+// "vac", "evac", "structural") to its Method. The empty string selects
+// MethodSEA so zero-valued wire requests keep the paper's primary method.
+func ParseMethod(name string) (Method, error) {
+	if name == "" {
+		return MethodSEA, nil
+	}
+	for m, n := range methodNames {
+		if n == name {
+			return Method(m), nil
+		}
+	}
+	return 0, cserr.Invalidf("unknown method %q (want one of %v)", name, MethodNames())
+}
+
+// Methods returns every registered method in registry order.
+func Methods() []Method {
+	out := make([]Method, numMethods)
+	for i := range out {
+		out[i] = Method(i)
+	}
+	return out
+}
+
+// MethodNames returns the registry names of every method, in registry order.
+func MethodNames() []string {
+	return append([]string(nil), methodNames[:]...)
+}
+
+// Request is the graph-independent community-search query spec shared by
+// every method, the Engine, the CLI and the HTTP server: which node, which
+// solver, which structural model, and the accuracy/size/budget parameters.
+// All fields are value-typed, so a Request is comparable and serves directly
+// as a cache key; zero-valued fields mean "use the paper's default" and are
+// resolved by WithDefaults. The JSON form is the HTTP wire format.
+type Request struct {
+	Query  graph.NodeID `json:"q"`
+	Method Method       `json:"method,omitempty"`
+	K      int          `json:"k,omitempty"`
+	Model  sea.Model    `json:"model,omitempty"`
+
+	// Accuracy parameters (SEA): relative error bound e and confidence 1−α.
+	ErrorBound float64 `json:"e,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+
+	// Size bounds (§VI-B, SEA only): when SizeHi > 0 the community has
+	// between SizeLo and SizeHi members.
+	SizeLo int `json:"size_lo,omitempty"`
+	SizeHi int `json:"size_hi,omitempty"`
+
+	// Seed drives SEA's random sampling. Unlike the other parameters it has
+	// no zero-means-default resolution — 0 is itself a valid seed, preserved
+	// as-is so legacy Options with Seed 0 convert faithfully. DefaultRequest
+	// sets 1, the paper's default.
+	Seed     int64 `json:"seed,omitempty"`
+	NoRefine bool  `json:"no_refine,omitempty"`
+
+	// MaxStates bounds the exact and EVAC search trees; the truncated
+	// best-so-far is returned with ErrBudgetExhausted. For exact, 0 means
+	// unlimited (the historical contract); for EVAC — whose tree explodes on
+	// any non-trivial graph — 0 selects DefaultEVACStates.
+	MaxStates int64 `json:"max_states,omitempty"`
+
+	// Advanced SEA sampling knobs; zero values select the paper's defaults.
+	Lambda    float64         `json:"lambda,omitempty"`
+	Eps       float64         `json:"eps,omitempty"`
+	Beta      float64         `json:"beta,omitempty"`
+	MaxRounds int             `json:"max_rounds,omitempty"`
+	BLB       stats.BLBConfig `json:"-"`
+}
+
+// DefaultRequest returns a Request for query node q with the paper's default
+// parameters (§VII-A) fully spelled out: method SEA, k=4, k-core model,
+// e=2%, 95% confidence, seed 1.
+func DefaultRequest(q graph.NodeID) Request {
+	return Request{Query: q, Seed: 1}.WithDefaults()
+}
+
+// WithDefaults resolves every zero-valued parameter to the paper's default
+// (Seed excepted — 0 is a valid seed) and neutralizes parameters the chosen
+// method ignores, returning the canonical Request. Engine caching and
+// coalescing key on the canonical form, so a sparse wire request, its
+// spelled-out equivalent, and variants differing only in ignored knobs all
+// hit the same cache entry.
+func (r Request) WithDefaults() Request {
+	d := sea.DefaultOptions()
+	if r.K == 0 {
+		r.K = d.K
+	}
+	if r.ErrorBound == 0 {
+		r.ErrorBound = d.ErrorBound
+	}
+	if r.Confidence == 0 {
+		r.Confidence = d.Confidence
+	}
+	if r.Lambda == 0 {
+		r.Lambda = d.Lambda
+	}
+	if r.Eps == 0 {
+		r.Eps = d.Eps
+	}
+	if r.Beta == 0 {
+		r.Beta = d.Beta
+	}
+	if r.MaxRounds == 0 {
+		r.MaxRounds = d.MaxRounds
+	}
+	if r.BLB == (stats.BLBConfig{}) {
+		r.BLB = d.BLB
+	}
+	// Neutralize method-irrelevant parameters (to the defaults, keeping the
+	// Request valid) so they cannot split cache entries or defeat
+	// coalescing for requests that are semantically identical.
+	if r.Method != MethodSEA && r.Method.Valid() {
+		r.ErrorBound, r.Confidence = d.ErrorBound, d.Confidence
+		r.Lambda, r.Eps, r.Beta = d.Lambda, d.Eps, d.Beta
+		r.MaxRounds, r.BLB = d.MaxRounds, d.BLB
+		r.Seed, r.NoRefine = 0, false
+	}
+	if r.Method != MethodExact && r.Method != MethodEVAC {
+		r.MaxStates = 0
+	}
+	return r
+}
+
+// Validate reports request errors after default resolution; every error
+// wraps cserr.ErrInvalidRequest. Method/parameter mismatches that would
+// silently change meaning (size bounds on a method that ignores them, the
+// k-truss model under the k-core-only exact solver) are rejected rather
+// than ignored.
+func (r Request) Validate() error {
+	r = r.WithDefaults()
+	if r.Query < 0 {
+		return cserr.Invalidf("query node %d negative", r.Query)
+	}
+	if !r.Method.Valid() {
+		return cserr.Invalidf("unknown method %d", int(r.Method))
+	}
+	if r.Model != sea.KCore && r.Model != sea.KTruss {
+		return cserr.Invalidf("unknown model %d", int(r.Model))
+	}
+	if r.Method == MethodExact && r.Model == sea.KTruss {
+		return cserr.Invalidf("method exact supports only the k-core model")
+	}
+	if r.SizeHi != 0 || r.SizeLo != 0 {
+		if r.Method != MethodSEA {
+			return cserr.Invalidf("size bounds are only supported by method sea, not %s", r.Method)
+		}
+	}
+	if r.MaxStates < 0 {
+		return cserr.Invalidf("MaxStates %d negative", r.MaxStates)
+	}
+	// The shared structural/accuracy parameters reuse the SEA validation.
+	return r.Options().Validate()
+}
+
+// Options projects the Request onto sea.Options. The projection is lossless
+// in both directions: FromOptions(q, r.Options()) with method SEA equals
+// r.WithDefaults() for any valid SEA request.
+func (r Request) Options() sea.Options {
+	r = r.WithDefaults()
+	return sea.Options{
+		K:          r.K,
+		ErrorBound: r.ErrorBound,
+		Confidence: r.Confidence,
+		Lambda:     r.Lambda,
+		Eps:        r.Eps,
+		Beta:       r.Beta,
+		Model:      r.Model,
+		SizeLo:     r.SizeLo,
+		SizeHi:     r.SizeHi,
+		BLB:        r.BLB,
+		MaxRounds:  r.MaxRounds,
+		NoRefine:   r.NoRefine,
+		Seed:       r.Seed,
+	}
+}
+
+// FromOptions lifts a legacy (query, sea.Options) pair into a SEA Request,
+// preserving every field so cache keys and results match the old entry
+// points bit for bit.
+func FromOptions(q graph.NodeID, opts sea.Options) Request {
+	return Request{
+		Query:      q,
+		Method:     MethodSEA,
+		K:          opts.K,
+		Model:      opts.Model,
+		ErrorBound: opts.ErrorBound,
+		Confidence: opts.Confidence,
+		SizeLo:     opts.SizeLo,
+		SizeHi:     opts.SizeHi,
+		Seed:       opts.Seed,
+		NoRefine:   opts.NoRefine,
+		Lambda:     opts.Lambda,
+		Eps:        opts.Eps,
+		Beta:       opts.Beta,
+		MaxRounds:  opts.MaxRounds,
+		BLB:        opts.BLB,
+	}
+}
+
+// Outcome is the method-agnostic result of one Request. Community and Delta
+// are populated for every method (Delta is always the paper's q-centric
+// attribute distance, so outcomes of different methods are directly
+// comparable); the remaining fields carry method-specific detail.
+type Outcome struct {
+	Method    Method         `json:"method"`
+	Community []graph.NodeID `json:"community"`
+	// Delta is the q-centric attribute distance δ of the community (§II),
+	// recomputed identically for every method.
+	Delta float64 `json:"delta"`
+	// CI and Satisfied report SEA's confidence interval and whether the
+	// Theorem-11 stopping rule was achieved; zero for other methods.
+	CI        stats.CI `json:"ci"`
+	Satisfied bool     `json:"satisfied"`
+	// States counts search-tree states visited by exact; 0 for others.
+	States int64 `json:"states,omitempty"`
+	// Truncated marks a best-so-far community from a search cut short by a
+	// state budget or a cancelled context.
+	Truncated bool `json:"truncated,omitempty"`
+	// SEA and Exact carry the full method-specific traces when applicable.
+	SEA   *sea.Result   `json:"-"`
+	Exact *exact.Result `json:"-"`
+}
+
+// Searcher answers Requests with one fixed method on any graph. Obtain one
+// from NewSearcher; implementations are stateless and safe for concurrent
+// use. Search builds the attribute metric itself (γ=0.5, the paper's
+// default); use Run to share a precomputed metric or f(·,q) vector.
+type Searcher interface {
+	// Method returns the solver this searcher routes to.
+	Method() Method
+	// Search answers req on g. The request's Method field is ignored in
+	// favor of the searcher's own, so one Request can be replayed across
+	// several searchers for comparison.
+	Search(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error)
+}
+
+// DefaultGamma is the attribute-metric balance factor used when a searcher
+// builds its own metric (the paper's default γ).
+const DefaultGamma = 0.5
+
+// NewSearcher returns the Searcher for a registered method.
+func NewSearcher(m Method) (Searcher, error) {
+	if !m.Valid() {
+		return nil, cserr.Invalidf("unknown method %d", int(m))
+	}
+	return methodSearcher{m}, nil
+}
+
+type methodSearcher struct{ m Method }
+
+func (s methodSearcher) Method() Method { return s.m }
+
+func (s methodSearcher) Search(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error) {
+	req.Method = s.m
+	return Run(ctx, g, nil, nil, req)
+}
+
+// Execute answers req on g with the method req names, building the default
+// attribute metric. It is the one-call form of NewSearcher + Search.
+func Execute(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error) {
+	return Run(ctx, g, nil, nil, req)
+}
+
+// Run answers req on g, reusing a precomputed attribute metric m and f(·,q)
+// vector dist when the caller has them (either may be nil: a nil m builds
+// the DefaultGamma metric, a nil dist is computed from m on demand). This is
+// the entry point the Engine drives with its shared metric and distance
+// cache. On interruption or budget exhaustion the Outcome carries the best
+// community found so far (Truncated set) alongside the classifying error.
+func Run(ctx context.Context, g *graph.Graph, m *attr.Metric, dist []float64, req Request) (*Outcome, error) {
+	req = req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, cserr.Invalidf("nil graph")
+	}
+	if int(req.Query) >= g.NumNodes() {
+		return nil, cserr.Invalidf("query node %d outside graph [0,%d)", req.Query, g.NumNodes())
+	}
+	env := &env{ctx: ctx, g: g, q: req.Query, m: m, dist: dist}
+	out, err := executors[req.Method](env, req)
+	if out != nil {
+		out.Method = req.Method
+		if out.Community != nil {
+			out.Delta = attr.Delta(env.distVec(), out.Community, req.Query)
+		}
+	}
+	return out, err
+}
+
+// env bundles the per-execution state shared by the method executors: the
+// graph, the attribute metric, and the f(·,q) vector, the latter two built
+// lazily so attribute-free methods (ACQ, LocATC, structural) only pay for
+// them when an Outcome needs its Delta.
+type env struct {
+	ctx  context.Context
+	g    *graph.Graph
+	q    graph.NodeID
+	m    *attr.Metric
+	dist []float64
+}
+
+// metric returns the attribute metric, building the DefaultGamma one on
+// first use when the caller did not supply one.
+func (e *env) metric() *attr.Metric {
+	if e.m == nil {
+		m, err := attr.NewMetric(e.g, DefaultGamma)
+		if err != nil {
+			// NewMetric only rejects out-of-range gamma; DefaultGamma is valid.
+			panic(err)
+		}
+		e.m = m
+	}
+	return e.m
+}
+
+// distVec returns the f(·,q) vector, computing it from the metric on first use.
+func (e *env) distVec() []float64 {
+	if e.dist == nil {
+		e.dist = e.metric().QueryDist(e.q)
+	}
+	return e.dist
+}
+
+// executor answers one canonical (defaults-resolved, validated) Request.
+type executor func(*env, Request) (*Outcome, error)
+
+// executors is the method registry: one executor per Method, indexed by the
+// enum. Adding a method means adding an enum value, a name, and a row here.
+var executors = [numMethods]executor{
+	MethodSEA:        runSEA,
+	MethodExact:      runExact,
+	MethodACQ:        runACQ,
+	MethodLocATC:     runLocATC,
+	MethodVAC:        runVAC,
+	MethodEVAC:       runEVAC,
+	MethodStructural: runStructural,
+}
+
+func runSEA(e *env, req Request) (*Outcome, error) {
+	res, err := sea.SearchWithDistContext(e.ctx, e.g, e.distVec(), req.Query, req.Options())
+	if res == nil {
+		return nil, err
+	}
+	return &Outcome{
+		Community: res.Community,
+		CI:        res.CI,
+		Satisfied: res.Satisfied,
+		Truncated: err != nil,
+		SEA:       res,
+	}, err
+}
+
+func runExact(e *env, req Request) (*Outcome, error) {
+	cfg := exact.DefaultConfig()
+	cfg.MaxStates = req.MaxStates
+	res, err := exact.SearchContext(e.ctx, e.g, req.Query, req.K, e.distVec(), cfg)
+	if err != nil && res.Community == nil {
+		return nil, err
+	}
+	return &Outcome{
+		Community: res.Community,
+		States:    res.Stats.States,
+		Truncated: err != nil,
+		Exact:     &res,
+	}, err
+}
+
+func runACQ(e *env, req Request) (*Outcome, error) {
+	return baselineOutcome(baselines.ACQContext(e.ctx, e.g, req.Query, req.K, baselineModel(req.Model)))
+}
+
+func runLocATC(e *env, req Request) (*Outcome, error) {
+	return baselineOutcome(baselines.LocATCContext(e.ctx, e.g, req.Query, req.K, baselineModel(req.Model)))
+}
+
+func runVAC(e *env, req Request) (*Outcome, error) {
+	return baselineOutcome(baselines.VACContext(e.ctx, e.g, e.metric(), req.Query, req.K, baselineModel(req.Model)))
+}
+
+// DefaultEVACStates is the EVAC state budget applied when Request.MaxStates
+// is zero: unlike exact, EVAC's min-max branch-and-bound has no pruning, so
+// "unlimited" would never return on a non-trivial graph.
+const DefaultEVACStates = 200_000
+
+func runEVAC(e *env, req Request) (*Outcome, error) {
+	budget := req.MaxStates
+	if budget == 0 {
+		budget = DefaultEVACStates
+	}
+	return baselineOutcome(baselines.EVACContext(e.ctx, e.g, e.metric(), req.Query, req.K, baselineModel(req.Model), int(budget)))
+}
+
+func runStructural(e *env, req Request) (*Outcome, error) {
+	var members []graph.NodeID
+	if req.Model == sea.KTruss {
+		members = truss.MaximalConnectedKTruss(e.g, req.Query, req.K)
+	} else {
+		members = kcore.MaximalConnectedKCore(e.g, req.Query, req.K)
+	}
+	if members == nil {
+		return nil, cserr.ErrNoCommunity
+	}
+	return &Outcome{Community: members}, nil
+}
+
+// baselineOutcome adapts the ([]NodeID, error) contract of the baselines:
+// a best-so-far community may accompany an interruption error.
+func baselineOutcome(members []graph.NodeID, err error) (*Outcome, error) {
+	if members == nil {
+		return nil, err
+	}
+	return &Outcome{Community: members, Truncated: err != nil}, err
+}
+
+func baselineModel(m sea.Model) baselines.Model {
+	if m == sea.KTruss {
+		return baselines.KTruss
+	}
+	return baselines.KCore
+}

@@ -5,11 +5,12 @@ package sea
 // (each worker derives its own RNG so results stay deterministic per query).
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 
 	"repro/internal/attr"
+	"repro/internal/cserr"
 	"repro/internal/graph"
 )
 
@@ -25,11 +26,18 @@ type BatchResult struct {
 // Each query uses an independent RNG seeded from opts.Seed and its position,
 // so the output is deterministic regardless of scheduling.
 func BatchSearch(g *graph.Graph, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
+	return BatchSearchContext(context.Background(), g, m, queries, opts, workers)
+}
+
+// BatchSearchContext is BatchSearch under a context: every per-query search
+// runs with ctx, so cancelling it interrupts in-flight queries (each returns
+// its best-so-far with ctx's error wrapped) and skips unstarted ones.
+func BatchSearchContext(ctx context.Context, g *graph.Graph, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if m.Graph() != g {
-		return nil, fmt.Errorf("sea: metric bound to a different graph")
+		return nil, cserr.Invalidf("sea: metric bound to a different graph")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -48,13 +56,21 @@ func BatchSearch(g *graph.Graph, m *attr.Metric, queries []graph.NodeID, opts Op
 				q := queries[i]
 				o := opts
 				o.Seed = opts.Seed + int64(i)*1_000_003
-				res, err := Search(g, m, q, o)
+				res, err := SearchContext(ctx, g, m, q, o)
 				out[i] = BatchResult{Query: q, Result: res, Err: err}
 			}
 		}()
 	}
+feed:
 	for i := range queries {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(queries); j++ {
+				out[j] = BatchResult{Query: queries[j], Err: ctx.Err()}
+			}
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,0 +1,6 @@
+//go:build !race
+
+package sea
+
+// Without the race detector, timing assertions run at full strictness.
+const cancelBudgetScale = 1

@@ -1,0 +1,8 @@
+//go:build race
+
+package sea
+
+// The race detector instruments every memory access, dilating wall time by
+// roughly an order of magnitude; timing assertions scale with it. The
+// strict bound stays enforced by the regular (non-race) test run.
+const cancelBudgetScale = 12

@@ -19,13 +19,14 @@
 package sea
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/attr"
 	"repro/internal/cohesive"
+	"repro/internal/cserr"
 	"repro/internal/graph"
 	"repro/internal/kcore"
 	"repro/internal/sampling"
@@ -52,6 +53,33 @@ func (m Model) String() string {
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
+}
+
+// MarshalText renders the model in the wire form ("core" or "truss") used by
+// the HTTP API and the CLI, so a Model round-trips through JSON.
+func (m Model) MarshalText() ([]byte, error) {
+	switch m {
+	case KCore:
+		return []byte("core"), nil
+	case KTruss:
+		return []byte("truss"), nil
+	default:
+		return nil, fmt.Errorf("sea: unknown model %d", int(m))
+	}
+}
+
+// UnmarshalText parses the wire form of a model. The empty string selects
+// the default (k-core); "core"/"k-core" and "truss"/"k-truss" are accepted.
+func (m *Model) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "", "core", "k-core":
+		*m = KCore
+	case "truss", "k-truss":
+		*m = KTruss
+	default:
+		return cserr.Invalidf("unknown model %q (want core or truss)", text)
+	}
+	return nil
 }
 
 // Options configures a SEA search. The zero value is not valid; start from
@@ -97,33 +125,36 @@ func DefaultOptions() Options {
 	}
 }
 
-// Validate reports option errors.
+// Validate reports option errors. Every error wraps cserr.ErrInvalidRequest.
 func (o Options) Validate() error {
 	if o.K < 1 {
-		return fmt.Errorf("sea: K must be ≥ 1, got %d", o.K)
+		return cserr.Invalidf("sea: K must be ≥ 1, got %d", o.K)
 	}
 	if o.ErrorBound <= 0 || o.ErrorBound >= 1 {
-		return fmt.Errorf("sea: ErrorBound %v outside (0,1)", o.ErrorBound)
+		return cserr.Invalidf("sea: ErrorBound %v outside (0,1)", o.ErrorBound)
 	}
 	if o.Confidence <= 0 || o.Confidence >= 1 {
-		return fmt.Errorf("sea: Confidence %v outside (0,1)", o.Confidence)
+		return cserr.Invalidf("sea: Confidence %v outside (0,1)", o.Confidence)
 	}
 	if o.Lambda <= 0 || o.Lambda > 1 {
-		return fmt.Errorf("sea: Lambda %v outside (0,1]", o.Lambda)
+		return cserr.Invalidf("sea: Lambda %v outside (0,1]", o.Lambda)
 	}
 	if o.Eps <= 0 {
-		return fmt.Errorf("sea: Eps must be positive, got %v", o.Eps)
+		return cserr.Invalidf("sea: Eps must be positive, got %v", o.Eps)
 	}
 	if o.Beta <= 0 || o.Beta >= 1 {
-		return fmt.Errorf("sea: Beta %v outside (0,1)", o.Beta)
+		return cserr.Invalidf("sea: Beta %v outside (0,1)", o.Beta)
 	}
 	if o.SizeHi > 0 && (o.SizeLo < 1 || o.SizeLo > o.SizeHi) {
-		return fmt.Errorf("sea: size bound [%d,%d] invalid", o.SizeLo, o.SizeHi)
+		return cserr.Invalidf("sea: size bound [%d,%d] invalid", o.SizeLo, o.SizeHi)
 	}
 	if o.MaxRounds < 1 {
-		return fmt.Errorf("sea: MaxRounds must be ≥ 1, got %d", o.MaxRounds)
+		return cserr.Invalidf("sea: MaxRounds must be ≥ 1, got %d", o.MaxRounds)
 	}
-	return o.BLB.Validate()
+	if err := o.BLB.Validate(); err != nil {
+		return cserr.Invalidf("%v", err)
+	}
+	return nil
 }
 
 // StepTimes records per-step wall time: S1 sampling-based maximal structure
@@ -156,29 +187,45 @@ type Result struct {
 }
 
 // ErrNoCommunity is returned when no community satisfying the structural
-// (and size) constraints exists around q.
-var ErrNoCommunity = errors.New("sea: no community satisfying the constraints exists")
+// (and size) constraints exists around q. It is the shared sentinel of
+// internal/cserr, so errors.Is matches it across every search method.
+var ErrNoCommunity = cserr.ErrNoCommunity
 
 // Search runs SEA on g for query node q using metric m.
 func Search(g *graph.Graph, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
+	return SearchContext(context.Background(), g, m, q, opts)
+}
+
+// SearchContext is Search under a context: the sampling-estimation round
+// loop and the greedy peeling both check ctx and stop promptly when it is
+// cancelled. An interrupted search returns the best candidate found so far
+// (nil when none exists yet) together with an error wrapping ctx's error.
+func SearchContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	dist := m.QueryDist(q)
-	return SearchWithDist(g, dist, q, opts)
+	return SearchWithDistContext(ctx, g, dist, q, opts)
 }
 
 // SearchWithDist is Search with a precomputed f(·,q) vector, letting callers
 // amortize the distance computation across runs.
 func SearchWithDist(g *graph.Graph, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
+	return SearchWithDistContext(context.Background(), g, dist, q, opts)
+}
+
+// SearchWithDistContext is SearchWithDist under a context; see SearchContext
+// for the cancellation contract.
+func SearchWithDistContext(ctx context.Context, g *graph.Graph, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	s := &seaRun{g: g, dist: dist, q: q, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	s := &seaRun{ctx: ctx, g: g, dist: dist, q: q, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
 	return s.run()
 }
 
 type seaRun struct {
+	ctx  context.Context
 	g    *graph.Graph
 	dist []float64
 	q    graph.NodeID
@@ -186,6 +233,16 @@ type seaRun struct {
 	rng  *rand.Rand
 
 	res Result
+}
+
+// interrupted builds the cancelled-search return: the best candidate found
+// so far (nil when none) with the context's error wrapped.
+func (s *seaRun) interrupted() (*Result, error) {
+	err := cserr.Interruptedf(s.ctx.Err(), "sea: search interrupted")
+	if s.res.Community == nil {
+		return nil, err
+	}
+	return &s.res, err
 }
 
 // minGqSize applies Theorem 10 for the active model / size bound.
@@ -209,6 +266,9 @@ func (s *seaRun) run() (*Result, error) {
 	}
 	gq := sampling.BuildGq(s.g, s.q, s.dist, minGq)
 	s.res.GqSize = len(gq)
+	if s.ctx.Err() != nil {
+		return s.interrupted()
+	}
 	probs := sampling.Probabilities(gq, s.dist)
 
 	sampleSize := int(s.opts.Lambda * float64(len(gq)))
@@ -221,6 +281,9 @@ func (s *seaRun) run() (*Result, error) {
 	var lastMoE, lastTarget float64
 	var lastBLBTotal int
 	for round := 1; round <= s.opts.MaxRounds; round++ {
+		if s.ctx.Err() != nil {
+			return s.interrupted()
+		}
 		roundStart := time.Now()
 		deltaS := 0
 		if round > 1 {
@@ -251,6 +314,9 @@ func (s *seaRun) run() (*Result, error) {
 		t1 := time.Now()
 		maint, orig := s.buildMaintainer(sample)
 		s.res.Steps.Sampling += time.Since(t1)
+		if s.ctx.Err() != nil {
+			return s.interrupted()
+		}
 		if maint == nil {
 			// No structure containing q in this sample; try a larger one.
 			lastMoE, lastTarget, lastBLBTotal = 0, 0, 0
@@ -265,6 +331,9 @@ func (s *seaRun) run() (*Result, error) {
 		s.res.Rounds = append(s.res.Rounds, Round{
 			Round: round, Delta: ci.Center, MoE: ci.MoE, DeltaS: deltaS, Time: time.Since(roundStart),
 		})
+		if s.ctx.Err() != nil {
+			return s.interrupted()
+		}
 		if done {
 			s.res.CI = ci
 			s.res.Satisfied = true
@@ -300,9 +369,15 @@ func (s *seaRun) run() (*Result, error) {
 		s.res.Steps.Estimation += time.Since(t2)
 		s.res.Satisfied = done
 		s.res.CI = ci
+		if s.ctx.Err() != nil {
+			return s.interrupted()
+		}
 		if s.res.Community == nil {
 			return nil, ErrNoCommunity
 		}
+	}
+	if s.ctx.Err() != nil {
+		return s.interrupted()
 	}
 	return &s.res, nil
 }
@@ -422,6 +497,12 @@ func (s *seaRun) estimate(maint cohesive.Maintainer, orig []graph.NodeID) (done 
 	minSize := s.minCommunitySize()
 	nextEstimate := maint.Size() // estimate at log-spaced candidate sizes
 	for {
+		// Cancellation check once per peel iteration: each iteration already
+		// scans the membership, so the ctx.Err() load is noise by comparison,
+		// and it bounds the response to a cancelled context by one iteration.
+		if s.ctx.Err() != nil {
+			break
+		}
 		members = maint.Members(members[:0])
 		if len(members) < minSize {
 			break

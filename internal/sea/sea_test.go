@@ -1,11 +1,13 @@
 package sea
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/dataset"
@@ -287,4 +289,91 @@ func containsNode(s []graph.NodeID, v graph.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// ringLattice builds the slow-search workload shared by the cancellation
+// tests: a circulant graph where every node links to its d successors, so
+// the whole graph is one big connected k-core whose greedy peeling walks
+// thousands of iterations.
+func ringLattice(t testing.TB, n, d int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, 0)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= d; j++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID((i+j)%n))
+		}
+	}
+	return b.MustBuild()
+}
+
+// slowOpts makes a single SEA round walk the full greedy trajectory of the
+// whole-graph community: sample everything, demand an unreachable error
+// bound. On the 6000-node ring lattice this takes hundreds of milliseconds.
+func slowOpts() Options {
+	opts := DefaultOptions()
+	opts.K = 4
+	opts.Lambda = 1
+	opts.Eps = 0.01
+	opts.ErrorBound = 0.0001
+	opts.MaxRounds = 1
+	return opts
+}
+
+// TestSearchContextCancellation proves the acceptance criterion for SEA: a
+// context cancelled mid-search returns promptly (well under 50ms) with the
+// best candidate found so far and an error wrapping the context's error.
+func TestSearchContextCancellation(t *testing.T) {
+	const n = 6000
+	g := ringLattice(t, n, 6)
+	rng := rand.New(rand.NewSource(3))
+	dist := make([]float64, n)
+	for i := 1; i < n; i++ {
+		dist[i] = rng.Float64()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type answer struct {
+		res *Result
+		err error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		res, err := SearchWithDistContext(ctx, g, dist, 0, slowOpts())
+		done <- answer{res, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // mid-peeling on this workload
+	cancel()
+	t0 := time.Now()
+	var got answer
+	select {
+	case got = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled SEA search did not return")
+	}
+	if el, budget := time.Since(t0), cancelBudgetScale*50*time.Millisecond; el > budget {
+		t.Fatalf("cancelled search took %v to return, want < %v", el, budget)
+	}
+	if !errors.Is(got.err, context.Canceled) {
+		t.Fatalf("want error wrapping context.Canceled, got %v", got.err)
+	}
+	if got.res != nil && len(got.res.Community) == 0 {
+		t.Fatal("non-nil interrupted result must carry a community")
+	}
+}
+
+// TestSearchContextAlreadyCancelled pins the fast path: a context that is
+// already dead never starts sampling.
+func TestSearchContextAlreadyCancelled(t *testing.T) {
+	d := testDataset(t)
+	m, err := attr.NewMetric(d.Graph, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.K = 2
+	if _, err := SearchContext(ctx, d.Graph, m, d.QueryNodes(1, 2, 5)[0], opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
 }
