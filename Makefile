@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench fmt fmt-check vet staticcheck smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,4 +38,19 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
 	fi
 
-ci: fmt-check vet staticcheck build race bench
+# End-to-end snapshot-serving smoke, mirroring the CI snapshot-smoke job:
+# datagen → pack → boot seaserve from the snapshot → curl it.
+smoke:
+	@rm -rf /tmp/sea-smoke && mkdir -p /tmp/sea-smoke
+	$(GO) build -o /tmp/sea-smoke/ ./cmd/...
+	/tmp/sea-smoke/datagen -dataset facebook -scale 0.3 -out /tmp/sea-smoke/fb.txt
+	/tmp/sea-smoke/seacli pack -load /tmp/sea-smoke/fb.txt -out /tmp/sea-smoke/fb.snap
+	@/tmp/sea-smoke/seaserve -snapshot /tmp/sea-smoke/fb.snap -addr 127.0.0.1:8971 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:8971/healthz >/dev/null && break; sleep 0.2; done; \
+	curl -sf http://127.0.0.1:8971/healthz && echo && \
+	curl -sf "http://127.0.0.1:8971/search?q=0&k=2&method=structural" >/dev/null && \
+	curl -sf http://127.0.0.1:8971/graphs && echo && \
+	echo "smoke OK"; status=$$?; kill $$pid 2>/dev/null; exit $$status
+
+ci: fmt-check vet staticcheck build race bench smoke

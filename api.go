@@ -4,9 +4,12 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 
 	"repro/internal/attr"
 	"repro/internal/baselines"
+	"repro/internal/catalog"
 	"repro/internal/clique"
 	"repro/internal/cserr"
 	"repro/internal/dataset"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/kcore"
 	"repro/internal/query"
 	"repro/internal/sea"
+	"repro/internal/store"
 	"repro/internal/truss"
 )
 
@@ -133,6 +137,15 @@ var (
 	// ErrInvalidRequest reports a malformed Request or Options value: bad
 	// parameters, an unknown method, or an unsupported method/model pair.
 	ErrInvalidRequest = cserr.ErrInvalidRequest
+	// ErrSnapshotVersion reports a snapshot whose magic or format version
+	// this build does not read.
+	ErrSnapshotVersion = cserr.ErrSnapshotVersion
+	// ErrSnapshotCorrupt reports a snapshot failing its checksum or
+	// structural validation.
+	ErrSnapshotCorrupt = cserr.ErrSnapshotCorrupt
+	// ErrUnknownGraph reports a request naming a dataset the catalog has
+	// not mounted.
+	ErrUnknownGraph = cserr.ErrUnknownGraph
 )
 
 // Options configures a SEA search; start from DefaultOptions.
@@ -283,6 +296,120 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) { return engine.New(
 // side), /healthz and /stats. cmd/seaserve wires it to flags and a
 // listener.
 func NewHTTPHandler(e *Engine) http.Handler { return engine.NewHTTPHandler(e) }
+
+// Snapshot is the reopened serving state of a packed dataset: the graph
+// and, when the snapshot carried one, the precomputed index.
+type Snapshot = store.Snapshot
+
+// SnapshotIndex is the serializable precomputed per-graph state a snapshot
+// persists alongside the graph: the coreness and node-trussness admission
+// indexes and the attribute-metric normalization table.
+type SnapshotIndex = store.Index
+
+// WriteSnapshot serializes g and idx (which may be nil for a graph-only
+// snapshot) to w in the versioned, checksummed binary snapshot format of
+// internal/store. Engine.WriteSnapshot packs a serving engine's full state.
+func WriteSnapshot(w io.Writer, g *Graph, idx *SnapshotIndex) error { return store.Write(w, g, idx) }
+
+// OpenSnapshot reads one snapshot, verifying version, checksum and
+// structure; the result is ready to serve with zero parsing or
+// recomputation. Errors classify as ErrSnapshotVersion or
+// ErrSnapshotCorrupt.
+func OpenSnapshot(r io.Reader) (*Snapshot, error) { return store.Open(r) }
+
+// OpenSnapshotFile opens the snapshot at path.
+func OpenSnapshotFile(path string) (*Snapshot, error) { return store.OpenFile(path) }
+
+// DetectSnapshotFile reports whether the file at path is a packed snapshot
+// (as opposed to the text exchange format).
+func DetectSnapshotFile(path string) (bool, error) { return store.DetectFile(path) }
+
+// OpenGraphFile opens a graph file in either on-disk form, sniffing the
+// snapshot magic: a packed snapshot opens with its index, anything else
+// parses as the text exchange format (Snapshot.Index nil).
+func OpenGraphFile(path string) (*Snapshot, error) { return store.OpenGraphFile(path) }
+
+// NewEngineFromSnapshot builds an Engine directly from a reopened snapshot,
+// skipping the construction-time metric scan and core/truss decompositions
+// when the snapshot carries an index.
+func NewEngineFromSnapshot(snap *Snapshot, cfg EngineConfig) (*Engine, error) {
+	return engine.NewFromSnapshot(snap, cfg)
+}
+
+// WriteSnapshotFile writes eng's full serving state to a snapshot at path
+// and returns the file size. The truss index is built first if it was not
+// already, so packed snapshots always carry the complete admission state.
+// The write is atomic: the stream goes to a temp file in the destination
+// directory and renames into place only on success, so repacking over an
+// existing good snapshot can never destroy it.
+func WriteSnapshotFile(eng *Engine, path string) (int64, error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	if err := eng.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	st, err := os.Stat(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// PackSnapshotFile builds the complete serving index over g (core, truss,
+// metric table) and writes the snapshot to path, returning the file size.
+// It is the one pack pipeline behind cmd/datagen -pack and cmd/seacli pack.
+// Snapshots are gamma-agnostic — the packed normalizer table does not
+// depend on the balance factor, which is chosen at serving time.
+func PackSnapshotFile(g *Graph, path string) (int64, error) {
+	cfg := DefaultEngineConfig()
+	cfg.EagerTruss = true
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return WriteSnapshotFile(eng, path)
+}
+
+// Catalog is a concurrency-safe named registry of mounted datasets, each
+// backed by its own Engine, with atomic hot-swap: load a new snapshot, flip
+// the pointer, and in-flight queries drain on the old engine while new ones
+// hit the new snapshot. Create one with NewCatalog.
+type Catalog = catalog.Catalog
+
+// CatalogInfo describes one mounted dataset of a Catalog.
+type CatalogInfo = catalog.Info
+
+// CatalogManifest lists the datasets a serving process mounts at boot
+// (Catalog.MountManifest).
+type CatalogManifest = catalog.Manifest
+
+// NewCatalog returns an empty dataset catalog.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// LoadCatalogManifest reads a JSON manifest file listing datasets to mount.
+func LoadCatalogManifest(path string) (*CatalogManifest, error) { return catalog.LoadManifest(path) }
+
+// NewCatalogHTTPHandler returns the multi-dataset JSON serving surface of a
+// Catalog: the full engine query surface routed by the wire request's
+// "graph" field, plus /graphs (list + stats) and /admin/reload (hot-swap).
+func NewCatalogHTTPHandler(c *Catalog, base EngineConfig) http.Handler {
+	return catalog.NewHTTPHandler(c, base)
+}
 
 // QueryMetrics is the flat, CSV-friendly per-request stage timing record
 // produced by Engine.QueryWithMetrics and Engine.Batch.

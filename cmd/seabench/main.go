@@ -4,12 +4,19 @@
 // Usage:
 //
 //	seabench [-exp table1,fig5,...|all] [-scale 0.5] [-queries 20] [-k 6]
+//	seabench -exp fig5,scalability -json BENCH_fig5.json
 //
 // Experiments: table1, fig5, fig5d, table2, table3, fig6, table4, table5,
-// fig7, fig8, table6, fig10.
+// fig7, fig8, table6, fig10, scalability.
+//
+// -json additionally writes one machine-readable record per experiment —
+// name, wall time, mean δ where the experiment measures one, and the full
+// typed result rows — so successive runs can be diffed to track the
+// repository's performance trajectory (BENCH_*.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,18 +27,44 @@ import (
 	"repro/internal/experiments"
 )
 
-// runner dispatches one experiment by name.
+// runner dispatches one experiment by name; fn returns the experiment's
+// typed result rows for the -json export.
 type runner struct {
 	name string
 	desc string
-	fn   func(experiments.Config, io.Writer) error
+	fn   func(experiments.Config, io.Writer) (any, error)
 }
 
-func wrap[T any](fn func(experiments.Config, io.Writer) (T, error)) func(experiments.Config, io.Writer) error {
-	return func(cfg experiments.Config, w io.Writer) error {
-		_, err := fn(cfg, w)
-		return err
+func wrap[T any](fn func(experiments.Config, io.Writer) (T, error)) func(experiments.Config, io.Writer) (any, error) {
+	return func(cfg experiments.Config, w io.Writer) (any, error) {
+		return fn(cfg, w)
 	}
+}
+
+// benchRecord is one experiment's machine-readable outcome.
+type benchRecord struct {
+	Experiment  string  `json:"experiment"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// MeanDelta is the mean attribute distance δ over the experiment's
+	// method rows, when the experiment measures δ at all.
+	MeanDelta *float64 `json:"mean_delta,omitempty"`
+	Result    any      `json:"result,omitempty"`
+}
+
+// meanDelta extracts the mean δ from the result shapes that carry one
+// (today only Fig5's method rows measure δ directly).
+func meanDelta(result any) *float64 {
+	r, ok := result.(*experiments.Fig5Result)
+	if !ok || len(r.Rows) == 0 {
+		return nil
+	}
+	rows := r.Rows
+	sum := 0.0
+	for _, row := range rows {
+		sum += row.Delta
+	}
+	m := sum / float64(len(rows))
+	return &m
 }
 
 func main() {
@@ -42,6 +75,7 @@ func main() {
 		k       = flag.Int("k", 6, "structural parameter k")
 		seed    = flag.Int64("seed", 42, "random seed")
 		budget  = flag.Int64("budget", 30000, "state budget for the exact reference")
+		jsonOut = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -54,10 +88,7 @@ func main() {
 
 	runners := []runner{
 		{"table1", "dataset statistics", wrap(experiments.Table1)},
-		{"fig5", "effectiveness & efficiency (Fig 5a-c)", func(c experiments.Config, w io.Writer) error {
-			_, err := experiments.Fig5(c, w)
-			return err
-		}},
+		{"fig5", "effectiveness & efficiency (Fig 5a-c)", wrap(experiments.Fig5)},
 		{"fig5d", "SEA step breakdown", wrap(experiments.Fig5d)},
 		{"table2", "cross-metric cohesiveness", wrap(experiments.Table2)},
 		{"table3", "F1 vs ground truth", wrap(experiments.Table3)},
@@ -84,18 +115,48 @@ func main() {
 		}
 	}
 
+	var records []benchRecord
 	for _, r := range runners {
 		if *exps != "all" && !want[r.name] {
 			continue
 		}
 		fmt.Printf("\n### %s — %s\n", r.name, r.desc)
 		start := time.Now()
-		if err := r.fn(cfg, os.Stdout); err != nil {
+		result, err := r.fn(cfg, os.Stdout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "seabench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n", r.name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		fmt.Printf("(%s completed in %v)\n", r.name, wall.Round(time.Millisecond))
+		records = append(records, benchRecord{
+			Experiment:  r.name,
+			WallSeconds: wall.Seconds(),
+			MeanDelta:   meanDelta(result),
+			Result:      result,
+		})
 	}
+	if *jsonOut != "" {
+		if err := writeJSONRecords(*jsonOut, records); err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d record(s) to %s\n", len(records), *jsonOut)
+	}
+}
+
+func writeJSONRecords(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func knownExperiment(rs []runner, name string) bool {

@@ -1,16 +1,23 @@
 // Command seacli runs one community-search query against a generated
-// benchmark analog or a graph file in the exchange format. The flags
-// serialize directly into a sea.Request, so the CLI speaks exactly the spec
-// the library, the Engine and the HTTP server answer.
+// benchmark analog or a graph file (text exchange format or packed
+// snapshot). The flags serialize directly into a sea.Request, so the CLI
+// speaks exactly the spec the library, the Engine and the HTTP server
+// answer.
 //
 // Usage:
 //
 //	seacli -dataset facebook -q 10 -k 6 -e 0.02
 //	seacli -load graph.txt -q 0 -k 4 -model truss -size 10,30 -method sea
-//	seacli -dataset github -q 12 -method exact -max-states 200000 -timeout 5s
+//	seacli -load graph.snap -q 12 -method exact -max-states 200000 -timeout 5s
+//	seacli pack -load graph.txt -out graph.snap
 //
 // -method accepts every registered searcher: sea, exact, acq, locatc, vac,
 // evac, structural.
+//
+// The pack subcommand converts a text-format graph (or a generated analog)
+// into a versioned, checksummed binary snapshot carrying the full serving
+// state — graph, attribute dictionary, and the precomputed admission
+// indexes — so seaserve boots from it with zero parsing or recomputation.
 package main
 
 import (
@@ -105,6 +112,12 @@ func (f *cliFlags) buildRequest(q sealib.NodeID) (sealib.Request, error) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "pack" {
+		if err := runPack(os.Args[2:]); err != nil {
+			fail(err)
+		}
+		return
+	}
 	f, err := parseFlags(flag.CommandLine, os.Args[1:])
 	if err != nil {
 		fail(err)
@@ -167,12 +180,7 @@ func main() {
 
 func loadOrGenerate(load, dsName string, scale float64, q, k int, seed int64) (*sealib.Graph, sealib.NodeID, error) {
 	if load != "" {
-		f, err := os.Open(load)
-		if err != nil {
-			return nil, 0, err
-		}
-		defer f.Close()
-		g, err := sealib.LoadGraph(f)
+		g, err := loadGraphFile(load)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -201,6 +209,81 @@ func textOf(g *sealib.Graph, v sealib.NodeID) string {
 		names[i] = g.Dict().Name(t)
 	}
 	return strings.Join(names, ",")
+}
+
+// loadGraphFile opens a graph file in either on-disk form (snapshot or
+// text), discarding any packed index — the one-shot query path rebuilds
+// only what it needs.
+func loadGraphFile(path string) (*sealib.Graph, error) {
+	snap, err := sealib.OpenGraphFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Graph, nil
+}
+
+// runPack is the pack subcommand: text format (or generated analog) →
+// snapshot with the full precomputed index. The snapshot is gamma-agnostic
+// (the packed normalizer table does not depend on the balance factor);
+// gamma is chosen at serving time (seaserve -gamma, or the manifest's
+// per-dataset gamma).
+func runPack(args []string) error {
+	fs := flag.NewFlagSet("seacli pack", flag.ExitOnError)
+	var (
+		load   = fs.String("load", "", "input graph file (text exchange format or snapshot)")
+		dsName = fs.String("dataset", "", "generate this dataset analog instead of reading -load")
+		scale  = fs.Float64("scale", 0.5, "dataset scale factor (with -dataset)")
+		out    = fs.String("out", "", "output snapshot path (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("pack: -out is required")
+	}
+	t0 := time.Now()
+	var (
+		size int64
+		g    *sealib.Graph
+	)
+	switch {
+	case *load != "":
+		snap, err := sealib.OpenGraphFile(*load)
+		if err != nil {
+			return err
+		}
+		g = snap.Graph
+		if snap.Index != nil {
+			// Repacking a snapshot reuses its index instead of rebuilding.
+			cfg := sealib.DefaultEngineConfig()
+			cfg.EagerTruss = true
+			eng, err := sealib.NewEngineFromSnapshot(snap, cfg)
+			if err != nil {
+				return err
+			}
+			if size, err = sealib.WriteSnapshotFile(eng, *out); err != nil {
+				return err
+			}
+			break
+		}
+		if size, err = sealib.PackSnapshotFile(g, *out); err != nil {
+			return err
+		}
+	case *dsName != "":
+		d, err := sealib.GenerateDataset(*dsName, *scale)
+		if err != nil {
+			return err
+		}
+		g = d.Graph
+		if size, err = sealib.PackSnapshotFile(g, *out); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pack: need -load or -dataset")
+	}
+	fmt.Printf("packed %s: %d nodes, %d edges, %d bytes (indexes ready in %v)\n",
+		*out, g.NumNodes(), g.NumEdges(), size, time.Since(t0).Round(time.Millisecond))
+	return nil
 }
 
 func fail(err error) {

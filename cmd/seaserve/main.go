@@ -1,23 +1,30 @@
-// Command seaserve serves community-search queries over HTTP from a
-// long-lived engine with a shared index and caches. Every query endpoint
-// speaks the unified Request wire format ("method" selects the solver), and
-// per-request deadlines (-timeout, or a client disconnect) cancel the
+// Command seaserve serves community-search queries over HTTP from a catalog
+// of named datasets, each backed by a long-lived engine with a shared index
+// and caches. Datasets mount from packed snapshots (cmd/datagen -pack or
+// seacli pack), text-format files, or generated analogs; a manifest file
+// mounts several at boot. Every query endpoint speaks the unified Request
+// wire format ("method" selects the solver, "graph" selects the dataset),
+// and per-request deadlines (-timeout, or a client disconnect) cancel the
 // underlying search, not just the wait.
 //
 // Usage:
 //
-//	seaserve -dataset facebook -scale 0.5 -addr :8080
+//	seaserve -snapshot facebook.snap -addr :8080
+//	seaserve -manifest catalog.json
+//	seaserve -dataset facebook -scale 0.5
 //	seaserve -load graph.txt -gamma 0.5 -timeout 2s
 //
 // Endpoints:
 //
-//	POST /search    {"q":12,"method":"sea","k":6,"e":0.02}  one community
-//	GET  /search?q=12&k=6&method=exact                      same, for curl
+//	POST /search    {"q":12,"method":"sea","graph":"fb"}    one community
+//	GET  /search?q=12&k=6&method=exact&graph=fb             same, for curl
 //	POST /batch     {"queries":[1,2,3],"k":6}               one item per query
 //	POST /compare   {"q":12,"methods":["sea","exact"]}      one item per method
 //	GET  /compare?q=12&methods=sea,exact,vac                same, for curl
-//	GET  /healthz                                           liveness + graph shape
-//	GET  /stats                                             engine counters and caches
+//	GET  /graphs                                            mounted datasets + stats
+//	POST /admin/reload {"graph":"fb","path":"fb2.snap"}     hot-swap a dataset
+//	GET  /healthz[?graph=fb]                                liveness + graph shape
+//	GET  /stats[?graph=fb]                                  engine counters and caches
 package main
 
 import (
@@ -25,32 +32,32 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	sealib "repro"
-	"repro/internal/engine"
+	"repro/internal/catalog"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		manifest    = flag.String("manifest", "", "mount the datasets listed in this JSON manifest")
+		snapshot    = flag.String("snapshot", "", "mount a packed snapshot file")
+		load        = flag.String("load", "", "mount a graph file (snapshot or text format)")
 		dsName      = flag.String("dataset", "facebook", "generated dataset analog name")
+		name        = flag.String("name", "", "catalog name for -snapshot/-load mounts (default: file basename)")
 		scale       = flag.Float64("scale", 0.5, "dataset scale factor")
-		load        = flag.String("load", "", "load a graph file instead of generating")
 		gamma       = flag.Float64("gamma", 0.5, "attribute balance factor")
 		distCache   = flag.Int("dist-cache", 0, "distance-vector cache entries (0 = default)")
 		resultCache = flag.Int("result-cache", 0, "result cache entries (0 = default)")
 		workers     = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 		maxConc     = flag.Int("max-concurrent", 0, "max searches executing at once (0 = 2×GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
-		eagerTruss  = flag.Bool("eager-truss", false, "build the truss index at startup")
+		eagerTruss  = flag.Bool("eager-truss", false, "build the truss index at startup when absent from the source")
 	)
 	flag.Parse()
 
-	g, err := loadOrGenerate(*load, *dsName, *scale)
-	if err != nil {
-		fail(err)
-	}
 	cfg := sealib.DefaultEngineConfig()
 	cfg.Gamma = *gamma
 	cfg.DistCacheSize = *distCache
@@ -61,16 +68,48 @@ func main() {
 	cfg.EagerTruss = *eagerTruss
 
 	t0 := time.Now()
-	eng, err := sealib.NewEngine(g, cfg)
-	if err != nil {
-		fail(err)
+	cat := sealib.NewCatalog()
+	switch {
+	case *manifest != "":
+		m, err := catalog.LoadManifest(*manifest)
+		if err != nil {
+			fail(err)
+		}
+		if err := cat.MountManifest(m, cfg); err != nil {
+			fail(err)
+		}
+	case *snapshot != "":
+		if _, err := cat.MountPath(nameForPath(*name, *snapshot), *snapshot, cfg); err != nil {
+			fail(err)
+		}
+	case *load != "":
+		if _, err := cat.MountPath(nameForPath(*name, *load), *load, cfg); err != nil {
+			fail(err)
+		}
+	default:
+		d, err := sealib.GenerateDataset(*dsName, *scale)
+		if err != nil {
+			fail(err)
+		}
+		eng, err := sealib.NewEngine(d.Graph, cfg)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := cat.Mount(*dsName, eng, cfg, fmt.Sprintf("generated %s@%g", *dsName, *scale)); err != nil {
+			fail(err)
+		}
 	}
-	fmt.Printf("seaserve: %d nodes, %d edges; index built in %v; listening on %s\n",
-		g.NumNodes(), g.NumEdges(), time.Since(t0).Round(time.Millisecond), *addr)
+
+	boot := time.Since(t0).Round(time.Millisecond)
+	fmt.Printf("seaserve: %d dataset(s) mounted in %v (default %q); listening on %s\n",
+		cat.Len(), boot, cat.Default(), *addr)
+	for _, info := range cat.Infos() {
+		fmt.Printf("  %s: %d nodes, %d edges (%s)\n", info.Name, info.Nodes, info.Edges, info.Source)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           engine.NewHTTPHandler(eng),
+		Handler:           sealib.NewCatalogHTTPHandler(cat, cfg),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 	}
@@ -79,20 +118,20 @@ func main() {
 	}
 }
 
-func loadOrGenerate(load, dsName string, scale float64) (*sealib.Graph, error) {
-	if load != "" {
-		f, err := os.Open(load)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return sealib.LoadGraph(f)
+// nameForPath picks the catalog name for a single-file mount: the -name
+// flag when set, else the file's basename without extension.
+func nameForPath(nameFlag, path string) string {
+	if nameFlag != "" {
+		return nameFlag
 	}
-	d, err := sealib.GenerateDataset(dsName, scale)
-	if err != nil {
-		return nil, err
+	base := filepath.Base(path)
+	if ext := filepath.Ext(base); ext != "" {
+		base = base[:len(base)-len(ext)]
 	}
-	return d.Graph, nil
+	if base == "" || base == "." {
+		return "default"
+	}
+	return base
 }
 
 func fail(err error) {

@@ -40,6 +40,25 @@ func NewNormalizer(g *graph.Graph) *Normalizer {
 	return nz
 }
 
+// Bounds returns copies of the per-dimension min and max the normalizer was
+// built with — the serializable "metric table" a snapshot persists so a
+// reopened graph scales attributes identically without rescanning them.
+func (nz *Normalizer) Bounds() (min, max []float64) {
+	return append([]float64(nil), nz.min...), append([]float64(nil), nz.max...)
+}
+
+// NewNormalizerFromBounds rebuilds a Normalizer from persisted per-dimension
+// bounds, the inverse of Bounds.
+func NewNormalizerFromBounds(min, max []float64) (*Normalizer, error) {
+	if len(min) != len(max) {
+		return nil, fmt.Errorf("attr: bounds length mismatch: %d min, %d max", len(min), len(max))
+	}
+	return &Normalizer{
+		min: append([]float64(nil), min...),
+		max: append([]float64(nil), max...),
+	}, nil
+}
+
 // Scale maps value x in dimension i to [0,1]. Dimensions with zero range map
 // to 0 so they contribute no distance.
 func (nz *Normalizer) Scale(i int, x float64) float64 {
@@ -74,8 +93,24 @@ func NewMetric(g *graph.Graph, gamma float64) (*Metric, error) {
 	return &Metric{g: g, gamma: gamma, norm: NewNormalizer(g)}, nil
 }
 
+// NewMetricWithNormalizer is NewMetric with a precomputed Normalizer
+// (typically reopened from a snapshot), skipping the full-graph min/max scan.
+// The normalizer's width must match the graph's numerical dimension.
+func NewMetricWithNormalizer(g *graph.Graph, gamma float64, nz *Normalizer) (*Metric, error) {
+	if gamma < 0 || gamma > 1 {
+		return nil, fmt.Errorf("attr: gamma %v outside [0,1]", gamma)
+	}
+	if len(nz.min) != g.NumDim() {
+		return nil, fmt.Errorf("attr: normalizer width %d, graph NumDim %d", len(nz.min), g.NumDim())
+	}
+	return &Metric{g: g, gamma: gamma, norm: nz}, nil
+}
+
 // Graph returns the graph the metric is bound to.
 func (m *Metric) Graph() *graph.Graph { return m.g }
+
+// Normalizer returns the metric's numerical-attribute normalizer.
+func (m *Metric) Normalizer() *Normalizer { return m.norm }
 
 // Gamma returns the balance factor.
 func (m *Metric) Gamma() float64 { return m.gamma }

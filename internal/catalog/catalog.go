@@ -1,0 +1,344 @@
+// Package catalog maintains a named registry of loaded datasets, each backed
+// by its own engine.Engine, and is what turns the single-graph serving stack
+// into a multi-dataset one. A Catalog mounts datasets from packed snapshots
+// (internal/store) or text-format files, resolves request routing for the
+// HTTP layer (the wire request's "graph" field), and hot-swaps a dataset's
+// engine atomically: the new snapshot is loaded and validated off to the
+// side, one pointer flip publishes it, and in-flight queries drain on the
+// old engine — they hold its pointer for the whole request — while every new
+// request lands on the new one.
+//
+// A manifest file (JSON) lists the datasets to mount at boot, so a serving
+// process restarts into its full catalog with zero recomputation:
+//
+//	{
+//	  "default": "facebook",
+//	  "datasets": [
+//	    {"name": "facebook", "path": "facebook.snap"},
+//	    {"name": "github",   "path": "github.snap", "gamma": 0.7}
+//	  ]
+//	}
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cserr"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// Dataset is one mounted dataset: a name bound to a hot-swappable engine.
+type Dataset struct {
+	name string
+	eng  atomic.Pointer[engine.Engine]
+	cfg  engine.Config
+
+	mu     sync.Mutex // serializes swaps (readers go through eng alone)
+	source string
+	swaps  uint64
+}
+
+// Engine returns the dataset's current engine. The pointer stays valid for
+// as long as the caller holds it, across any number of concurrent swaps —
+// use one grab per request so the request sees one consistent snapshot.
+func (d *Dataset) Engine() *engine.Engine { return d.eng.Load() }
+
+// Name returns the dataset's catalog name.
+func (d *Dataset) Name() string { return d.name }
+
+// Info is the describable state of a mounted dataset.
+type Info struct {
+	Name    string       `json:"name"`
+	Default bool         `json:"default"`
+	Nodes   int          `json:"nodes"`
+	Edges   int          `json:"edges"`
+	NumDim  int          `json:"num_dim"`
+	Source  string       `json:"source,omitempty"`
+	Swaps   uint64       `json:"swaps"`
+	Stats   engine.Stats `json:"stats"`
+}
+
+// Catalog is a concurrency-safe named registry of datasets. The zero value
+// is not usable; call New.
+type Catalog struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	def      string
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{datasets: make(map[string]*Dataset)}
+}
+
+// Mount registers eng under name. The first mounted dataset becomes the
+// default. Mounting an existing name is an error; use Swap to replace.
+func (c *Catalog) Mount(name string, eng *engine.Engine, cfg engine.Config, source string) (*Dataset, error) {
+	if name == "" {
+		return nil, cserr.Invalidf("catalog: empty dataset name")
+	}
+	if eng == nil {
+		return nil, cserr.Invalidf("catalog: nil engine for %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[name]; ok {
+		return nil, cserr.Invalidf("catalog: dataset %q already mounted", name)
+	}
+	d := &Dataset{name: name, cfg: cfg, source: source}
+	d.eng.Store(eng)
+	c.datasets[name] = d
+	if c.def == "" {
+		c.def = name
+	}
+	return d, nil
+}
+
+// Swap atomically replaces the engine of a mounted dataset and returns the
+// engine it displaced. In-flight queries that already resolved the old
+// engine complete on it; every later resolve sees the new one. The flip
+// happens under the catalog lock, so a concurrent Unmount cannot race the
+// new engine onto a dataset that is no longer mounted.
+func (c *Catalog) Swap(name string, eng *engine.Engine, source string) (*engine.Engine, error) {
+	if eng == nil {
+		return nil, cserr.Invalidf("catalog: nil engine for %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, err := c.datasetLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.eng.Swap(eng)
+	d.source = source
+	d.swaps++
+	return old, nil
+}
+
+// Unmount removes a dataset. In-flight queries on its engine complete; the
+// name stops resolving immediately. Unmounting the default re-elects the
+// lexicographically first remaining dataset as the new default (none when
+// the catalog empties).
+func (c *Catalog) Unmount(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[name]; !ok {
+		return fmt.Errorf("%w: %q", cserr.ErrUnknownGraph, name)
+	}
+	delete(c.datasets, name)
+	if c.def == name {
+		c.def = ""
+		if names := c.names(); len(names) > 0 {
+			c.def = names[0]
+		}
+	}
+	return nil
+}
+
+// SetDefault names the dataset an empty-name resolve routes to.
+func (c *Catalog) SetDefault(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[name]; !ok {
+		return fmt.Errorf("%w: %q", cserr.ErrUnknownGraph, name)
+	}
+	c.def = name
+	return nil
+}
+
+// Default returns the default dataset's name ("" when none is set).
+func (c *Catalog) Default() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.def
+}
+
+// dataset looks a name up, resolving "" to the default.
+func (c *Catalog) dataset(name string) (*Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.datasetLocked(name)
+}
+
+// datasetLocked is dataset for callers already holding c.mu.
+func (c *Catalog) datasetLocked(name string) (*Dataset, error) {
+	if name == "" {
+		name = c.def
+		if name == "" {
+			if len(c.datasets) == 0 {
+				return nil, fmt.Errorf("%w: no datasets mounted", cserr.ErrUnknownGraph)
+			}
+			return nil, fmt.Errorf("%w: no default dataset; name one of %v", cserr.ErrUnknownGraph, c.names())
+		}
+	}
+	d, ok := c.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", cserr.ErrUnknownGraph, name)
+	}
+	return d, nil
+}
+
+// Resolve maps a dataset name (empty = default) to its current engine; it is
+// the engine.Resolver of this catalog, so one grab serves one request.
+func (c *Catalog) Resolve(name string) (*engine.Engine, error) {
+	d, err := c.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Engine(), nil
+}
+
+// Engine is Resolve under its natural name for direct (non-HTTP) callers.
+func (c *Catalog) Engine(name string) (*engine.Engine, error) { return c.Resolve(name) }
+
+// Names returns the mounted dataset names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.names()
+}
+
+func (c *Catalog) names() []string {
+	out := make([]string, 0, len(c.datasets))
+	for name := range c.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of mounted datasets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.datasets)
+}
+
+// Infos describes every mounted dataset, sorted by name.
+func (c *Catalog) Infos() []Info {
+	c.mu.RLock()
+	def := c.def
+	ds := make([]*Dataset, 0, len(c.datasets))
+	for _, d := range c.datasets {
+		ds = append(ds, d)
+	}
+	c.mu.RUnlock()
+	sort.Slice(ds, func(i, j int) bool { return ds[i].name < ds[j].name })
+	out := make([]Info, len(ds))
+	for i, d := range ds {
+		eng := d.Engine()
+		g := eng.Graph()
+		d.mu.Lock()
+		source, swaps := d.source, d.swaps
+		d.mu.Unlock()
+		out[i] = Info{
+			Name:    d.name,
+			Default: d.name == def,
+			Nodes:   g.NumNodes(),
+			Edges:   g.NumEdges(),
+			NumDim:  g.NumDim(),
+			Source:  source,
+			Swaps:   swaps,
+			Stats:   eng.Stats(),
+		}
+	}
+	return out
+}
+
+// openPath builds an engine from the file at path: a packed snapshot opens
+// with zero recomputation, anything else is parsed as the text exchange
+// format and indexed from scratch.
+func openPath(path string, cfg engine.Config) (*engine.Engine, error) {
+	snap, err := store.OpenGraphFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewFromSnapshot(snap, cfg)
+}
+
+// MountPath mounts the dataset file (snapshot or text) at path under name.
+func (c *Catalog) MountPath(name, path string, cfg engine.Config) (*Dataset, error) {
+	eng, err := openPath(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Mount(name, eng, cfg, path)
+}
+
+// SwapPath loads the dataset file at path off to the side and hot-swaps it
+// into name — mounting it fresh when the name is new. The load happens
+// before the flip, so a corrupt file never disturbs the running engine.
+func (c *Catalog) SwapPath(name, path string, cfg engine.Config) (*Dataset, error) {
+	d, err := c.dataset(name)
+	if err == nil {
+		eng, err := openPath(path, d.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Swap(name, eng, path); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	return c.MountPath(name, path, cfg)
+}
+
+// Manifest lists the datasets a serving process mounts at boot.
+type Manifest struct {
+	// Default optionally names the dataset empty-name requests route to;
+	// unset, the first entry is the default.
+	Default  string          `json:"default,omitempty"`
+	Datasets []ManifestEntry `json:"datasets"`
+}
+
+// ManifestEntry is one dataset of a Manifest.
+type ManifestEntry struct {
+	Name string `json:"name"`
+	// Path locates the packed snapshot (preferred) or text-format file.
+	Path string `json:"path"`
+	// Gamma optionally overrides the serving config's attribute balance
+	// factor for this dataset (0 keeps the base value).
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+// LoadManifest reads a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Datasets) == 0 {
+		return nil, fmt.Errorf("%s: manifest mounts no datasets", path)
+	}
+	return &m, nil
+}
+
+// MountManifest mounts every dataset of m with base as the engine config
+// template (per-entry Gamma applied on top) and sets the manifest's default.
+func (c *Catalog) MountManifest(m *Manifest, base engine.Config) error {
+	for _, e := range m.Datasets {
+		cfg := base
+		if e.Gamma != 0 {
+			cfg.Gamma = e.Gamma
+		}
+		if _, err := c.MountPath(e.Name, e.Path, cfg); err != nil {
+			return fmt.Errorf("manifest dataset %q: %w", e.Name, err)
+		}
+	}
+	if m.Default != "" {
+		return c.SetDefault(m.Default)
+	}
+	return c.SetDefault(m.Datasets[0].Name)
+}

@@ -1,0 +1,82 @@
+package catalog
+
+// HTTP surface of a Catalog: the engine's full query surface (/search,
+// /batch, /compare, /healthz, /stats) routed per dataset through the wire
+// request's "graph" field, plus the catalog's own endpoints:
+//
+//	GET  /graphs        → mounted datasets with shape, source and stats
+//	POST /admin/reload  → {"graph":"fb","path":"fb2.snap"}: load the file
+//	                      off to the side, hot-swap it in (mount when new)
+//
+// Reload never disturbs the running engine on failure: a corrupt or
+// missing file reports 422/500 and the old engine keeps serving.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/cserr"
+	"repro/internal/engine"
+)
+
+// graphsResponse is the GET /graphs body.
+type graphsResponse struct {
+	Default string `json:"default,omitempty"`
+	Graphs  []Info `json:"graphs"`
+}
+
+// reloadRequest is the POST /admin/reload body.
+type reloadRequest struct {
+	Graph string `json:"graph"`
+	Path  string `json:"path"`
+}
+
+type reloadResponse struct {
+	Graph string `json:"graph"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Swaps uint64 `json:"swaps"`
+}
+
+// NewHTTPHandler returns the multi-dataset JSON serving surface of c. base
+// is the engine config template used when /admin/reload mounts a dataset
+// under a new name (existing datasets keep the config they were mounted
+// with).
+func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
+	mux := engine.NewResolverHandler(c.Resolve)
+	mux.HandleFunc("/graphs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use GET"))
+			return
+		}
+		engine.WriteJSON(w, http.StatusOK, graphsResponse{Default: c.Default(), Graphs: c.Infos()})
+	})
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use POST"))
+			return
+		}
+		var req reloadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf("bad request body: %v", err))
+			return
+		}
+		if req.Graph == "" || req.Path == "" {
+			engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf(`need "graph" and "path"`))
+			return
+		}
+		d, err := c.SwapPath(req.Graph, req.Path, base)
+		if err != nil {
+			engine.WriteError(w, engine.StatusFor(err), err)
+			return
+		}
+		g := d.Engine().Graph()
+		d.mu.Lock()
+		swaps := d.swaps
+		d.mu.Unlock()
+		engine.WriteJSON(w, http.StatusOK, reloadResponse{
+			Graph: d.Name(), Nodes: g.NumNodes(), Edges: g.NumEdges(), Swaps: swaps,
+		})
+	})
+	return mux
+}

@@ -36,6 +36,21 @@ var ErrBudgetExhausted = errors.New("community search: state budget exhausted")
 // outside the graph. The HTTP layer maps it to 400 Bad Request.
 var ErrInvalidRequest = errors.New("community search: invalid request")
 
+// ErrSnapshotVersion reports a snapshot whose format version this build does
+// not understand (written by a newer build, or not a snapshot at all when
+// the magic is wrong). Re-pack the dataset from its text form.
+var ErrSnapshotVersion = errors.New("snapshot: unsupported format")
+
+// ErrSnapshotCorrupt reports a snapshot that fails its checksum or whose
+// decoded structure is inconsistent (truncated file, flipped bits, arrays
+// that disagree with each other). The snapshot must be regenerated.
+var ErrSnapshotCorrupt = errors.New("snapshot: corrupt")
+
+// ErrUnknownGraph reports a request naming a dataset the catalog has not
+// mounted. The HTTP layer maps it to 404 Not Found; /graphs lists the
+// datasets that exist.
+var ErrUnknownGraph = errors.New("catalog: unknown graph")
+
 // Invalidf builds an error wrapping ErrInvalidRequest with a detail message
 // formatted by fmt.Sprintf. The %w verb is NOT supported — a cause passed
 // to it is flattened into text, not wrapped; format causes with %v.

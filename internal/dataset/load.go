@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -24,6 +25,7 @@ func LoadGraph(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var b *graph.Builder
+	var seen []bool // duplicate-v detection
 	numDim := 0
 	line := 0
 	for sc.Scan() {
@@ -35,6 +37,9 @@ func LoadGraph(r io.Reader) (*graph.Graph, error) {
 		fields := strings.Fields(text)
 		switch fields[0] {
 		case "n":
+			if b != nil {
+				return nil, fmt.Errorf("dataset: line %d: duplicate n record", line)
+			}
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("dataset: line %d: n record needs 2 fields", line)
 			}
@@ -42,14 +47,26 @@ func LoadGraph(r io.Reader) (*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 			}
+			if n < 0 || int64(n) > math.MaxInt32 {
+				return nil, fmt.Errorf("dataset: line %d: node count %d outside the NodeID range [0,2^31)", line, n)
+			}
 			numDim, err = strconv.Atoi(fields[2])
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 			}
+			if numDim < 0 || int64(numDim) > math.MaxInt32 {
+				return nil, fmt.Errorf("dataset: line %d: attribute dimension %d outside [0,2^31)", line, numDim)
+			}
+			// Bound the declared attribute payload so a malformed header
+			// errors instead of panicking in the n×numDim allocation.
+			if numDim > 0 && n > math.MaxInt32/numDim {
+				return nil, fmt.Errorf("dataset: line %d: attribute payload %d×%d too large", line, n, numDim)
+			}
 			b = graph.NewBuilder(n, numDim)
+			seen = make([]bool, n)
 		case "v":
 			if b == nil {
-				return nil, fmt.Errorf("dataset: line %d: v before n", line)
+				return nil, fmt.Errorf("dataset: line %d: v record before n", line)
 			}
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("dataset: line %d: v record needs 3 fields", line)
@@ -58,9 +75,24 @@ func LoadGraph(r io.Reader) (*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 			}
+			if id64 < 0 || id64 >= int64(b.NumNodes()) {
+				return nil, fmt.Errorf("dataset: line %d: node %d outside [0,%d)", line, id64, b.NumNodes())
+			}
+			if seen[id64] {
+				return nil, fmt.Errorf("dataset: line %d: duplicate v record for node %d", line, id64)
+			}
+			seen[id64] = true
 			id := graph.NodeID(id64)
 			if fields[2] != "-" {
-				b.SetTextAttrs(id, strings.Split(fields[2], ",")...)
+				toks := strings.Split(fields[2], ",")
+				for _, tok := range toks {
+					if tok == "" {
+						// An empty token is unrepresentable on write, so it
+						// would silently break the round trip.
+						return nil, fmt.Errorf("dataset: line %d: empty attribute token", line)
+					}
+				}
+				b.SetTextAttrs(id, toks...)
 			}
 			if fields[3] != "-" {
 				parts := strings.Split(fields[3], ",")
@@ -78,7 +110,7 @@ func LoadGraph(r io.Reader) (*graph.Graph, error) {
 			}
 		case "e":
 			if b == nil {
-				return nil, fmt.Errorf("dataset: line %d: e before n", line)
+				return nil, fmt.Errorf("dataset: line %d: e record before n", line)
 			}
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("dataset: line %d: e record needs 2 fields", line)
@@ -91,13 +123,19 @@ func LoadGraph(r io.Reader) (*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 			}
+			if u < 0 || u >= int64(b.NumNodes()) || v < 0 || v >= int64(b.NumNodes()) {
+				return nil, fmt.Errorf("dataset: line %d: edge (%d,%d) outside [0,%d)", line, u, v, b.NumNodes())
+			}
 			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
 		default:
 			return nil, fmt.Errorf("dataset: line %d: unknown record %q", line, fields[0])
 		}
 	}
+	// A scanner error (an over-long line, an underlying read failure) means
+	// the input was not fully consumed; surfacing it — with how far we got —
+	// is the difference between an error and a silently truncated graph.
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dataset: read failed after line %d: %w", line, err)
 	}
 	if b == nil {
 		return nil, fmt.Errorf("dataset: empty input")

@@ -140,6 +140,20 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e, err := newEngine(g, cfg, m, kcore.Decompose(g))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EagerTruss {
+		e.nodeTruss()
+	}
+	return e, nil
+}
+
+// newEngine applies config defaults and assembles the caches around a
+// metric and core index the caller supplies — computed fresh by New,
+// reopened without recomputation by NewFromIndex.
+func newEngine(g *graph.Graph, cfg Config, m *attr.Metric, core []int32) (*Engine, error) {
 	def := DefaultConfig()
 	if cfg.DistCacheSize <= 0 {
 		cfg.DistCacheSize = def.DistCacheSize
@@ -160,7 +174,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		g:      g,
 		metric: m,
 		cfg:    cfg,
-		core:   kcore.Decompose(g),
+		core:   core,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 	}
 	e.dists = newShardedLRU[graph.NodeID, []float64](
@@ -168,9 +182,6 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		func(q graph.NodeID) uint64 { return fnvMix(fnvOffset, uint64(q)) })
 	e.results = newShardedLRU[query.Request, *query.Outcome](
 		cfg.ResultCacheSize, cfg.CacheShards, requestHash)
-	if cfg.EagerTruss {
-		e.nodeTruss()
-	}
 	return e, nil
 }
 
@@ -196,6 +207,9 @@ func (e *Engine) Query(ctx context.Context, req query.Request) (*query.Outcome, 
 func (e *Engine) QueryWithMetrics(ctx context.Context, req query.Request) (*query.Outcome, QueryMetrics, error) {
 	t0 := time.Now()
 	req = req.WithDefaults()
+	// Graph is routing metadata for multi-dataset servers; this engine IS
+	// the routed-to graph, so drop it before it can split cache keys.
+	req.Graph = ""
 	qm := QueryMetrics{Query: int64(req.Query), K: req.K, Model: req.Model.String(), Method: req.Method.String()}
 	out, err := e.serve(ctx, req, &qm)
 	qm.TotalNS = time.Since(t0).Nanoseconds()

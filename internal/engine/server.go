@@ -4,8 +4,13 @@ package engine
 // /search, /batch, /compare, /healthz and /stats as JSON endpoints. All
 // query endpoints decode the same wire form of query.Request, so one JSON
 // body works across single search, batch and method comparison; /compare
-// replays one request through several methods side by side. cmd/seaserve
-// wires this to flags and a listener.
+// replays one request through several methods side by side.
+//
+// Every endpoint routes through a Resolver, which maps the wire request's
+// optional "graph" field (or ?graph= parameter) to the Engine serving that
+// dataset. NewHTTPHandler wraps one engine in a single-graph resolver;
+// internal/catalog supplies the multi-dataset resolver with hot-swap, and
+// cmd/seaserve wires either to flags and a listener.
 
 import (
 	"context"
@@ -97,17 +102,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// statusFor maps the unified error taxonomy to HTTP statuses: invalid
-// requests → 400, provable absence → 404, interruptions → 408, exhausted
-// budgets still carry a best-so-far community → 200 with Err set.
-func statusFor(err error) int {
+// StatusFor maps the unified error taxonomy to HTTP statuses: invalid
+// requests → 400, provable absence and unknown datasets → 404,
+// interruptions → 408, unreadable snapshots → 422, exhausted budgets still
+// carry a best-so-far community → 200 with Err set.
+func StatusFor(err error) int {
 	switch {
 	case err == nil, errors.Is(err, cserr.ErrBudgetExhausted):
 		return http.StatusOK
 	case errors.Is(err, cserr.ErrInvalidRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, cserr.ErrNoCommunity):
+	case errors.Is(err, cserr.ErrNoCommunity), errors.Is(err, cserr.ErrUnknownGraph):
 		return http.StatusNotFound
+	case errors.Is(err, cserr.ErrSnapshotCorrupt), errors.Is(err, cserr.ErrSnapshotVersion):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusRequestTimeout
 	default:
@@ -137,17 +145,38 @@ func toCIJSON(ci stats.CI) ciJSON {
 	return ciJSON{Center: ci.Center, MoE: ci.MoE, Lo: ci.Lo(), Hi: ci.Hi(), Confidence: ci.Confidence}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a JSON response body with the given status. It is
+// the one JSON-writing helper shared by this surface and the catalog's.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// WriteError writes err in the {"error": "..."} body every endpoint uses,
+// with the given status.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// NewHTTPHandler returns the JSON serving surface of e:
+// Resolver maps a dataset name from the wire ("graph" field or ?graph=
+// parameter; empty = the default dataset) to the Engine serving it. Errors
+// should wrap cserr.ErrUnknownGraph so they map to 404.
+type Resolver func(name string) (*Engine, error)
+
+// NewHTTPHandler returns the JSON serving surface of one engine — the
+// single-graph form of NewResolverHandler, where every request resolves to
+// e and naming any other graph is an error.
+func NewHTTPHandler(e *Engine) http.Handler {
+	return NewResolverHandler(func(name string) (*Engine, error) {
+		if name != "" {
+			return nil, fmt.Errorf("%w: %q (single-graph server)", cserr.ErrUnknownGraph, name)
+		}
+		return e, nil
+	})
+}
+
+// NewResolverHandler returns the JSON serving surface over a Resolver:
 //
 //	POST /search    {"q":12,"method":"sea","k":6,...}       → one community
 //	GET  /search?q=12&k=6&method=exact                      → same, for curl
@@ -156,35 +185,52 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //	GET  /compare?q=12&methods=sea,exact,vac                → same, for curl
 //	GET  /healthz                                           → liveness + graph shape
 //	GET  /stats                                             → engine counters/caches
-func NewHTTPHandler(e *Engine) http.Handler {
+//
+// Every endpoint accepts an optional dataset name ("graph" in the body,
+// ?graph= on GET); the resolver maps it to the engine serving that dataset.
+// The resolved engine is used for the whole request, so a concurrent
+// hot-swap never splits one request across two snapshots. The returned mux
+// is open for extension: the catalog registers /graphs and /admin/reload on
+// top of it.
+func NewResolverHandler(resolve Resolver) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		wire, ok := decodeWire(w, r, http.MethodGet, http.MethodPost)
 		if !ok {
 			return
 		}
+		e, err := resolve(wire.Graph)
+		if err != nil {
+			WriteError(w, StatusFor(err), err)
+			return
+		}
 		req, err := wire.toRequest()
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			WriteError(w, StatusFor(err), err)
 			return
 		}
 		out, qm, err := e.QueryWithMetrics(r.Context(), req)
-		writeJSON(w, statusFor(err), toResponse(req, out, qm, err))
+		WriteJSON(w, StatusFor(err), toResponse(req, out, qm, err))
 	})
 	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
 		wire, ok := decodeWire(w, r, http.MethodPost)
 		if !ok {
 			return
 		}
+		e, err := resolve(wire.Graph)
+		if err != nil {
+			WriteError(w, StatusFor(err), err)
+			return
+		}
 		if len(wire.Queries) == 0 {
-			writeError(w, http.StatusBadRequest, cserr.Invalidf("missing \"queries\""))
+			WriteError(w, http.StatusBadRequest, cserr.Invalidf("missing \"queries\""))
 			return
 		}
 		reqs := make([]query.Request, len(wire.Queries))
 		for i, q := range wire.Queries {
 			id, err := toNodeID(q)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				WriteError(w, http.StatusBadRequest, err)
 				return
 			}
 			req := wire.Request
@@ -193,32 +239,37 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		}
 		items, err := e.Batch(r.Context(), reqs)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			WriteError(w, StatusFor(err), err)
 			return
 		}
 		resp := batchResponse{Items: make([]searchResponse, len(items))}
 		for i, it := range items {
 			resp.Items[i] = toResponse(it.Request, it.Outcome, it.Metrics, it.Err)
 		}
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) {
 		wire, ok := decodeWire(w, r, http.MethodGet, http.MethodPost)
 		if !ok {
 			return
 		}
+		e, err := resolve(wire.Graph)
+		if err != nil {
+			WriteError(w, StatusFor(err), err)
+			return
+		}
 		if wire.Q == nil {
-			writeError(w, http.StatusBadRequest, cserr.Invalidf("missing query node \"q\""))
+			WriteError(w, http.StatusBadRequest, cserr.Invalidf("missing query node \"q\""))
 			return
 		}
 		q, err := toNodeID(*wire.Q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
 		names := wire.Methods
 		if len(names) == 0 {
-			writeError(w, http.StatusBadRequest, cserr.Invalidf("missing \"methods\""))
+			WriteError(w, http.StatusBadRequest, cserr.Invalidf("missing \"methods\""))
 			return
 		}
 		reqs := make([]query.Request, len(names))
@@ -227,12 +278,12 @@ func NewHTTPHandler(e *Engine) http.Handler {
 				// ParseMethod resolves "" to SEA for omitted single-method
 				// fields; in an explicit list it is a malformed entry
 				// (typically a stray comma), not a request for SEA.
-				writeError(w, http.StatusBadRequest, cserr.Invalidf("empty method name in \"methods\""))
+				WriteError(w, http.StatusBadRequest, cserr.Invalidf("empty method name in \"methods\""))
 				return
 			}
 			m, err := query.ParseMethod(name)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				WriteError(w, http.StatusBadRequest, err)
 				return
 			}
 			// Canonicalize from the raw wire request per method, never from
@@ -245,7 +296,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 			req.Method = m
 			req = req.WithDefaults()
 			if err := req.Validate(); err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				WriteError(w, http.StatusBadRequest, err)
 				return
 			}
 			reqs[i] = req
@@ -255,7 +306,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		// metrics all apply per method).
 		items, err := e.Batch(r.Context(), reqs)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			WriteError(w, StatusFor(err), err)
 			return
 		}
 		resp := compareResponse{Query: int64(q), Items: make([]searchResponse, len(items))}
@@ -274,10 +325,15 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		if best >= 0 {
 			resp.Best = resp.Items[best].Method
 		}
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		e, err := resolve(r.URL.Query().Get("graph"))
+		if err != nil {
+			WriteError(w, StatusFor(err), err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]any{
 			"status":  "ok",
 			"nodes":   e.Graph().NumNodes(),
 			"edges":   e.Graph().NumEdges(),
@@ -285,7 +341,12 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		e, err := resolve(r.URL.Query().Get("graph"))
+		if err != nil {
+			WriteError(w, StatusFor(err), err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, e.Stats())
 	})
 	return mux
 }
@@ -300,11 +361,11 @@ func decodeWire(w http.ResponseWriter, r *http.Request, allowed ...string) (wire
 	}
 	switch {
 	case !methodOK:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", strings.Join(allowed, " or ")))
+		WriteError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", strings.Join(allowed, " or ")))
 		return wire, false
 	case r.Method == http.MethodGet:
 		if err := wireFromQuery(r, &wire); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return wire, false
 		}
 	default:
@@ -312,7 +373,7 @@ func decodeWire(w http.ResponseWriter, r *http.Request, allowed ...string) (wire
 			if !errors.Is(err, cserr.ErrInvalidRequest) {
 				err = cserr.Invalidf("bad request body: %v", err)
 			}
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return wire, false
 		}
 	}
@@ -362,6 +423,7 @@ func wireFromQuery(r *http.Request, wire *wireRequest) error {
 	if s := vals.Get("methods"); s != "" {
 		wire.Methods = strings.Split(s, ",")
 	}
+	wire.Graph = vals.Get("graph")
 	if err := wire.Method.UnmarshalText([]byte(vals.Get("method"))); err != nil {
 		return err
 	}

@@ -1,0 +1,86 @@
+package engine
+
+// Snapshot integration: an Engine's precomputed per-graph state — the core
+// and node-truss admission indexes and the attribute-metric normalization
+// table — exports as a store.Index so store.Write can persist it, and an
+// Engine reopens from a store.Snapshot with zero recomputation: no text
+// parse, no min/max attribute scan, no core or truss decomposition at boot.
+
+import (
+	"io"
+
+	"repro/internal/attr"
+	"repro/internal/cserr"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// ExportIndex flattens the engine's precomputed state into a store.Index.
+// The truss-level index is built first if it was not already, so snapshots
+// always carry the complete admission state. The returned slices alias the
+// engine's own and must not be modified.
+func (e *Engine) ExportIndex() *store.Index {
+	min, max := e.metric.Normalizer().Bounds()
+	return &store.Index{
+		Coreness:  e.core,
+		NodeTruss: e.nodeTruss(),
+		NormMin:   min,
+		NormMax:   max,
+	}
+}
+
+// WriteSnapshot serializes the engine's graph and precomputed index to w in
+// the store snapshot format. Reopening it with NewFromSnapshot yields an
+// engine that answers every request identically to this one.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return store.Write(w, e.g, e.ExportIndex())
+}
+
+// NewFromSnapshot builds an Engine directly from a reopened snapshot: the
+// graph is adopted as-is and the index section (when present) replaces the
+// construction-time core decomposition, metric scan and truss build.
+func NewFromSnapshot(snap *store.Snapshot, cfg Config) (*Engine, error) {
+	if snap == nil {
+		return nil, cserr.Invalidf("engine: nil snapshot")
+	}
+	return NewFromIndex(snap.Graph, cfg, snap.Index)
+}
+
+// NewFromIndex is New with a precomputed index. idx may be nil, which is
+// plain New; otherwise its arrays are validated against the graph shape and
+// adopted (not copied — the caller must not modify them).
+func NewFromIndex(g *graph.Graph, cfg Config, idx *store.Index) (*Engine, error) {
+	if idx == nil {
+		return New(g, cfg)
+	}
+	if g == nil {
+		return nil, cserr.Invalidf("engine: nil graph")
+	}
+	if len(idx.Coreness) != g.NumNodes() {
+		return nil, cserr.Invalidf("engine: index coreness length %d, graph has %d nodes",
+			len(idx.Coreness), g.NumNodes())
+	}
+	if idx.NodeTruss != nil && len(idx.NodeTruss) != g.NumNodes() {
+		return nil, cserr.Invalidf("engine: index truss length %d, graph has %d nodes",
+			len(idx.NodeTruss), g.NumNodes())
+	}
+	nz, err := attr.NewNormalizerFromBounds(idx.NormMin, idx.NormMax)
+	if err != nil {
+		return nil, cserr.Invalidf("engine: %v", err)
+	}
+	m, err := attr.NewMetricWithNormalizer(g, cfg.Gamma, nz)
+	if err != nil {
+		return nil, err
+	}
+	e, err := newEngine(g, cfg, m, idx.Coreness)
+	if err != nil {
+		return nil, err
+	}
+	if idx.NodeTruss != nil {
+		e.trussOnce.Do(func() { e.truss = idx.NodeTruss })
+	}
+	if cfg.EagerTruss {
+		e.nodeTruss()
+	}
+	return e, nil
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Dict interns textual attribute strings to dense int32 token IDs.
 // It is not safe for concurrent writers; freeze it (stop interning) before
 // sharing a graph across goroutines.
@@ -32,6 +34,26 @@ func (d *Dict) Lookup(s string) (int32, bool) {
 
 // Name returns the string for a token ID.
 func (d *Dict) Name(id int32) string { return d.names[id] }
+
+// Names returns a copy of the ID → string table, the serializable form of
+// the dictionary (index i holds the name of token i).
+func (d *Dict) Names() []string {
+	return append([]string(nil), d.names...)
+}
+
+// NewDictFromNames rebuilds a dictionary from an ID → string table, the
+// inverse of Names. Duplicate names are rejected: they would make Intern and
+// Lookup disagree with the table.
+func NewDictFromNames(names []string) (*Dict, error) {
+	d := &Dict{byName: make(map[string]int32, len(names)), names: append([]string(nil), names...)}
+	for i, s := range names {
+		if prev, ok := d.byName[s]; ok {
+			return nil, fmt.Errorf("graph: dict: duplicate name %q (tokens %d and %d)", s, prev, i)
+		}
+		d.byName[s] = int32(i)
+	}
+	return d, nil
+}
 
 // Len returns the number of interned tokens.
 func (d *Dict) Len() int { return len(d.names) }

@@ -125,6 +125,13 @@ type Request struct {
 	K      int          `json:"k,omitempty"`
 	Model  sea.Model    `json:"model,omitempty"`
 
+	// Graph optionally names the dataset the request targets, for servers
+	// that mount several (internal/catalog); the empty string means the
+	// default dataset. It is routing metadata, not a search parameter: the
+	// library entry points ignore it and an Engine — which serves exactly one
+	// graph — canonicalizes it away before caching.
+	Graph string `json:"graph,omitempty"`
+
 	// Accuracy parameters (SEA): relative error bound e and confidence 1−α.
 	ErrorBound float64 `json:"e,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`

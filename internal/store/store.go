@@ -1,0 +1,445 @@
+// Package store persists the full serving state of an attributed graph — the
+// CSR arrays, the attribute dictionary, the text/numeric attribute columns,
+// and the Engine's precomputed admission indexes — as one versioned,
+// checksummed binary snapshot. A snapshot reopens into a ready-to-serve
+// graph + index with zero parsing and zero recomputation, which is what
+// makes boot-fast multi-dataset serving (internal/catalog) possible: the
+// text exchange format of internal/dataset is the interchange form, the
+// snapshot is the serving form.
+//
+// # Format (version 1)
+//
+// All integers are little-endian and fixed-width; arrays are stored raw with
+// their lengths derived from the header fields.
+//
+//	magic    [8]byte  "SEASNAP\x00"
+//	version  uint32   currently 1
+//	flags    uint32   bit 0: index section present
+//
+//	-- graph section --
+//	n        uint64   number of nodes
+//	a        uint64   len(adj) = 2·edges
+//	offsets  [n+1]int32
+//	adj      [a]int32
+//	t        uint64   len(text)
+//	textOff  [n+1]int32
+//	text     [t]int32
+//	numDim   uint32
+//	num      [n·numDim]float64
+//	dictLen  uint32
+//	names    dictLen × (uint32 byteLen + bytes)
+//
+//	-- index section (iff flags bit 0) --
+//	coreness [n]int32
+//	hasTruss uint8
+//	truss    [n]int32 (iff hasTruss)
+//	normMin  [numDim]float64
+//	normMax  [numDim]float64
+//
+//	crc      uint32   CRC-32 (Castagnoli) of every preceding byte
+//
+// # Guarantees
+//
+// Write produces a deterministic byte stream for a given graph + index.
+// Open verifies the magic and version (cserr.ErrSnapshotVersion on
+// mismatch), the trailing checksum, and the structural invariants of every
+// array (offsets monotone, adjacency sorted/symmetric/loop-free, tokens
+// within the dictionary — see graph.FromRaw); any violation reports
+// cserr.ErrSnapshotCorrupt. A snapshot that opens without error is
+// semantically identical to the state that was written: the same query
+// yields a byte-identical outcome.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/cserr"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// Version is the snapshot format version this build reads and writes.
+const Version = 1
+
+// magic identifies a snapshot stream; it is deliberately not valid UTF-8
+// text so the text-format loader can never misread one.
+var magic = [8]byte{'S', 'E', 'A', 'S', 'N', 'A', 'P', 0}
+
+const flagIndex = 1 << 0
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Index is the serializable form of the Engine's precomputed per-graph
+// state: the structural admission indexes and the attribute-metric
+// normalization table. NodeTruss may be nil (the engine builds it lazily);
+// NormMin/NormMax have the graph's NumDim width.
+type Index struct {
+	// Coreness holds each node's coreness, len NumNodes.
+	Coreness []int32
+	// NodeTruss holds each node's maximum incident-edge trussness, len
+	// NumNodes, or nil when the truss index was never built.
+	NodeTruss []int32
+	// NormMin/NormMax are the per-dimension numerical attribute bounds the
+	// metric normalizer scales by, len NumDim.
+	NormMin, NormMax []float64
+}
+
+// Snapshot is the reopened serving state: the graph and, when the snapshot
+// carried one, the precomputed index.
+type Snapshot struct {
+	Graph *graph.Graph
+	Index *Index // nil when the snapshot has no index section
+}
+
+// Write serializes g and idx to w in the snapshot format. idx may be nil to
+// write a graph-only snapshot. The stream is checksummed; Write buffers
+// nothing beyond small scratch, so it streams large graphs directly to disk.
+func Write(w io.Writer, g *graph.Graph, idx *Index) error {
+	if g == nil {
+		return fmt.Errorf("store: nil graph")
+	}
+	raw := g.Export()
+	n := g.NumNodes()
+	if idx != nil {
+		if len(idx.Coreness) != n {
+			return fmt.Errorf("store: index coreness length %d, graph has %d nodes", len(idx.Coreness), n)
+		}
+		if idx.NodeTruss != nil && len(idx.NodeTruss) != n {
+			return fmt.Errorf("store: index truss length %d, graph has %d nodes", len(idx.NodeTruss), n)
+		}
+		if len(idx.NormMin) != raw.NumDim || len(idx.NormMax) != raw.NumDim {
+			return fmt.Errorf("store: index bounds width %d/%d, graph NumDim %d",
+				len(idx.NormMin), len(idx.NormMax), raw.NumDim)
+		}
+	}
+
+	crc := crc32.New(castagnoli)
+	ew := &encoder{w: io.MultiWriter(w, crc)}
+	ew.bytes(magic[:])
+	ew.u32(Version)
+	var flags uint32
+	if idx != nil {
+		flags |= flagIndex
+	}
+	ew.u32(flags)
+
+	ew.u64(uint64(n))
+	ew.u64(uint64(len(raw.Adj)))
+	ew.i32s(raw.Offsets)
+	ew.i32s(raw.Adj)
+	ew.u64(uint64(len(raw.Text)))
+	ew.i32s(raw.TextOff)
+	ew.i32s(raw.Text)
+	ew.u32(uint32(raw.NumDim))
+	ew.f64s(raw.Num)
+	ew.u32(uint32(len(raw.DictNames)))
+	for _, name := range raw.DictNames {
+		ew.u32(uint32(len(name)))
+		ew.bytes([]byte(name))
+	}
+
+	if idx != nil {
+		ew.i32s(idx.Coreness)
+		if idx.NodeTruss != nil {
+			ew.u8(1)
+			ew.i32s(idx.NodeTruss)
+		} else {
+			ew.u8(0)
+		}
+		ew.f64s(idx.NormMin)
+		ew.f64s(idx.NormMax)
+	}
+	if ew.err != nil {
+		return ew.err
+	}
+	// The trailer is the checksum of everything above; it goes to w only.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// Open reads one snapshot from r, verifying version, checksum and structure,
+// and returns the ready-to-serve graph + index. Errors classify as
+// cserr.ErrSnapshotVersion (wrong magic or version) or
+// cserr.ErrSnapshotCorrupt (anything else wrong with the bytes).
+func Open(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	return Decode(data)
+}
+
+// OpenFile opens the snapshot at path. Unlike Open over an arbitrary
+// reader, the file's size is known up front, so the bytes are read in one
+// pre-sized allocation.
+func OpenFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// OpenGraphFile opens a graph file in either on-disk form, sniffing the
+// snapshot magic to pick the decoder: a packed snapshot opens with its
+// index, anything else parses as the text exchange format (Index nil). It
+// is the one open-either-format path shared by the catalog and the CLI.
+func OpenGraphFile(path string) (*Snapshot, error) {
+	isSnap, err := DetectFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isSnap {
+		return OpenFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := dataset.LoadGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Snapshot{Graph: g}, nil
+}
+
+// DetectFile reports whether the file at path begins with the snapshot
+// magic, distinguishing packed snapshots from text-format graph files.
+func DetectFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false, nil // shorter than the magic: not a snapshot
+	}
+	return head == magic, nil
+}
+
+// Decode is Open over bytes already in memory.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+8+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any snapshot", cserr.ErrSnapshotCorrupt, len(data))
+	}
+	var head [8]byte
+	copy(head[:], data)
+	if head != magic {
+		return nil, fmt.Errorf("%w: bad magic (not a snapshot file)", cserr.ErrSnapshotVersion)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", cserr.ErrSnapshotVersion, v, Version)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, stored %08x)", cserr.ErrSnapshotCorrupt, got, want)
+	}
+	d := &decoder{data: body, off: 12}
+	flags := d.u32()
+	if flags&^uint32(flagIndex) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", cserr.ErrSnapshotVersion, flags)
+	}
+
+	n := d.count("nodes")
+	a := d.count("adjacency")
+	raw := graph.Raw{
+		Offsets: d.i32s(n + 1),
+		Adj:     d.i32s(a),
+	}
+	t := d.count("text tokens")
+	raw.TextOff = d.i32s(n + 1)
+	raw.Text = d.i32s(t)
+	raw.NumDim = int(d.u32())
+	if d.err == nil && (raw.NumDim < 0 || (raw.NumDim > 0 && n > math.MaxInt/raw.NumDim)) {
+		d.fail(fmt.Errorf("numDim %d overflows", raw.NumDim))
+	}
+	raw.Num = d.f64s(n * raw.NumDim)
+	dictLen := int(d.u32())
+	if d.err == nil {
+		raw.DictNames = make([]string, 0, min(dictLen, 1<<20))
+		for i := 0; i < dictLen && d.err == nil; i++ {
+			raw.DictNames = append(raw.DictNames, d.str())
+		}
+	}
+
+	var idx *Index
+	if flags&flagIndex != 0 {
+		idx = &Index{Coreness: d.i32s(n)}
+		if d.u8() != 0 {
+			idx.NodeTruss = d.i32s(n)
+		}
+		idx.NormMin = d.f64s(raw.NumDim)
+		idx.NormMax = d.f64s(raw.NumDim)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", cserr.ErrSnapshotCorrupt, d.err)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", cserr.ErrSnapshotCorrupt, len(body)-d.off)
+	}
+	g, err := graph.FromRaw(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", cserr.ErrSnapshotCorrupt, err)
+	}
+	return &Snapshot{Graph: g, Index: idx}, nil
+}
+
+// encoder writes fixed-width little-endian values, latching the first error.
+type encoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) u8(v uint8) { e.bytes([]byte{v}) }
+
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.bytes(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.bytes(e.buf[:8])
+}
+
+// i32s writes a whole int32 slice through one scratch buffer, chunked so
+// large arrays do not double resident memory.
+func (e *encoder) i32s(xs []int32) {
+	const chunk = 16 * 1024
+	buf := make([]byte, 0, 4*min(len(xs), chunk))
+	for len(xs) > 0 && e.err == nil {
+		nn := min(len(xs), chunk)
+		buf = buf[:4*nn]
+		for i, x := range xs[:nn] {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
+		}
+		e.bytes(buf)
+		xs = xs[nn:]
+	}
+}
+
+func (e *encoder) f64s(xs []float64) {
+	const chunk = 8 * 1024
+	buf := make([]byte, 0, 8*min(len(xs), chunk))
+	for len(xs) > 0 && e.err == nil {
+		nn := min(len(xs), chunk)
+		buf = buf[:8*nn]
+		for i, x := range xs[:nn] {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+		}
+		e.bytes(buf)
+		xs = xs[nn:]
+	}
+}
+
+// decoder reads fixed-width values from a byte slice with bounds checking,
+// latching the first error.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.data) || d.off+n < d.off {
+		d.fail(fmt.Errorf("truncated at offset %d (need %d bytes)", d.off, n))
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// count reads a uint64 array length and bounds it by what the remaining
+// bytes could possibly hold, so corrupt headers cannot force huge
+// allocations.
+func (d *decoder) count(what string) int {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(b)
+	if v > uint64(len(d.data)) {
+		d.fail(fmt.Errorf("%s count %d exceeds snapshot size", what, v))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) i32s(n int) []int32 {
+	b := d.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (d *decoder) f64s(n int) []float64 {
+	b := d.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
