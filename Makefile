@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet staticcheck smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,24 @@ race:
 # One iteration of every benchmark: a smoke test, not a measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Alloc-regression guards on the pooled hot-path substrate: each
+# BenchmarkSubstrate* measures steady-state allocs/op with AllocsPerRun and
+# FAILS above its committed ceiling (~0). CI runs this on every push.
+bench-substrate:
+	$(GO) test -bench=BenchmarkSubstrate -benchtime=1x -run='^$$' .
+
+# The canonical perf-trajectory record. Each performance-relevant PR runs
+# this and commits the output as BENCH_<pr>.json (see README "Performance").
+BENCH_OUT ?= BENCH_new.json
+bench-json:
+	$(GO) run ./cmd/seabench -scale 0.25 -queries 4 -out $(BENCH_OUT)
+
+# Re-run the canonical configuration and print per-experiment wall-clock
+# ratios against the latest committed trajectory record.
+BENCH_BASE ?= BENCH_4.json
+bench-compare:
+	$(GO) run ./cmd/seabench -scale 0.25 -queries 4 -compare $(BENCH_BASE)
 
 fmt:
 	gofmt -w .
@@ -53,4 +71,4 @@ smoke:
 	curl -sf http://127.0.0.1:8971/graphs && echo && \
 	echo "smoke OK"; status=$$?; kill $$pid 2>/dev/null; exit $$status
 
-ci: fmt-check vet staticcheck build race bench smoke
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke

@@ -29,6 +29,7 @@ import (
 	internalsea "repro/internal/sea"
 	"repro/internal/stats"
 	"repro/internal/truss"
+	"repro/internal/ws"
 )
 
 // benchCfg is the miniature experiment configuration for benchmarks.
@@ -471,6 +472,123 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(reqs)), "queries/op")
+}
+
+// --- Substrate alloc-regression guards -----------------------------------
+//
+// Each BenchmarkSubstrate* benchmark doubles as a CI guard: before timing,
+// it measures steady-state allocations with testing.AllocsPerRun against a
+// warmed workspace and FAILS if the count regresses above the committed
+// ceiling (~zero for the pooled hot paths). CI runs them via
+// `go test -bench=BenchmarkSubstrate -benchtime=1x` (see Makefile
+// bench-substrate).
+
+// guardAllocs fails the benchmark when fn allocates more than limit per run
+// in the steady state.
+func guardAllocs(b *testing.B, limit float64, fn func()) {
+	b.Helper()
+	fn() // warm buffers and pools outside the measurement
+	if allocs := testing.AllocsPerRun(20, fn); allocs > limit {
+		b.Fatalf("allocs/op = %v, regression guard is %v", allocs, limit)
+	}
+}
+
+func BenchmarkSubstrateBuildGq(b *testing.B) {
+	benchSetup(b)
+	w := ws.Get()
+	defer w.Release()
+	const size = 800
+	dst := make([]graph.NodeID, 0, size)
+	guardAllocs(b, 0, func() {
+		dst = sampling.BuildGqInto(dst[:0], benchData.Graph, benchQ, benchDist, size, w)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = sampling.BuildGqInto(dst[:0], benchData.Graph, benchQ, benchDist, size, w)
+	}
+}
+
+func BenchmarkSubstrateInducedCSR(b *testing.B) {
+	benchSetup(b)
+	w := ws.Get()
+	defer w.Release()
+	nodes := sampling.BuildGqInto(nil, benchData.Graph, benchQ, benchDist, 800, w)
+	guardAllocs(b, 0, func() {
+		benchData.Graph.InducedStructure(nodes, &w.Sub)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchData.Graph.InducedStructure(nodes, &w.Sub)
+	}
+}
+
+func BenchmarkSubstrateQueryDist(b *testing.B) {
+	benchSetup(b)
+	dst := make([]float64, benchData.Graph.NumNodes())
+	guardAllocs(b, 0, func() {
+		dst = benchM.QueryDistInto(dst, benchQ)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = benchM.QueryDistInto(dst, benchQ)
+	}
+}
+
+func BenchmarkSubstrateWeightedSample(b *testing.B) {
+	benchSetup(b)
+	w := ws.Get()
+	defer w.Release()
+	gq := sampling.BuildGqInto(nil, benchData.Graph, benchQ, benchDist, 800, w)
+	probs := sampling.ProbabilitiesInto(nil, gq, benchDist)
+	rng := rand.New(rand.NewSource(1))
+	dst := make([]graph.NodeID, 0, 160)
+	guardAllocs(b, 0, func() {
+		dst = sampling.WeightedSampleInto(dst[:0], gq, probs, 160, benchQ, rng, w)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = sampling.WeightedSampleInto(dst[:0], gq, probs, 160, benchQ, rng, w)
+	}
+}
+
+func BenchmarkSubstrateKCoreExtract(b *testing.B) {
+	benchSetup(b)
+	w := ws.Get()
+	defer w.Release()
+	var dst []graph.NodeID
+	if dst = kcore.MaximalConnectedKCoreInto(dst[:0], benchData.Graph, benchQ, 6, w); dst == nil {
+		b.Skip("query hosts no 6-core")
+	}
+	guardAllocs(b, 0, func() {
+		dst = kcore.MaximalConnectedKCoreInto(dst[:0], benchData.Graph, benchQ, 6, w)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = kcore.MaximalConnectedKCoreInto(dst[:0], benchData.Graph, benchQ, 6, w)
+	}
+}
+
+func BenchmarkSubstrateInKCoreSet(b *testing.B) {
+	benchSetup(b)
+	w := ws.Get()
+	defer w.Release()
+	members := kcore.MaximalConnectedKCoreInto(nil, benchData.Graph, benchQ, 6, w)
+	if members == nil {
+		b.Skip("query hosts no 6-core")
+	}
+	guardAllocs(b, 0, func() {
+		kcore.InKCoreSetWS(benchData.Graph, members, 6, w)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kcore.InKCoreSetWS(benchData.Graph, members, 6, w)
+	}
 }
 
 // --- Substrate micro-benchmarks ------------------------------------------

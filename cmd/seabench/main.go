@@ -4,15 +4,25 @@
 // Usage:
 //
 //	seabench [-exp table1,fig5,...|all] [-scale 0.5] [-queries 20] [-k 6]
-//	seabench -exp fig5,scalability -json BENCH_fig5.json
+//	seabench -exp fig5,scalability -out BENCH_fig5.json
+//	seabench -out BENCH_5.json -compare BENCH_4.json
 //
 // Experiments: table1, fig5, fig5d, table2, table3, fig6, table4, table5,
 // fig7, fig8, table6, fig10, scalability.
 //
-// -json additionally writes one machine-readable record per experiment —
-// name, wall time, mean δ where the experiment measures one, and the full
-// typed result rows — so successive runs can be diffed to track the
-// repository's performance trajectory (BENCH_*.json).
+// -out (alias: -json) additionally writes one machine-readable record per
+// experiment — name, wall time, mean δ where the experiment measures one,
+// and the full typed result rows. The repository convention is to commit
+// one such file per performance-relevant PR as BENCH_<pr>.json (produced by
+// `make bench-json`), forming a recorded perf trajectory.
+//
+// -compare reads a previous run's records and, after this run, prints a
+// per-experiment wall-clock ratio table (new/old; below 1.0 is faster), so
+// regressions against the committed trajectory are one command away
+// (`make bench-compare`). The process exits 0 regardless of ratios — the
+// judgment call stays with the reader; CI-enforced regression bounds live
+// in the BenchmarkSubstrate alloc guards instead, which are not subject to
+// machine-speed noise.
 package main
 
 import (
@@ -75,9 +85,28 @@ func main() {
 		k       = flag.Int("k", 6, "structural parameter k")
 		seed    = flag.Int64("seed", 42, "random seed")
 		budget  = flag.Int64("budget", 30000, "state budget for the exact reference")
-		jsonOut = flag.String("json", "", "also write machine-readable results to this file")
+		jsonOut = flag.String("json", "", "also write machine-readable results to this file (alias of -out)")
+		outFile = flag.String("out", "", "write machine-readable results to this file (convention: BENCH_<pr>.json)")
+		compare = flag.String("compare", "", "prior BENCH_*.json to print per-experiment wall-clock ratios against")
 	)
 	flag.Parse()
+	if *jsonOut != "" && *outFile != "" && *jsonOut != *outFile {
+		fmt.Fprintln(os.Stderr, "seabench: -json and -out given with different paths; use one (-json is a deprecated alias of -out)")
+		os.Exit(2)
+	}
+	if *outFile == "" {
+		*outFile = *jsonOut
+	}
+
+	var oldRecords []benchRecord
+	if *compare != "" {
+		var err error
+		oldRecords, err = readJSONRecords(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seabench: -compare: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	cfg := experiments.Default()
 	cfg.Scale = *scale
@@ -136,13 +165,60 @@ func main() {
 			Result:      result,
 		})
 	}
-	if *jsonOut != "" {
-		if err := writeJSONRecords(*jsonOut, records); err != nil {
+	if *outFile != "" {
+		if err := writeJSONRecords(*outFile, records); err != nil {
 			fmt.Fprintf(os.Stderr, "seabench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %d record(s) to %s\n", len(records), *jsonOut)
+		fmt.Printf("\nwrote %d record(s) to %s\n", len(records), *outFile)
 	}
+	if *compare != "" {
+		printComparison(os.Stdout, *compare, oldRecords, records)
+	}
+}
+
+// printComparison renders the per-experiment wall-clock ratio table of this
+// run against a previous BENCH_*.json. Experiments present in only one of
+// the two runs are listed without a ratio.
+func printComparison(w io.Writer, oldPath string, old, cur []benchRecord) {
+	oldBy := make(map[string]benchRecord, len(old))
+	for _, r := range old {
+		oldBy[r.Experiment] = r
+	}
+	fmt.Fprintf(w, "\n### wall-clock vs %s (ratio < 1.0 is faster)\n", oldPath)
+	fmt.Fprintf(w, "%-12s %12s %12s %8s\n", "experiment", "old (s)", "new (s)", "ratio")
+	seen := map[string]bool{}
+	for _, r := range cur {
+		seen[r.Experiment] = true
+		o, ok := oldBy[r.Experiment]
+		if !ok || o.WallSeconds <= 0 {
+			fmt.Fprintf(w, "%-12s %12s %12.3f %8s\n", r.Experiment, "-", r.WallSeconds, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f %8.2f\n",
+			r.Experiment, o.WallSeconds, r.WallSeconds, r.WallSeconds/o.WallSeconds)
+	}
+	for _, o := range old {
+		if !seen[o.Experiment] {
+			fmt.Fprintf(w, "%-12s %12.3f %12s %8s\n", o.Experiment, o.WallSeconds, "-", "gone")
+		}
+	}
+}
+
+// readJSONRecords loads a previous run's records; only the experiment names
+// and wall times are consulted, so records written by older seabench
+// versions with different Result shapes still compare.
+func readJSONRecords(path string) ([]benchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var records []benchRecord
+	if err := json.NewDecoder(f).Decode(&records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return records, nil
 }
 
 func writeJSONRecords(path string, records []benchRecord) error {

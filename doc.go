@@ -116,6 +116,25 @@
 //	seaserve -snapshot fb.snap -addr :8080             # boots in milliseconds
 //	curl 'localhost:8080/search?q=10&k=6&graph=fb'
 //
+// # Performance
+//
+// The hot paths run on a pooled per-search workspace (internal/ws):
+// epoch-stamped visited/membership sets reset by an epoch bump instead of
+// reallocation, reusable frontier/sampling/distance buffers, and an
+// induced-subgraph builder that writes into preallocated CSR arrays — so
+// steady-state query traffic executes the sampling → extraction →
+// estimation loop with ~zero allocations (CI-enforced by the
+// BenchmarkSubstrate* AllocsPerRun guards). The embarrassingly-parallel
+// inner stages — BLB bag resamples, the peel loop's most-dissimilar scan,
+// QueryDist over node ranges — fan out over bounded worker pools sized by
+// GOMAXPROCS. Determinism is part of the contract: for a fixed Request
+// seed the result is byte-identical whatever the worker count, because
+// per-subsample rngs are derived serially, reductions are index-ordered,
+// and parallel scans preserve the serial tie-breaks. The repository's
+// recorded perf trajectory lives in BENCH_<pr>.json files produced by
+// `make bench-json` and compared with `make bench-compare` (or
+// `seabench -compare BENCH_4.json`).
+//
 // # Migrating from the method-specific entry points
 //
 // The pre-Request free functions remain as thin deprecated wrappers:

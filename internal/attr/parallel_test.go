@@ -1,0 +1,83 @@
+package attr
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func parallelTestGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	b := graph.NewBuilder(n, 2)
+	words := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for v := 0; v < n; v++ {
+		b.SetTextAttrs(graph.NodeID(v), words[rng.Intn(len(words))], words[rng.Intn(len(words))])
+		b.SetNumAttrs(graph.NodeID(v), rng.Float64(), rng.NormFloat64())
+		b.AddEdge(graph.NodeID(v), graph.NodeID(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+// TestQueryDistParallelMatchesSerial forces both fill paths over the same
+// graph: every index is written independently, so the parallel fill must be
+// bit-identical to the serial one.
+func TestQueryDistParallelMatchesSerial(t *testing.T) {
+	g := parallelTestGraph(t, 3000)
+	m, err := NewMetric(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := queryDistMinParallel
+	defer func() { queryDistMinParallel = old }()
+
+	queryDistMinParallel = 1 << 30
+	serial := m.QueryDist(5)
+	queryDistMinParallel = 1
+	parallel := m.QueryDist(5)
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("dist[%d]: serial %v parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestQueryDistIntoReusesBuffer checks the steady-state in-place contract.
+func TestQueryDistIntoReusesBuffer(t *testing.T) {
+	g := parallelTestGraph(t, 500)
+	m, err := NewMetric(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 500)
+	out := m.QueryDistInto(buf, 3)
+	if &out[0] != &buf[0] {
+		t.Fatal("QueryDistInto reallocated a sufficient buffer")
+	}
+	want := m.QueryDist(3)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("dist[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+// TestQueryDistContextCancelled: a cancelled context stops the fill and
+// surfaces the error.
+func TestQueryDistContextCancelled(t *testing.T) {
+	g := parallelTestGraph(t, 100)
+	m, err := NewMetric(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.QueryDistContext(ctx, nil, 0); err == nil {
+		t.Fatal("want context error")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cserr"
 	"repro/internal/graph"
 	"repro/internal/kcore"
+	"repro/internal/ws"
 )
 
 // Config selects pruning strategies and bounds the search.
@@ -320,26 +321,33 @@ func BruteForce(g *graph.Graph, q graph.NodeID, k int, dist []float64) (Result, 
 	return Result{Community: bestSet, Delta: best}, nil
 }
 
-// connectedSet reports whether members induce a connected subgraph reaching q.
+// connectedSet reports whether members induce a connected subgraph reaching
+// q. Membership and visitation use epoch-stamped sets from the workspace
+// pool instead of per-call maps.
 func connectedSet(g *graph.Graph, members []graph.NodeID, q graph.NodeID) bool {
-	in := make(map[graph.NodeID]bool, len(members))
+	w := ws.Get()
+	defer w.Release()
+	in := &w.Member
+	in.Reset(g.NumNodes())
 	for _, v := range members {
-		in[v] = true
+		in.Add(v)
 	}
-	if !in[q] {
+	if !in.Has(q) {
 		return false
 	}
-	seen := map[graph.NodeID]bool{q: true}
-	stack := []graph.NodeID{q}
+	seen := &w.Visited
+	seen.Reset(g.NumNodes())
+	seen.Add(q)
+	stack := append(w.Nodes[:0], q)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, u := range g.Neighbors(v) {
-			if in[u] && !seen[u] {
-				seen[u] = true
+			if in.Has(u) && seen.Add(u) {
 				stack = append(stack, u)
 			}
 		}
 	}
-	return len(seen) == len(members)
+	w.Nodes = stack[:0]
+	return seen.Len() == len(members)
 }

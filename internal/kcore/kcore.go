@@ -5,13 +5,35 @@ package kcore
 
 import (
 	"repro/internal/graph"
+	"repro/internal/ws"
 )
 
 // Decompose computes the coreness of every node with the O(m) bin-sort
-// algorithm of Batagelj and Zaversnik.
+// algorithm of Batagelj and Zaversnik. The returned slice is freshly
+// allocated and owned by the caller (the Engine retains it as its admission
+// index); hot loops that consume the coreness transiently should use
+// DecomposeWS instead.
 func Decompose(g *graph.Graph) []int32 {
 	n := g.NumNodes()
-	deg := make([]int32, n)
+	return decompose(g, make([]int32, n), make([]int32, n), make([]int32, n), nil)
+}
+
+// DecomposeWS is Decompose with every buffer — including the returned
+// coreness slice — drawn from w. The result aliases w's scratch and is valid
+// only until the next workspace-threaded kcore operation.
+func DecomposeWS(g *graph.Graph, w *ws.Workspace) []int32 {
+	n := g.NumNodes()
+	w.DegS = ws.I32(w.DegS, n)
+	w.VertS = ws.I32(w.VertS, n)
+	w.PosS = ws.I32(w.PosS, n)
+	return decompose(g, w.DegS, w.VertS, w.PosS, &w.BinS)
+}
+
+// decompose is the shared bin-sort peeling. deg doubles as the output
+// coreness array; binBuf, when non-nil, recycles the degree-bucket array
+// (its needed length depends on the max degree, so it is resized here).
+func decompose(g *graph.Graph, deg, vert, pos []int32, binBuf *[]int32) []int32 {
+	n := g.NumNodes()
 	maxDeg := int32(0)
 	for v := 0; v < n; v++ {
 		deg[v] = int32(g.Degree(graph.NodeID(v)))
@@ -20,7 +42,16 @@ func Decompose(g *graph.Graph) []int32 {
 		}
 	}
 	// bin[d] = start index in vert of nodes with degree d.
-	bin := make([]int32, maxDeg+2)
+	var bin []int32
+	if binBuf != nil {
+		*binBuf = ws.I32(*binBuf, int(maxDeg)+2)
+		bin = *binBuf
+		for i := range bin {
+			bin[i] = 0
+		}
+	} else {
+		bin = make([]int32, maxDeg+2)
+	}
 	for v := 0; v < n; v++ {
 		bin[deg[v]]++
 	}
@@ -30,8 +61,6 @@ func Decompose(g *graph.Graph) []int32 {
 		bin[d] = start
 		start += cnt
 	}
-	vert := make([]int32, n) // nodes sorted by degree
-	pos := make([]int32, n)  // position of node in vert
 	for v := 0; v < n; v++ {
 		pos[v] = bin[deg[v]]
 		vert[pos[v]] = int32(v)
@@ -82,24 +111,54 @@ func MaxCoreness(g *graph.Graph) (max int32, avg float64) {
 // containing q, or nil if q is not in any k-core. The result is the connected
 // component of q inside the k-core of g.
 func MaximalConnectedKCore(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID {
-	core := Decompose(g)
+	w := ws.Get()
+	defer w.Release()
+	return MaximalConnectedKCoreInto(nil, g, q, k, w)
+}
+
+// MaximalConnectedKCoreInto is MaximalConnectedKCore appending to dst, with
+// the decomposition and traversal scratch drawn from w. It returns nil (not
+// dst) when q is in no k-core, preserving the nil-means-absent contract.
+func MaximalConnectedKCoreInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, k int, w *ws.Workspace) []graph.NodeID {
+	core := DecomposeWS(g, w)
 	if int(core[q]) < k {
 		return nil
 	}
-	return g.Component(q, func(v graph.NodeID) bool { return int(core[v]) >= k })
+	// BFS over nodes of coreness ≥ k, visited tracked by epoch stamp.
+	w.Visited.Reset(g.NumNodes())
+	w.Visited.Add(q)
+	start := len(dst)
+	dst = append(dst, q)
+	for i := start; i < len(dst); i++ {
+		for _, u := range g.Neighbors(dst[i]) {
+			if int(core[u]) >= k && w.Visited.Add(u) {
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst
 }
 
 // InKCoreSet reports whether every node of members has at least k neighbors
-// inside members. Used by tests and validators.
+// inside members. Used by tests and validators. Membership is tracked by an
+// epoch-stamped set from the workspace pool, not a per-call map.
 func InKCoreSet(g *graph.Graph, members []graph.NodeID, k int) bool {
-	in := make(map[graph.NodeID]bool, len(members))
+	w := ws.Get()
+	defer w.Release()
+	return InKCoreSetWS(g, members, k, w)
+}
+
+// InKCoreSetWS is InKCoreSet with the membership set drawn from w.
+func InKCoreSetWS(g *graph.Graph, members []graph.NodeID, k int, w *ws.Workspace) bool {
+	in := &w.Member
+	in.Reset(g.NumNodes())
 	for _, v := range members {
-		in[v] = true
+		in.Add(v)
 	}
 	for _, v := range members {
 		d := 0
 		for _, u := range g.Neighbors(v) {
-			if in[u] {
+			if in.Has(u) {
 				d++
 			}
 		}

@@ -3,35 +3,64 @@
 // expansion until the Hoeffding minimum size is reached, sampling
 // probabilities Ps(v) proportional to attribute similarity (Eq. 5), and
 // weighted sampling without replacement.
+//
+// Every operation has an allocation-free form (the *Into variants) that
+// threads a ws.Workspace for its scratch state — visited sets, the frontier
+// heap, the sampling-key array — and appends results to caller-owned
+// slices. The legacy forms keep their original signatures and borrow a
+// pooled workspace internally.
 package sampling
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
+	"repro/internal/ws"
 )
 
-// nodeDist orders frontier nodes by composite distance to the query.
-type nodeDist struct {
-	v graph.NodeID
-	d float64
+// The frontier heap is a hand-rolled binary min-heap over ws.NodeDist with
+// exactly container/heap's sift rules, so pop order (and therefore every
+// sampling outcome for a fixed seed) is identical to the historical
+// container/heap implementation — without the per-push interface boxing
+// allocation.
+
+func heapPush(h []ws.NodeDist, x ws.NodeDist) []ws.NodeDist {
+	h = append(h, x)
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !(h[j].D < h[i].D) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
 }
 
-type distHeap []nodeDist
-
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func heapPop(h []ws.NodeDist) ([]ws.NodeDist, ws.NodeDist) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift down over h[:n].
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].D < h[j1].D {
+			j = j2
+		}
+		if !(h[j].D < h[i].D) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h[:n], h[n]
 }
 
 // BuildGq expands a best-first search from q, always visiting the frontier
@@ -39,24 +68,37 @@ func (h *distHeap) Pop() interface{} {
 // are collected (or the component of q is exhausted). dist[v] must hold
 // f(v,q). q is always the first element of the result.
 func BuildGq(g *graph.Graph, q graph.NodeID, dist []float64, minSize int) []graph.NodeID {
+	w := ws.Get()
+	defer w.Release()
 	if minSize < 1 {
 		minSize = 1
 	}
-	seen := make([]bool, g.NumNodes())
-	h := &distHeap{{q, 0}}
-	seen[q] = true
-	out := make([]graph.NodeID, 0, minSize)
-	for h.Len() > 0 && len(out) < minSize {
-		nd := heap.Pop(h).(nodeDist)
-		out = append(out, nd.v)
-		for _, u := range g.Neighbors(nd.v) {
-			if !seen[u] {
-				seen[u] = true
-				heap.Push(h, nodeDist{u, dist[u]})
+	return BuildGqInto(make([]graph.NodeID, 0, minSize), g, q, dist, minSize, w)
+}
+
+// BuildGqInto is BuildGq appending to dst, with all scratch state (visited
+// set, frontier heap) drawn from w: zero allocations once dst and w have
+// warmed to the working size.
+func BuildGqInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, dist []float64, minSize int, w *ws.Workspace) []graph.NodeID {
+	if minSize < 1 {
+		minSize = 1
+	}
+	w.Visited.Reset(g.NumNodes())
+	h := w.Heap[:0]
+	h = heapPush(h, ws.NodeDist{V: q, D: 0})
+	w.Visited.Add(q)
+	for len(h) > 0 && len(dst) < minSize {
+		var nd ws.NodeDist
+		h, nd = heapPop(h)
+		dst = append(dst, nd.V)
+		for _, u := range g.Neighbors(nd.V) {
+			if w.Visited.Add(u) {
+				h = heapPush(h, ws.NodeDist{V: u, D: dist[u]})
 			}
 		}
 	}
-	return out
+	w.Heap = h[:0]
+	return dst
 }
 
 // BuildGqBFS is the plain hop-order variant used by the frontier ablation
@@ -78,27 +120,33 @@ func BuildGqBFS(g *graph.Graph, q graph.NodeID, minSize int) []graph.NodeID {
 // the population nodes: Ps(v) ∝ 1 − f(v,q). If all distances are 1 the
 // distribution degenerates to uniform.
 func Probabilities(population []graph.NodeID, dist []float64) []float64 {
-	ps := make([]float64, len(population))
+	return ProbabilitiesInto(make([]float64, 0, len(population)), population, dist)
+}
+
+// ProbabilitiesInto is Probabilities appending to dst.
+func ProbabilitiesInto(dst []float64, population []graph.NodeID, dist []float64) []float64 {
+	start := len(dst)
 	sum := 0.0
-	for i, v := range population {
+	for _, v := range population {
 		w := 1 - dist[v]
 		if w < 0 {
 			w = 0
 		}
-		ps[i] = w
+		dst = append(dst, w)
 		sum += w
 	}
+	ps := dst[start:]
 	if sum <= 0 {
 		u := 1 / float64(len(population))
 		for i := range ps {
 			ps[i] = u
 		}
-		return ps
+		return dst
 	}
 	for i := range ps {
 		ps[i] /= sum
 	}
-	return ps
+	return dst
 }
 
 // WeightedSample draws size distinct nodes from population with probability
@@ -107,36 +155,49 @@ func Probabilities(population []graph.NodeID, dist []float64) []float64 {
 // zero weight are drawn only if the positive-weight pool is exhausted.
 // The query node, if present in population, is always included.
 func WeightedSample(population []graph.NodeID, weights []float64, size int, q graph.NodeID, rng *rand.Rand) []graph.NodeID {
+	w := ws.Get()
+	defer w.Release()
+	return WeightedSampleInto(nil, population, weights, size, q, rng, w)
+}
+
+// WeightedSampleInto is WeightedSample appending to dst, drawing the key
+// array from w.
+func WeightedSampleInto(dst []graph.NodeID, population []graph.NodeID, weights []float64, size int, q graph.NodeID, rng *rand.Rand, w *ws.Workspace) []graph.NodeID {
 	if size >= len(population) {
-		return append([]graph.NodeID(nil), population...)
+		return append(dst, population...)
 	}
 	if size < 1 {
 		size = 1
 	}
-	type keyed struct {
-		v   graph.NodeID
-		key float64
-	}
-	keys := make([]keyed, len(population))
+	keys := w.Keys[:0]
 	for i, v := range population {
-		w := weights[i]
+		wt := weights[i]
 		var key float64
 		switch {
 		case v == q:
 			key = math.Inf(1) // force inclusion
-		case w <= 0:
+		case wt <= 0:
 			key = -rng.Float64() // after every positive-weight node
 		default:
-			key = math.Pow(rng.Float64(), 1/w)
+			key = math.Pow(rng.Float64(), 1/wt)
 		}
-		keys[i] = keyed{v, key}
+		keys = append(keys, ws.NodeDist{V: v, D: key})
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
-	out := make([]graph.NodeID, size)
+	slices.SortFunc(keys, func(a, b ws.NodeDist) int {
+		switch {
+		case a.D > b.D:
+			return -1
+		case a.D < b.D:
+			return 1
+		default:
+			return 0
+		}
+	})
 	for i := 0; i < size; i++ {
-		out[i] = keys[i].v
+		dst = append(dst, keys[i].V)
 	}
-	return out
+	w.Keys = keys[:0]
+	return dst
 }
 
 // RouletteSample is the naive with-rejection alternative used by the
@@ -150,20 +211,28 @@ func RouletteSample(population []graph.NodeID, weights []float64, size int, q gr
 		size = 1
 	}
 	total := 0.0
-	for _, w := range weights {
-		if w > 0 {
-			total += w
+	maxID := q
+	for i, v := range population {
+		if weights[i] > 0 {
+			total += weights[i]
+		}
+		if v > maxID {
+			maxID = v
 		}
 	}
-	chosen := make(map[graph.NodeID]bool, size)
+	w := ws.Get()
+	defer w.Release()
+	chosen := &w.Member
+	chosen.Reset(int(maxID) + 1)
 	out := make([]graph.NodeID, 0, size)
 	add := func(v graph.NodeID) {
-		if !chosen[v] {
-			chosen[v] = true
+		if chosen.Add(v) {
 			out = append(out, v)
 		}
 	}
-	add(q)
+	if q >= 0 {
+		add(q)
+	}
 	attempts := 0
 	maxAttempts := 50 * size
 	for len(out) < size && attempts < maxAttempts && total > 0 {

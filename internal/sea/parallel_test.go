@@ -1,0 +1,115 @@
+package sea
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// stripTimes zeroes the wall-clock fields of a Result so two runs can be
+// compared for semantic identity (times legitimately differ run to run).
+func stripTimes(r *Result) *Result {
+	c := *r
+	c.Steps = StepTimes{}
+	c.Rounds = append([]Round(nil), r.Rounds...)
+	for i := range c.Rounds {
+		c.Rounds[i].Time = 0
+	}
+	return &c
+}
+
+// TestParallelEstimationMatchesSerial is the determinism-under-parallelism
+// contract at the whole-search level: with the parallel peel scan forced on
+// (threshold 1) and the BLB worker pool at various widths, a SEA search
+// must return a Result identical to the fully serial execution for every
+// fixed seed — community, δ, CI, rounds trace, sample sizes, everything but
+// wall times.
+func TestParallelEstimationMatchesSerial(t *testing.T) {
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "par", Nodes: 600, MinCommunity: 12, MaxCommunity: 30,
+		IntraDegree: 8, InterDegree: 0.6,
+		TokensPerNode: 4, PoolSize: 5, Vocab: 120, NoiseProb: 0.15,
+		NumDim: 2, NumSigma: 0.06, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := attr.NewMetric(d.Graph, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.QueryNodes(1, 5, 4)[0]
+	dist := m.QueryDist(q)
+
+	opts := DefaultOptions()
+	opts.K = 5
+	opts.MaxRounds = 3
+
+	defer stats.SetBLBWorkers(0)
+	oldPeel := peelScanMinParallel
+	defer func() { peelScanMinParallel = oldPeel }()
+
+	for _, seed := range []int64{1, 7, 23} {
+		opts.Seed = seed
+
+		stats.SetBLBWorkers(1)
+		peelScanMinParallel = 1 << 30 // serial scan
+		serial, serr := SearchWithDist(d.Graph, dist, q, opts)
+
+		for _, workers := range []int{2, 8} {
+			stats.SetBLBWorkers(workers)
+			peelScanMinParallel = 1 // force the parallel scan on every peel
+			par, perr := SearchWithDist(d.Graph, dist, q, opts)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("seed %d workers %d: error mismatch: %v vs %v", seed, workers, serr, perr)
+			}
+			if serr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(stripTimes(serial), stripTimes(par)) {
+				t.Fatalf("seed %d workers %d:\nserial: %+v\nparallel: %+v",
+					seed, workers, stripTimes(serial), stripTimes(par))
+			}
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossRepeats guards the fixed-seed reproducibility
+// the paper-reproduction contract depends on: same inputs, same Result.
+func TestSearchDeterministicAcrossRepeats(t *testing.T) {
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "det", Nodes: 400, MinCommunity: 10, MaxCommunity: 24,
+		IntraDegree: 7, InterDegree: 0.5,
+		TokensPerNode: 3, PoolSize: 5, Vocab: 90, NoiseProb: 0.1,
+		NumDim: 1, NumSigma: 0.05, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := attr.NewMetric(d.Graph, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.QueryNodes(1, 4, 8)[0]
+	dist := m.QueryDist(q)
+	opts := DefaultOptions()
+	opts.K = 4
+	opts.Seed = 17
+
+	first, err := SearchWithDist(d.Graph, dist, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := SearchWithDist(d.Graph, dist, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripTimes(first), stripTimes(again)) {
+			t.Fatalf("repeat %d diverged:\nfirst: %+v\nagain: %+v", i, stripTimes(first), stripTimes(again))
+		}
+	}
+}

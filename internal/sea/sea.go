@@ -22,6 +22,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/attr"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/truss"
+	"repro/internal/ws"
 )
 
 // Model selects the structure-cohesiveness model.
@@ -221,6 +224,8 @@ func SearchWithDistContext(ctx context.Context, g *graph.Graph, dist []float64, 
 		return nil, err
 	}
 	s := &seaRun{ctx: ctx, g: g, dist: dist, q: q, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	s.w = ws.Get()
+	defer s.w.Release()
 	return s.run()
 }
 
@@ -232,7 +237,27 @@ type seaRun struct {
 	opts Options
 	rng  *rand.Rand
 
+	// w is the pooled scratch substrate threaded through every hot loop:
+	// stamped visited/membership sets, the frontier heap, sampling keys,
+	// the induced-CSR builder, and the round loop's own population/sample/
+	// candidate buffers — so steady-state query traffic runs the whole
+	// sampling→estimation→incremental loop without per-round allocation.
+	w        *ws.Workspace
+	identity []graph.NodeID // lazily-built identity orig-mapping
+
 	res Result
+}
+
+// identityMap returns the cached identity node mapping (orig[i] = i) used
+// when a maintainer runs on the full graph rather than an induced sample.
+func (s *seaRun) identityMap() []graph.NodeID {
+	if len(s.identity) != s.g.NumNodes() {
+		s.identity = make([]graph.NodeID, s.g.NumNodes())
+		for i := range s.identity {
+			s.identity[i] = graph.NodeID(i)
+		}
+	}
+	return s.identity
 }
 
 // interrupted builds the cancelled-search return: the best candidate found
@@ -264,18 +289,21 @@ func (s *seaRun) run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gq := sampling.BuildGq(s.g, s.q, s.dist, minGq)
+	s.w.Gq = sampling.BuildGqInto(s.w.Gq[:0], s.g, s.q, s.dist, minGq, s.w)
+	gq := s.w.Gq
 	s.res.GqSize = len(gq)
 	if s.ctx.Err() != nil {
 		return s.interrupted()
 	}
-	probs := sampling.Probabilities(gq, s.dist)
+	s.w.Probs = sampling.ProbabilitiesInto(s.w.Probs[:0], gq, s.dist)
+	probs := s.w.Probs
 
 	sampleSize := int(s.opts.Lambda * float64(len(gq)))
 	if sampleSize < s.opts.K+1 {
 		sampleSize = s.opts.K + 1
 	}
-	sample := sampling.WeightedSample(gq, probs, sampleSize, s.q, s.rng)
+	sample := sampling.WeightedSampleInto(s.w.Sample[:0], gq, probs, sampleSize, s.q, s.rng, s.w)
+	s.w.Sample = sample // keep the backing array pooled even on round-1 exits
 	s.res.Steps.Sampling += time.Since(t0)
 
 	var lastMoE, lastTarget float64
@@ -297,14 +325,17 @@ func (s *seaRun) run() (*Result, error) {
 				deltaS = len(sample)
 			}
 			sample = s.enlarge(gq, probs, sample, deltaS)
+			s.w.Sample = sample // keep the grown backing array pooled
 			s.res.Steps.Incremental += time.Since(t3)
 			if len(sample) >= len(gq) && len(gq) < s.g.NumNodes() {
 				// Sample exhausted the population: enlarge Gq itself.
 				t1 := time.Now()
 				minGq *= 2
-				gq = sampling.BuildGq(s.g, s.q, s.dist, minGq)
+				s.w.Gq = sampling.BuildGqInto(s.w.Gq[:0], s.g, s.q, s.dist, minGq, s.w)
+				gq = s.w.Gq
 				s.res.GqSize = len(gq)
-				probs = sampling.Probabilities(gq, s.dist)
+				s.w.Probs = sampling.ProbabilitiesInto(s.w.Probs[:0], gq, s.dist)
+				probs = s.w.Probs
 				s.res.Steps.Sampling += time.Since(t1)
 			}
 		}
@@ -360,12 +391,8 @@ func (s *seaRun) run() (*Result, error) {
 		if maint == nil {
 			return nil, ErrNoCommunity
 		}
-		identity := make([]graph.NodeID, s.g.NumNodes())
-		for i := range identity {
-			identity[i] = graph.NodeID(i)
-		}
 		t2 := time.Now()
-		done, ci, _, _, _ := s.estimate(maint, identity)
+		done, ci, _, _, _ := s.estimate(maint, s.identityMap())
 		s.res.Steps.Estimation += time.Since(t2)
 		s.res.Satisfied = done
 		s.res.CI = ci
@@ -382,28 +409,32 @@ func (s *seaRun) run() (*Result, error) {
 	return &s.res, nil
 }
 
-// enlarge adds up to deltaS fresh weighted samples from gq to sample.
+// enlarge adds up to deltaS fresh weighted samples from gq to sample. The
+// already-sampled set is an epoch-stamped workspace set and the rest pool
+// lives in workspace scratch, so the incremental step is allocation-free in
+// the steady state.
 func (s *seaRun) enlarge(gq []graph.NodeID, probs []float64, sample []graph.NodeID, deltaS int) []graph.NodeID {
-	in := make(map[graph.NodeID]bool, len(sample))
+	in := &s.w.Member
+	in.Reset(s.g.NumNodes())
 	for _, v := range sample {
-		in[v] = true
+		in.Add(v)
 	}
-	var restNodes []graph.NodeID
-	var restProbs []float64
+	restNodes := s.w.Nodes[:0]
+	restProbs := s.w.Floats[:0]
 	for i, v := range gq {
-		if !in[v] {
+		if !in.Has(v) {
 			restNodes = append(restNodes, v)
 			restProbs = append(restProbs, probs[i])
 		}
 	}
+	s.w.Nodes, s.w.Floats = restNodes[:0], restProbs[:0]
 	if len(restNodes) == 0 {
 		return sample
 	}
 	if deltaS > len(restNodes) {
 		deltaS = len(restNodes)
 	}
-	extra := sampling.WeightedSample(restNodes, restProbs, deltaS, -1, s.rng)
-	return append(sample, extra...)
+	return sampling.WeightedSampleInto(sample, restNodes, restProbs, deltaS, -1, s.rng, s.w)
 }
 
 // buildMaintainer extracts the maximal connected structure containing q from
@@ -422,13 +453,13 @@ func (s *seaRun) buildMaintainer(sample []graph.NodeID) (cohesive.Maintainer, []
 		if maint == nil {
 			return nil, nil
 		}
-		identity := make([]graph.NodeID, s.g.NumNodes())
-		for i := range identity {
-			identity[i] = graph.NodeID(i)
-		}
-		return maint, identity
+		return maint, s.identityMap()
 	}
-	sub, orig := s.g.InducedSubgraph(sample)
+	// Structure-only induced subgraph written into the workspace's
+	// preallocated CSR arrays: the extraction paths below read only
+	// adjacency, and attribute distances go through orig on the parent
+	// graph. sub and orig stay valid until the next round's rebuild.
+	sub, orig := s.g.InducedStructure(sample, &s.w.Sub)
 	var subQ graph.NodeID = -1
 	for i, v := range orig {
 		if v == s.q {
@@ -441,20 +472,24 @@ func (s *seaRun) buildMaintainer(sample []graph.NodeID) (cohesive.Maintainer, []
 	}
 	switch s.opts.Model {
 	case KTruss:
-		members := truss.MaximalConnectedKTruss(sub, subQ, s.opts.K)
+		s.w.Members = s.w.Members[:0]
+		members := truss.MaximalConnectedKTrussInto(s.w.Members, sub, subQ, s.opts.K, s.w)
 		if members == nil {
 			return nil, nil
 		}
+		s.w.Members = members[:0]
 		maint, err := truss.NewSub(sub, subQ, s.opts.K, members)
 		if err != nil {
 			return nil, nil
 		}
 		return maint, orig
 	default:
-		members := kcore.MaximalConnectedKCore(sub, subQ, s.opts.K)
+		s.w.Members = s.w.Members[:0]
+		members := kcore.MaximalConnectedKCoreInto(s.w.Members, sub, subQ, s.opts.K, s.w)
 		if members == nil {
 			return nil, nil
 		}
+		s.w.Members = members[:0]
 		maint, err := kcore.NewSub(sub, subQ, s.opts.K, members)
 		if err != nil {
 			return nil, nil
@@ -490,10 +525,14 @@ func (s *seaRun) minCommunitySize() int {
 //
 // On failure the best candidate's MoE/target/BLB-total feed Eq. 12.
 func (s *seaRun) estimate(maint cohesive.Maintainer, orig []graph.NodeID) (done bool, best stats.CI, moe, target float64, blbTotal int) {
-	var members []graph.NodeID
-	var values []float64
-	var bestSet []graph.NodeID
+	members := s.w.Members[:0]
+	values := s.w.Vals[:0]
+	bestSet := s.w.Best[:0]
 	haveBest := false
+	defer func() {
+		// Return the (possibly regrown) buffers to the workspace.
+		s.w.Members, s.w.Vals, s.w.Best = members[:0], values[:0], bestSet[:0]
+	}()
 	minSize := s.minCommunitySize()
 	nextEstimate := maint.Size() // estimate at log-spaced candidate sizes
 	for {
@@ -546,17 +585,7 @@ func (s *seaRun) estimate(maint cohesive.Maintainer, orig []graph.NodeID) (done 
 			}
 		}
 		// Peel the most dissimilar member (never q).
-		var worst graph.NodeID = -1
-		worstD := -1.0
-		for _, v := range members {
-			if orig[v] == s.q {
-				continue
-			}
-			if d := s.dist[orig[v]]; d > worstD {
-				worstD = d
-				worst = v
-			}
-		}
+		worst := s.mostDissimilar(members, orig)
 		if worst < 0 {
 			break
 		}
@@ -570,6 +599,70 @@ func (s *seaRun) estimate(maint cohesive.Maintainer, orig []graph.NodeID) (done 
 		s.keepCandidateInduced(bestSet, orig)
 	}
 	return done, best, moe, target, blbTotal
+}
+
+// peelScanMinParallel is the candidate size above which the per-peel
+// most-dissimilar scan fans out over a bounded worker pool. Package-level
+// so tests can force the parallel path on small fixtures and prove it
+// byte-identical to the serial scan.
+var peelScanMinParallel = 1 << 13
+
+// mostDissimilar returns the member with the maximal f(·,q), never q
+// itself, or -1 when only q remains (or the context is cancelled mid-scan;
+// the peel loop's own ctx check classifies that). The serial scan keeps the
+// FIRST maximal member; the parallel scan (ws.ForRange over contiguous
+// chunks) preserves that exactly — each chunk keeps its first chunk-local
+// maximum and chunks merge in index order under a strict greater-than — so
+// the peel sequence (and therefore the whole Result) is identical whatever
+// the worker count.
+func (s *seaRun) mostDissimilar(members []graph.NodeID, orig []graph.NodeID) graph.NodeID {
+	n := len(members)
+	if n < peelScanMinParallel || ws.MaxWorkers() <= 1 {
+		// Closure-free serial fast path: the peel loop calls this once per
+		// iteration.
+		worst, _ := s.scanWorst(members, orig, 0, n)
+		return worst
+	}
+	type chunkBest struct {
+		lo int
+		v  graph.NodeID
+		d  float64
+	}
+	results := make([]chunkBest, 0, ws.MaxWorkers())
+	var mu sync.Mutex
+	if err := ws.ForRange(s.ctx, n, peelScanMinParallel, func(lo, hi int) {
+		v, d := s.scanWorst(members, orig, lo, hi)
+		mu.Lock()
+		results = append(results, chunkBest{lo, v, d})
+		mu.Unlock()
+	}); err != nil {
+		return -1
+	}
+	slices.SortFunc(results, func(a, b chunkBest) int { return a.lo - b.lo })
+	var worst graph.NodeID = -1
+	worstD := -1.0
+	for _, r := range results {
+		if r.v >= 0 && r.d > worstD {
+			worstD = r.d
+			worst = r.v
+		}
+	}
+	return worst
+}
+
+// scanWorst is the serial most-dissimilar scan over members[lo:hi].
+func (s *seaRun) scanWorst(members []graph.NodeID, orig []graph.NodeID, lo, hi int) (worst graph.NodeID, worstD float64) {
+	worst, worstD = -1, -1.0
+	for _, v := range members[lo:hi] {
+		if orig[v] == s.q {
+			continue
+		}
+		if d := s.dist[orig[v]]; d > worstD {
+			worstD = d
+			worst = v
+		}
+	}
+	return worst, worstD
 }
 
 // blbConfig clones the BLB options with the run's confidence level.

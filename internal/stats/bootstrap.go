@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Bootstrap estimates the sampling distribution of the mean of values by r
@@ -18,11 +21,20 @@ func Bootstrap(values []float64, r int, rng *rand.Rand) (mean, sigma float64) {
 // BLB passes the ORIGINAL sample size as resampleN so each little subsample
 // estimates the full-size estimator's spread (Kleiner et al., §3).
 func bootstrapN(values []float64, resampleN, r int, rng *rand.Rand) (mean, sigma float64) {
+	if len(values) == 0 || r <= 1 || resampleN == 0 {
+		return 0, 0
+	}
+	return bootstrapNInto(values, resampleN, r, rng, make([]float64, r))
+}
+
+// bootstrapNInto is bootstrapN writing the resample means into the caller's
+// buffer (len ≥ r), the reusable-scratch form the BLB workers drive.
+func bootstrapNInto(values []float64, resampleN, r int, rng *rand.Rand, means []float64) (mean, sigma float64) {
 	n := len(values)
 	if n == 0 || r <= 1 || resampleN == 0 {
 		return 0, 0
 	}
-	means := make([]float64, r)
+	means = means[:r]
 	for i := 0; i < r; i++ {
 		sum := 0.0
 		for j := 0; j < resampleN; j++ {
@@ -82,10 +94,33 @@ type BLBResult struct {
 	Resample int // resamples per subsample
 }
 
+// blbWorkers overrides the BLB worker-pool size: 0 selects GOMAXPROCS,
+// 1 forces serial execution. Parallel and serial execution are byte-
+// identical by construction (see BLB), so this is a scheduling knob only.
+var blbWorkers atomic.Int64
+
+// SetBLBWorkers bounds the BLB subsample worker pool: n ≤ 0 restores the
+// default (GOMAXPROCS), 1 forces serial execution. It exists for tests that
+// prove the determinism contract and for operators pinning CPU budgets; the
+// estimation result does not depend on it.
+func SetBLBWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	blbWorkers.Store(int64(n))
+}
+
 // BLB runs the Bag of Little Bootstraps of §V-B over values: draw s
 // subsamples of size n^m, bootstrap each to get an MoE ε_i = z_{α/2}·σ_i,
 // and average. The returned CI centers on the mean of values (δ* is computed
 // over the full candidate community, the bootstrap only sizes the MoE).
+//
+// The s bag resamples are embarrassingly parallel and run on a bounded
+// worker pool (GOMAXPROCS workers, see SetBLBWorkers). Determinism is part
+// of the contract: one child seed per subsample is drawn from rng serially
+// up front, each subsample runs on its own rand.Rand, and the per-subsample
+// MoEs are reduced in index order — so the result for a fixed seed is
+// byte-identical whatever the worker count, including fully serial.
 func BLB(values []float64, cfg BLBConfig, rng *rand.Rand) (BLBResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return BLBResult{}, err
@@ -115,23 +150,64 @@ func BLB(values []float64, cfg BLBConfig, rng *rand.Rand) (BLBResult, error) {
 		s = 1
 	}
 
-	sub := make([]float64, subSize)
-	sumMoE := 0.0
-	total := 0
-	for i := 0; i < s; i++ {
-		// Subsample without replacement via partial Fisher-Yates on indices.
-		// For small subSize relative to n, rejection sampling is cheaper and
-		// allocation-free with a map only on collision-heavy cases.
-		pick := rng.Perm(n)[:subSize]
-		for j, idx := range pick {
-			sub[j] = values[idx]
-		}
+	// One derived seed per subsample, drawn serially from the master rng so
+	// the schedule is independent of execution order.
+	seeds := make([]int64, s)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	moes := make([]float64, s)
+
+	workers := int(blbWorkers.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s {
+		workers = s
+	}
+	// Each worker owns one blbScratch, reused across every subsample it
+	// processes: the subsample value buffer, the stamped index set of the
+	// rejection sampler, and the resample-mean buffer all amortize to one
+	// allocation per worker per call. Scratch never influences the draws,
+	// so determinism is untouched.
+	runSub := func(i int, sc *blbScratch) {
+		sc.grow(n, subSize, cfg.Resamples)
+		sr := rand.New(rand.NewSource(seeds[i]))
+		sc.sampleWithoutReplacement(values, sr)
 		// Resample at the ORIGINAL size n: each little subsample estimates
 		// the spread of the full-sample mean, which is what makes BLB an
 		// estimator-quality assessment rather than a subsample one.
-		_, sigma := bootstrapN(sub, n, cfg.Resamples, rng)
-		sumMoE += z * sigma
-		total += subSize
+		_, sigma := bootstrapNInto(sc.sub, n, cfg.Resamples, sr, sc.means)
+		moes[i] = z * sigma
+	}
+	if workers <= 1 {
+		var sc blbScratch
+		for i := 0; i < s; i++ {
+			runSub(i, &sc)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var sc blbScratch
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= s {
+						return
+					}
+					runSub(i, &sc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	sumMoE := 0.0
+	for _, m := range moes {
+		sumMoE += m
 	}
 	mean := 0.0
 	for _, v := range values {
@@ -140,10 +216,83 @@ func BLB(values []float64, cfg BLBConfig, rng *rand.Rand) (BLBResult, error) {
 	mean /= float64(n)
 	return BLBResult{
 		CI:       CI{Center: mean, MoE: sumMoE / float64(s), Confidence: cfg.Confidence},
-		Total:    total,
+		Total:    s * subSize,
 		SubSize:  subSize,
 		Resample: cfg.Resamples,
 	}, nil
+}
+
+// blbScratch is the per-worker reusable state of one BLB call: the
+// subsample buffer, the epoch-stamped index set / index permutation of the
+// without-replacement sampler, and the bootstrap resample-mean buffer.
+type blbScratch struct {
+	sub   []float64
+	means []float64
+	idx   []int32 // Fisher–Yates identity permutation, or epoch stamps
+	epoch int32
+}
+
+// grow sizes the scratch for subsamples of subSize out of n values with r
+// resamples; reallocation happens only when a dimension grows.
+func (sc *blbScratch) grow(n, subSize, r int) {
+	if cap(sc.sub) < subSize {
+		sc.sub = make([]float64, subSize)
+	}
+	sc.sub = sc.sub[:subSize]
+	if cap(sc.means) < r {
+		sc.means = make([]float64, r)
+	}
+	sc.means = sc.means[:r]
+	if len(sc.idx) < n {
+		sc.idx = make([]int32, n)
+		sc.epoch = 0
+	}
+}
+
+// sampleWithoutReplacement fills sc.sub with distinct values drawn
+// uniformly from values. For subsample sizes small relative to n it uses
+// rejection sampling on the scratch's epoch-stamped index set (O(k)
+// expected draws, no O(n) permutation or clearing); when the subsample
+// covers a large fraction it switches to a partial Fisher–Yates over the
+// scratch's index buffer. The method choice depends only on (n, k), so the
+// draw schedule is deterministic for a fixed rng.
+func (sc *blbScratch) sampleWithoutReplacement(values []float64, rng *rand.Rand) {
+	n, k := len(values), len(sc.sub)
+	if k*3 >= n {
+		idx := sc.idx[:n]
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		for j := 0; j < k; j++ {
+			t := j + rng.Intn(n-j)
+			idx[j], idx[t] = idx[t], idx[j]
+			sc.sub[j] = values[idx[j]]
+		}
+		// The buffer now holds permutation state, not stamps: force the
+		// next rejection use to start from a clean epoch.
+		sc.epoch = 0
+		for i := range idx {
+			idx[i] = 0
+		}
+		return
+	}
+	sc.epoch++
+	if sc.epoch == math.MaxInt32 {
+		for i := range sc.idx {
+			sc.idx[i] = 0
+		}
+		sc.epoch = 1
+	}
+	seen := sc.idx[:n]
+	for j := 0; j < k; {
+		i := rng.Intn(n)
+		if seen[i] == sc.epoch {
+			continue
+		}
+		seen[i] = sc.epoch
+		sc.sub[j] = values[i]
+		j++
+	}
 }
 
 // Mean returns the arithmetic mean of values (0 for an empty slice).

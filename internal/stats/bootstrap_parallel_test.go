@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBLBParallelIdenticalToSerial is the determinism-under-parallelism
+// contract: for a fixed seed, BLB must return byte-identical results
+// whatever the worker count, because the per-subsample rngs are derived
+// serially up front and the MoE reduction is index-ordered.
+func TestBLBParallelIdenticalToSerial(t *testing.T) {
+	defer SetBLBWorkers(0)
+	for _, n := range []int{5, 40, 400, 5000} {
+		rng := rand.New(rand.NewSource(99))
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		for _, seed := range []int64{1, 2, 42} {
+			SetBLBWorkers(1)
+			serial, err := BLB(values, DefaultBLB(), rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 16} {
+				SetBLBWorkers(workers)
+				par, err := BLB(values, DefaultBLB(), rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par != serial {
+					t.Fatalf("n=%d seed=%d workers=%d: parallel %+v != serial %+v",
+						n, seed, workers, par, serial)
+				}
+			}
+		}
+	}
+}
+
+// TestBLBMasterRNGAdvanceIsScheduleIndependent: the master rng must be
+// advanced identically (s × Int63) whatever the execution, so callers that
+// share the rng across successive BLB calls (the SEA peel loop does) stay
+// deterministic too.
+func TestBLBMasterRNGAdvanceIsScheduleIndependent(t *testing.T) {
+	defer SetBLBWorkers(0)
+	values := make([]float64, 300)
+	src := rand.New(rand.NewSource(5))
+	for i := range values {
+		values[i] = src.Float64()
+	}
+	after := func(workers int) int64 {
+		SetBLBWorkers(workers)
+		rng := rand.New(rand.NewSource(7))
+		if _, err := BLB(values, DefaultBLB(), rng); err != nil {
+			t.Fatal(err)
+		}
+		return rng.Int63()
+	}
+	serialNext := after(1)
+	for _, workers := range []int{2, 8} {
+		if got := after(workers); got != serialNext {
+			t.Fatalf("workers=%d advanced master rng differently: %d != %d", workers, got, serialNext)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	var sc blbScratch
+	for _, k := range []int{1, 5, 30, 90, 100} {
+		// Run twice per size so the stamped-set reuse path is exercised.
+		for round := 0; round < 2; round++ {
+			sc.grow(len(values), k, 2)
+			sc.sampleWithoutReplacement(values, rng)
+			seen := map[float64]bool{}
+			for _, v := range sc.sub {
+				if seen[v] {
+					t.Fatalf("k=%d round=%d: duplicate value %v", k, round, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/ws"
 )
 
 // EdgeIndex assigns a dense ID to every undirected edge of a graph and maps
@@ -192,15 +193,22 @@ func forEachTriangle(ix *EdgeIndex, removed []bool, u, v graph.NodeID, fn func(e
 // k-truss containing q, or nil if none exists. Connectivity is over edges of
 // trussness ≥ k.
 func MaximalConnectedKTruss(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID {
+	w := ws.Get()
+	defer w.Release()
+	return MaximalConnectedKTrussInto(nil, g, q, k, w)
+}
+
+// MaximalConnectedKTrussInto is MaximalConnectedKTruss appending to dst,
+// with the traversal's visited set drawn from w. The edge index and support
+// peeling still allocate (trussness is an index-building computation); the
+// workspace removes the per-call visited array. Returns nil when q has no
+// qualifying edge.
+func MaximalConnectedKTrussInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, k int, w *ws.Workspace) []graph.NodeID {
 	ix, truss := Decompose(g)
 	inTruss := func(u, v graph.NodeID) bool {
 		e, ok := ix.EdgeID(u, v)
 		return ok && int(truss[e]) >= k
 	}
-	// BFS from q over qualifying edges.
-	n := g.NumNodes()
-	seen := make([]bool, n)
-	var out []graph.NodeID
 	// q qualifies only if it has at least one qualifying edge.
 	hasEdge := false
 	for _, u := range g.Neighbors(q) {
@@ -212,18 +220,21 @@ func MaximalConnectedKTruss(g *graph.Graph, q graph.NodeID, k int) []graph.NodeI
 	if !hasEdge {
 		return nil
 	}
-	seen[q] = true
-	out = append(out, q)
-	for i := 0; i < len(out); i++ {
-		v := out[i]
+	// BFS from q over qualifying edges.
+	w.Visited.Reset(g.NumNodes())
+	w.Visited.Add(q)
+	start := len(dst)
+	dst = append(dst, q)
+	for i := start; i < len(dst); i++ {
+		v := dst[i]
 		for _, u := range g.Neighbors(v) {
-			if !seen[u] && inTruss(v, u) {
-				seen[u] = true
-				out = append(out, u)
+			if !w.Visited.Has(u) && inTruss(v, u) {
+				w.Visited.Add(u)
+				dst = append(dst, u)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // InKTrussSet reports whether members is a valid connected k-truss
@@ -239,14 +250,17 @@ func InKTrussSet(g *graph.Graph, members []graph.NodeID, k int) bool {
 	if len(members) == 1 {
 		return k <= 1
 	}
-	in := make(map[graph.NodeID]bool, len(members))
+	wsp := ws.Get()
+	defer wsp.Release()
+	in := &wsp.Member
+	in.Reset(g.NumNodes())
 	for _, v := range members {
-		in[v] = true
+		in.Add(v)
 	}
 	alive := map[[2]graph.NodeID]bool{}
 	for _, v := range members {
 		for _, u := range g.Neighbors(v) {
-			if u > v && in[u] {
+			if u > v && in.Has(u) {
 				alive[[2]graph.NodeID{v, u}] = true
 			}
 		}
@@ -263,7 +277,7 @@ func InKTrussSet(g *graph.Graph, members []graph.NodeID, k int) bool {
 			u, v := e[0], e[1]
 			sup := 0
 			for _, w := range g.Neighbors(u) {
-				if in[w] && w != v && has(u, w) && has(v, w) {
+				if in.Has(w) && w != v && has(u, w) && has(v, w) {
 					sup++
 				}
 			}

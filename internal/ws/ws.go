@@ -1,0 +1,135 @@
+// Package ws provides the reusable per-search workspace substrate behind
+// the repository's allocation-free hot paths. The paper's headline claim is
+// scalability, and at serving scale the cost that dominates the SEA pipeline
+// is not algorithmic — it is memory traffic: fresh visited sets, frontier
+// queues, sampling-key arrays and induced-subgraph buffers allocated on
+// every call, round after round, query after query.
+//
+// A Workspace bundles every scratch structure the hot loops need — epoch-
+// stamped visited/membership sets (graph.NodeSet: reset by epoch bump, not
+// reallocation), a best-first frontier heap, weighted-sampling key arrays,
+// int32 quadruples for the bin-sort core decomposition, and a
+// graph.SubScratch that writes induced CSR subgraphs into preallocated
+// arrays. Workspaces are recycled through a sync.Pool: a search borrows one
+// with Get, threads it through sampling → extraction → estimation, and
+// returns it with Release, so steady-state query traffic runs with ~zero
+// allocations in the substrate operations (see BenchmarkSubstrate* at the
+// repository root).
+//
+// The package also hosts ForRange, the bounded parallel-for used by the
+// embarrassingly-parallel inner stages (BLB bag resamples, the peel loop's
+// most-dissimilar scan, Metric.QueryDist over node ranges). Workers are
+// capped by GOMAXPROCS and every parallel stage is written so its result is
+// byte-identical to the serial order — determinism under parallelism is
+// part of the paper-reproduction contract.
+package ws
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// NodeDist pairs a node with a float key: a frontier entry ordered by
+// composite distance, or a weighted-sampling key.
+type NodeDist struct {
+	V graph.NodeID
+	D float64
+}
+
+// Workspace is the reusable scratch state of one search. Borrow with Get,
+// return with Release; a Workspace is not safe for concurrent use. Fields
+// are exported for the hot loops that thread it; any function may clobber
+// any buffer, so callers must not hold a buffer across a call that also
+// takes the workspace (output that outlives the call belongs in
+// caller-owned slices).
+type Workspace struct {
+	// Visited and Member are the two epoch-stamped sets most operations
+	// need (a traversal's seen set; a membership test set).
+	Visited graph.NodeSet
+	Member  graph.NodeSet
+
+	// Heap is the best-first frontier of BuildGq; Keys the exponential-keys
+	// array of WeightedSample.
+	Heap []NodeDist
+	Keys []NodeDist
+
+	// Nodes and Floats are general node/float scratch (enlarge's rest pool,
+	// component output, ...).
+	Nodes  []graph.NodeID
+	Floats []float64
+
+	// DegS, BinS, VertS, PosS back the O(m) bin-sort core decomposition.
+	DegS, BinS, VertS, PosS []int32
+
+	// Gq, Sample, Members, Best and Probs, Vals are the SEA round loop's
+	// population/sample/candidate buffers, pooled here so steady-state
+	// query traffic reuses them across whole searches.
+	Gq, Sample, Members, Best []graph.NodeID
+	Probs, Vals               []float64
+
+	// Sub builds induced CSR subgraphs into preallocated arrays.
+	Sub graph.SubScratch
+}
+
+var pool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// Get borrows a Workspace from the pool.
+func Get() *Workspace { return pool.Get().(*Workspace) }
+
+// Release returns w to the pool. The caller must not use w afterwards.
+func (w *Workspace) Release() { pool.Put(w) }
+
+// I32 returns buf resized to n, reusing its backing array when it is large
+// enough. Contents are not cleared.
+func I32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// MaxWorkers returns the bound on workers for parallel stages: GOMAXPROCS.
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForRange splits [0, n) into at most MaxWorkers contiguous chunks and runs
+// fn(lo, hi) on each concurrently. It returns ctx.Err() without launching
+// when the context is already cancelled, and otherwise waits for every
+// launched chunk (fn must itself poll ctx if chunks are long-running).
+// When n < minParallel — or only one worker is available — fn runs inline
+// as fn(0, n), so small inputs pay no goroutine overhead. fn must be safe
+// for concurrent invocation on disjoint ranges; writes to disjoint indices
+// keep results identical to the serial order.
+func ForRange(ctx context.Context, n, minParallel int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallel {
+		fn(0, n)
+		return nil
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

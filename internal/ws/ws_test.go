@@ -1,0 +1,83 @@
+package ws
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRangeCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 4096} {
+		var hits [4096]int32
+		err := ForRange(context.Background(), n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if hits[i] != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, hits[i])
+			}
+		}
+	}
+}
+
+func TestForRangeInlineBelowThreshold(t *testing.T) {
+	calls := 0
+	err := ForRange(context.Background(), 100, 1000, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("inline call got [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want nil / 1", err, calls)
+	}
+}
+
+func TestForRangeCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForRange(ctx, 1000, 1, func(lo, hi int) { called = true })
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if called {
+		t.Fatal("fn ran under a cancelled context")
+	}
+}
+
+func TestWorkspacePoolRoundTrip(t *testing.T) {
+	w := Get()
+	w.Visited.Reset(64)
+	w.Visited.Add(3)
+	w.Nodes = append(w.Nodes[:0], 1, 2, 3)
+	w.Release()
+	// A released workspace must be reusable whatever its prior state.
+	w2 := Get()
+	defer w2.Release()
+	w2.Visited.Reset(8)
+	if w2.Visited.Has(3) {
+		t.Fatal("Reset did not clear membership across pool reuse")
+	}
+}
+
+func TestI32(t *testing.T) {
+	buf := I32(nil, 10)
+	if len(buf) != 10 {
+		t.Fatalf("len=%d, want 10", len(buf))
+	}
+	buf[5] = 7
+	same := I32(buf, 4)
+	if len(same) != 4 || &same[0] != &buf[0] {
+		t.Fatal("I32 should reuse a sufficient backing array")
+	}
+	grown := I32(buf, 1000)
+	if len(grown) != 1000 {
+		t.Fatalf("len=%d, want 1000", len(grown))
+	}
+}
