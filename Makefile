@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke ci
 
 build:
 	$(GO) build ./...
@@ -71,4 +71,15 @@ smoke:
 	curl -sf http://127.0.0.1:8971/graphs && echo && \
 	echo "smoke OK"; status=$$?; kill $$pid 2>/dev/null; exit $$status
 
-ci: fmt-check vet staticcheck build race bench bench-substrate smoke
+# End-to-end live-update smoke, mirroring the CI mutation-smoke job: boot a
+# journaled snapshot, POST /admin/mutate, check /search reflects the new
+# edges with zero hot-swaps, compact, SIGTERM-drain, reboot from the
+# compacted snapshot and check the re-query answers identically.
+mutation-smoke:
+	@rm -rf /tmp/sea-mut-smoke && mkdir -p /tmp/sea-mut-smoke
+	$(GO) build -o /tmp/sea-mut-smoke/ ./cmd/...
+	/tmp/sea-mut-smoke/datagen -dataset facebook -scale 0.3 -out /tmp/sea-mut-smoke/fb.txt
+	/tmp/sea-mut-smoke/seacli pack -load /tmp/sea-mut-smoke/fb.txt -out /tmp/sea-mut-smoke/fb.snap
+	SMOKE_DIR=/tmp/sea-mut-smoke sh scripts/mutation-smoke.sh
+
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke

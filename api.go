@@ -4,8 +4,6 @@ import (
 	"context"
 	"io"
 	"net/http"
-	"os"
-	"path/filepath"
 
 	"repro/internal/attr"
 	"repro/internal/baselines"
@@ -18,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hetgraph"
 	"repro/internal/kcore"
+	"repro/internal/mutate"
 	"repro/internal/query"
 	"repro/internal/sea"
 	"repro/internal/store"
@@ -343,31 +342,7 @@ func NewEngineFromSnapshot(snap *Snapshot, cfg EngineConfig) (*Engine, error) {
 // directory and renames into place only on success, so repacking over an
 // existing good snapshot can never destroy it.
 func WriteSnapshotFile(eng *Engine, path string) (int64, error) {
-	dir, base := filepath.Split(path)
-	f, err := os.CreateTemp(dir, base+".tmp*")
-	if err != nil {
-		return 0, err
-	}
-	tmp := f.Name()
-	if err := eng.WriteSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	st, err := os.Stat(tmp)
-	if err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	return st.Size(), nil
+	return store.AtomicWriteFile(path, eng.WriteSnapshot)
 }
 
 // PackSnapshotFile builds the complete serving index over g (core, truss,
@@ -385,10 +360,58 @@ func PackSnapshotFile(g *Graph, path string) (int64, error) {
 	return WriteSnapshotFile(eng, path)
 }
 
+// Mutation is one live graph delta — add_edge, remove_edge, add_node or
+// set_attr — applied through Engine.Apply or Catalog.Mutate without a
+// reload. Its JSON form is the POST /admin/mutate wire format and the
+// write-ahead journal record payload.
+type Mutation = mutate.Delta
+
+// MutationOp names a Mutation's operation.
+type MutationOp = mutate.Op
+
+// Mutation operations.
+const (
+	OpAddEdge    = mutate.OpAddEdge
+	OpRemoveEdge = mutate.OpRemoveEdge
+	OpAddNode    = mutate.OpAddNode
+	OpSetAttr    = mutate.OpSetAttr
+)
+
+// AddEdgeDelta returns the mutation inserting the undirected edge (u,v).
+func AddEdgeDelta(u, v NodeID) Mutation { return mutate.AddEdge(u, v) }
+
+// RemoveEdgeDelta returns the mutation deleting the undirected edge (u,v).
+func RemoveEdgeDelta(u, v NodeID) Mutation { return mutate.RemoveEdge(u, v) }
+
+// AddNodeDelta returns the mutation appending a node (ID = NumNodes at
+// apply time) with the given attributes (num may be nil for all-zero).
+func AddNodeDelta(text []string, num []float64) Mutation { return mutate.AddNode(text, num) }
+
+// SetAttrDelta returns the mutation replacing v's attributes; a nil text or
+// num keeps that column unchanged.
+func SetAttrDelta(v NodeID, text []string, num []float64) Mutation {
+	return mutate.SetAttr(v, text, num)
+}
+
+// ApplyResult reports what one Engine.Apply mutation batch did: the new
+// graph generation and shape, assigned node IDs, and the scoped-cache
+// invalidation tallies.
+type ApplyResult = engine.ApplyResult
+
+// MutateResult is ApplyResult as reported by Catalog.Mutate, with the
+// journal sequence number when the dataset is journaled.
+type MutateResult = catalog.MutateResult
+
+// CompactResult reports one journal compaction (Catalog.Compact): the
+// snapshot the journal folded into and how many batches it absorbed.
+type CompactResult = catalog.CompactResult
+
 // Catalog is a concurrency-safe named registry of mounted datasets, each
 // backed by its own Engine, with atomic hot-swap: load a new snapshot, flip
 // the pointer, and in-flight queries drain on the old engine while new ones
-// hit the new snapshot. Create one with NewCatalog.
+// hit the new snapshot. Mutations flow through Catalog.Mutate — applied
+// live on the dataset's engine and journaled durably when the dataset
+// mounted with MountPathJournaled. Create one with NewCatalog.
 type Catalog = catalog.Catalog
 
 // CatalogInfo describes one mounted dataset of a Catalog.

@@ -10,6 +10,7 @@
 //	seacli -load graph.txt -q 0 -k 4 -model truss -size 10,30 -method sea
 //	seacli -load graph.snap -q 12 -method exact -max-states 200000 -timeout 5s
 //	seacli pack -load graph.txt -out graph.snap
+//	seacli mutate -addr http://127.0.0.1:8080 -add-edge 3,9 -set-attr "4=db,ml" -compact
 //
 // -method accepts every registered searcher: sea, exact, acq, locatc, vac,
 // evac, structural.
@@ -18,15 +19,26 @@
 // into a versioned, checksummed binary snapshot carrying the full serving
 // state — graph, attribute dictionary, and the precomputed admission
 // indexes — so seaserve boots from it with zero parsing or recomputation.
+//
+// The mutate subcommand posts a live mutation batch (add/remove edges,
+// append nodes, replace attributes) to a running seaserve; the server
+// applies it in place with incremental index maintenance and scoped cache
+// invalidation, journals it when mounted with -journal, and -compact folds
+// the journal into a fresh snapshot.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -114,6 +126,12 @@ func (f *cliFlags) buildRequest(q sealib.NodeID) (sealib.Request, error) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "pack" {
 		if err := runPack(os.Args[2:]); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "mutate" {
+		if err := runMutate(os.Args[2:], os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -284,6 +302,161 @@ func runPack(args []string) error {
 	fmt.Printf("packed %s: %d nodes, %d edges, %d bytes (indexes ready in %v)\n",
 		*out, g.NumNodes(), g.NumEdges(), size, time.Since(t0).Round(time.Millisecond))
 	return nil
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// parseEdge parses "u,v" into node IDs, rejecting any trailing garbage
+// (fmt.Sscanf would silently accept "1,2junk" — a typo must not mutate a
+// live server).
+func parseEdge(spec string) (u, v sealib.NodeID, err error) {
+	us, vs, ok := strings.Cut(spec, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad edge %q (want u,v)", spec)
+	}
+	a, err := strconv.ParseInt(strings.TrimSpace(us), 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad edge %q: %v", spec, err)
+	}
+	b, err := strconv.ParseInt(strings.TrimSpace(vs), 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad edge %q: %v", spec, err)
+	}
+	return sealib.NodeID(a), sealib.NodeID(b), nil
+}
+
+// parseAttrs parses "tok1,tok2:0.1,0.2" — textual tokens before the colon,
+// numerical values after; either side may be empty.
+func parseAttrs(spec string) (text []string, num []float64, err error) {
+	ts, ns, _ := strings.Cut(spec, ":")
+	if ts != "" {
+		text = strings.Split(ts, ",")
+	}
+	if ns != "" {
+		for _, f := range strings.Split(ns, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad numerical attribute %q: %v", f, err)
+			}
+			num = append(num, x)
+		}
+	}
+	return text, num, nil
+}
+
+// buildDeltas serializes the mutate flags into one batch: added nodes
+// first (so freshly assigned IDs can appear in the edge flags), then added
+// edges, removed edges, and attribute updates.
+func buildDeltas(addNode, addEdge, removeEdge, setAttr []string) ([]sealib.Mutation, error) {
+	var deltas []sealib.Mutation
+	for _, spec := range addNode {
+		text, num, err := parseAttrs(spec)
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, sealib.AddNodeDelta(text, num))
+	}
+	for _, spec := range addEdge {
+		u, v, err := parseEdge(spec)
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, sealib.AddEdgeDelta(u, v))
+	}
+	for _, spec := range removeEdge {
+		u, v, err := parseEdge(spec)
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, sealib.RemoveEdgeDelta(u, v))
+	}
+	for _, spec := range setAttr {
+		node, attrs, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -set-attr %q (want node=attrs)", spec)
+		}
+		id, err := strconv.ParseInt(strings.TrimSpace(node), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad -set-attr node %q: %v", node, err)
+		}
+		text, num, err := parseAttrs(attrs)
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, sealib.SetAttrDelta(sealib.NodeID(id), text, num))
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("mutate: no deltas (use -add-edge/-remove-edge/-add-node/-set-attr)")
+	}
+	return deltas, nil
+}
+
+// runMutate is the mutate subcommand: serialize the delta flags into one
+// POST /admin/mutate batch against a running seaserve, optionally following
+// up with POST /admin/compact. The batch applies live — incremental index
+// maintenance and scoped cache invalidation, no reload.
+func runMutate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("seacli mutate", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "http://127.0.0.1:8080", "seaserve base URL")
+		graphName  = fs.String("graph", "", "dataset to mutate (empty = server default)")
+		compact    = fs.Bool("compact", false, "fold the journal into a snapshot after mutating")
+		addEdge    multiFlag
+		removeEdge multiFlag
+		addNode    multiFlag
+		setAttr    multiFlag
+	)
+	fs.Var(&addEdge, "add-edge", "insert edge \"u,v\" (repeatable)")
+	fs.Var(&removeEdge, "remove-edge", "delete edge \"u,v\" (repeatable)")
+	fs.Var(&addNode, "add-node", "append a node \"tok1,tok2:0.1,0.2\" (repeatable; either side optional)")
+	fs.Var(&setAttr, "set-attr", "replace attributes \"node=tok1,tok2:0.1,0.2\" (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	deltas, err := buildDeltas(addNode, addEdge, removeEdge, setAttr)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(map[string]any{"graph": *graphName, "deltas": deltas})
+	if err != nil {
+		return err
+	}
+	resp, err := postJSON(*addr+"/admin/mutate", body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mutate: %s\n", resp)
+	if *compact {
+		body, _ := json.Marshal(map[string]any{"graph": *graphName})
+		resp, err := postJSON(*addr+"/admin/compact", body)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "compact: %s\n", resp)
+	}
+	return nil
+}
+
+// postJSON posts body and returns the response body, folding non-2xx
+// statuses into the error.
+func postJSON(url string, body []byte) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return bytes.TrimSpace(data), nil
 }
 
 func fail(err error) {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	sealib "repro"
+)
+
+// TestBuildDeltas checks the flag → delta batch serialization, including
+// the node-first ordering that lets an added node appear in edge flags.
+func TestBuildDeltas(t *testing.T) {
+	got, err := buildDeltas(
+		[]string{"ml,db:0.5,0.2", ":1,2", "solo"},
+		[]string{"1,2"},
+		[]string{"3,4"},
+		[]string{"7=x,y:0.9,0.1", "8=:0.3,0.4"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sealib.Mutation{
+		sealib.AddNodeDelta([]string{"ml", "db"}, []float64{0.5, 0.2}),
+		sealib.AddNodeDelta(nil, []float64{1, 2}),
+		sealib.AddNodeDelta([]string{"solo"}, nil),
+		sealib.AddEdgeDelta(1, 2),
+		sealib.RemoveEdgeDelta(3, 4),
+		sealib.SetAttrDelta(7, []string{"x", "y"}, []float64{0.9, 0.1}),
+		sealib.SetAttrDelta(8, nil, []float64{0.3, 0.4}),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("deltas:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestBuildDeltasErrors(t *testing.T) {
+	cases := [][4][]string{
+		{nil, nil, nil, nil},            // empty batch
+		{nil, {"1-2"}, nil, nil},        // bad edge separator
+		{nil, nil, {"abc"}, nil},        // unparsable edge
+		{nil, nil, nil, {"x,y"}},        // set-attr without node=
+		{nil, nil, nil, {"7=x:zed"}},    // bad numeric
+		{{"a:0.1,bad"}, nil, nil, nil},  // bad add-node numeric
+		{nil, {"1,2garbage"}, nil, nil}, // trailing garbage after edge
+		{nil, nil, nil, {"7=x:0.5abc"}}, // trailing garbage after numeric
+		{nil, nil, nil, {"7 8=x:0.5"}},  // garbage in the node field
+	}
+	for i, c := range cases {
+		if _, err := buildDeltas(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestRunMutatePostsBatch drives the subcommand against a stub server and
+// checks the wire body and the compact follow-up.
+func TestRunMutatePostsBatch(t *testing.T) {
+	var mutateBody, compactBody []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf strings.Builder
+		b := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(b)
+			buf.Write(b[:n])
+			if err != nil {
+				break
+			}
+		}
+		switch r.URL.Path {
+		case "/admin/mutate":
+			mutateBody = []byte(buf.String())
+		case "/admin/compact":
+			compactBody = []byte(buf.String())
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := runMutate([]string{
+		"-addr", srv.URL, "-graph", "fb", "-compact",
+		"-add-edge", "1,2", "-set-attr", "3=a,b",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req struct {
+		Graph  string            `json:"graph"`
+		Deltas []sealib.Mutation `json:"deltas"`
+	}
+	if err := json.Unmarshal(mutateBody, &req); err != nil {
+		t.Fatalf("mutate body %q: %v", mutateBody, err)
+	}
+	if req.Graph != "fb" || len(req.Deltas) != 2 {
+		t.Fatalf("wire request %+v", req)
+	}
+	if req.Deltas[0].Op != sealib.OpAddEdge || req.Deltas[1].Op != sealib.OpSetAttr {
+		t.Fatalf("delta ops %v %v", req.Deltas[0].Op, req.Deltas[1].Op)
+	}
+	if compactBody == nil {
+		t.Fatal("compact follow-up not posted")
+	}
+	if !strings.Contains(out.String(), "mutate:") || !strings.Contains(out.String(), "compact:") {
+		t.Fatalf("output %q", out.String())
+	}
+}

@@ -7,9 +7,17 @@
 // and per-request deadlines (-timeout, or a client disconnect) cancel the
 // underlying search, not just the wait.
 //
+// The served graphs are live: POST /admin/mutate applies edge/node/attribute
+// deltas in place (incremental index maintenance, scoped cache
+// invalidation, no reload), -journal makes them durable through a
+// write-ahead journal replayed at boot, and POST /admin/compact folds the
+// journal into a fresh snapshot. SIGINT/SIGTERM drain in-flight queries
+// (bounded by -drain) before the process exits cleanly.
+//
 // Usage:
 //
 //	seaserve -snapshot facebook.snap -addr :8080
+//	seaserve -snapshot facebook.snap -journal facebook.journal
 //	seaserve -manifest catalog.json
 //	seaserve -dataset facebook -scale 0.5
 //	seaserve -load graph.txt -gamma 0.5 -timeout 2s
@@ -23,16 +31,22 @@
 //	GET  /compare?q=12&methods=sea,exact,vac                same, for curl
 //	GET  /graphs                                            mounted datasets + stats
 //	POST /admin/reload {"graph":"fb","path":"fb2.snap"}     hot-swap a dataset
-//	GET  /healthz[?graph=fb]                                liveness + graph shape
+//	POST /admin/mutate {"graph":"fb","deltas":[...]}        live mutation batch
+//	POST /admin/compact {"graph":"fb"}                      fold journal → snapshot
+//	GET  /healthz[?graph=fb]                                liveness, shape, version
 //	GET  /stats[?graph=fb]                                  engine counters and caches
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	sealib "repro"
@@ -41,20 +55,23 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		manifest    = flag.String("manifest", "", "mount the datasets listed in this JSON manifest")
-		snapshot    = flag.String("snapshot", "", "mount a packed snapshot file")
-		load        = flag.String("load", "", "mount a graph file (snapshot or text format)")
-		dsName      = flag.String("dataset", "facebook", "generated dataset analog name")
-		name        = flag.String("name", "", "catalog name for -snapshot/-load mounts (default: file basename)")
-		scale       = flag.Float64("scale", 0.5, "dataset scale factor")
-		gamma       = flag.Float64("gamma", 0.5, "attribute balance factor")
-		distCache   = flag.Int("dist-cache", 0, "distance-vector cache entries (0 = default)")
-		resultCache = flag.Int("result-cache", 0, "result cache entries (0 = default)")
-		workers     = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
-		maxConc     = flag.Int("max-concurrent", 0, "max searches executing at once (0 = 2×GOMAXPROCS)")
-		timeout     = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
-		eagerTruss  = flag.Bool("eager-truss", false, "build the truss index at startup when absent from the source")
+		addr         = flag.String("addr", ":8080", "listen address")
+		manifest     = flag.String("manifest", "", "mount the datasets listed in this JSON manifest")
+		snapshot     = flag.String("snapshot", "", "mount a packed snapshot file")
+		load         = flag.String("load", "", "mount a graph file (snapshot or text format)")
+		dsName       = flag.String("dataset", "facebook", "generated dataset analog name")
+		name         = flag.String("name", "", "catalog name for -snapshot/-load mounts (default: file basename)")
+		journal      = flag.String("journal", "", "write-ahead mutation journal for the -snapshot/-load mount (replayed at boot)")
+		compactEvery = flag.Int("compact-every", catalog.DefaultCompactEvery, "journal batches that trigger background compaction (0 = manual only)")
+		scale        = flag.Float64("scale", 0.5, "dataset scale factor")
+		gamma        = flag.Float64("gamma", 0.5, "attribute balance factor")
+		distCache    = flag.Int("dist-cache", 0, "distance-vector cache entries (0 = default)")
+		resultCache  = flag.Int("result-cache", 0, "result cache entries (0 = default)")
+		workers      = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+		maxConc      = flag.Int("max-concurrent", 0, "max searches executing at once (0 = 2×GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
+		drain        = flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight queries")
+		eagerTruss   = flag.Bool("eager-truss", false, "build the truss index at startup when absent from the source")
 	)
 	flag.Parse()
 
@@ -69,6 +86,23 @@ func main() {
 
 	t0 := time.Now()
 	cat := sealib.NewCatalog()
+	mountFile := func(path string) {
+		dname := nameForPath(*name, path)
+		if *journal == "" {
+			if _, err := cat.MountPath(dname, path, cfg); err != nil {
+				fail(err)
+			}
+			return
+		}
+		d, replayed, err := cat.MountPathJournaled(dname, path, *journal, cfg)
+		if err != nil {
+			fail(err)
+		}
+		d.SetCompactEvery(*compactEvery)
+		if replayed > 0 {
+			fmt.Printf("seaserve: replayed %d journaled mutation batch(es) onto %q\n", replayed, dname)
+		}
+	}
 	switch {
 	case *manifest != "":
 		m, err := catalog.LoadManifest(*manifest)
@@ -79,13 +113,9 @@ func main() {
 			fail(err)
 		}
 	case *snapshot != "":
-		if _, err := cat.MountPath(nameForPath(*name, *snapshot), *snapshot, cfg); err != nil {
-			fail(err)
-		}
+		mountFile(*snapshot)
 	case *load != "":
-		if _, err := cat.MountPath(nameForPath(*name, *load), *load, cfg); err != nil {
-			fail(err)
-		}
+		mountFile(*load)
 	default:
 		d, err := sealib.GenerateDataset(*dsName, *scale)
 		if err != nil {
@@ -113,9 +143,32 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain: a deploy must not kill
+	// in-flight queries mid-search. Shutdown stops the listener, waits up
+	// to -drain for active requests, and the process exits 0 on a clean
+	// drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fail(err) // immediate listen/serve failure
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Printf("seaserve: signal received, draining for up to %v\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if closeErr := cat.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
+	fmt.Println("seaserve: drained, bye")
 }
 
 // nameForPath picks the catalog name for a single-file mount: the -name

@@ -109,12 +109,40 @@
 //	 "datasets": [{"name": "facebook", "path": "facebook.snap"},
 //	              {"name": "github",   "path": "github.snap", "gamma": 0.7}]}
 //
-// The quickstart from nothing to a served snapshot:
+// The quickstart from nothing to a served, live-updatable snapshot:
 //
-//	datagen -dataset facebook -scale 0.5 -out fb.txt   # text exchange format
-//	seacli pack -load fb.txt -out fb.snap              # pack graph + indexes
-//	seaserve -snapshot fb.snap -addr :8080             # boots in milliseconds
+//	datagen -dataset facebook -scale 0.5 -out fb.txt    # text exchange format
+//	seacli pack -load fb.txt -out fb.snap               # pack graph + indexes
+//	seaserve -snapshot fb.snap -journal fb.journal &    # boots in milliseconds
 //	curl 'localhost:8080/search?q=10&k=6&graph=fb'
+//	seacli mutate -add-edge 3,9 -set-attr "4=db,ml"     # live update, journaled
+//	seacli mutate -remove-edge 3,9 -compact             # fold journal → snapshot
+//
+// # Live updates
+//
+// The served graph is not frozen: Engine.Apply (programmatic),
+// Catalog.Mutate (per dataset) and POST /admin/mutate (wire) fold a batch
+// of Mutations — AddEdgeDelta, RemoveEdgeDelta, AddNodeDelta,
+// SetAttrDelta — into the running engine without a reload or a hot-swap.
+// The deltas accumulate in a delta-overlay graph view and materialize into
+// a fresh immutable CSR in one pass; the coreness and trussness admission
+// indexes are maintained incrementally — bounded re-computation restricted
+// to the affected region (the subcore of the touched endpoints, the
+// triangle-connected truss scope below a level bound) instead of a
+// whole-graph decomposition, proven equal to from-scratch decomposition on
+// randomized mutation sequences. Cache invalidation is scoped the same
+// way: only result entries whose query node falls in the affected region
+// (and, for attribute changes, the distance vectors of the touched
+// component) are dropped; everything else stays warm, and structural edits
+// drop no distance vectors at all. The new state publishes atomically, so
+// a request always runs against one consistent graph + index generation.
+//
+// Durability is a write-ahead mutation journal (seaserve -journal,
+// Catalog.MountPathJournaled): batches are appended and synced before the
+// mutation call returns, replayed on top of the snapshot at boot (per-record
+// CRCs truncate a torn tail), and folded into a fresh snapshot by the
+// compactor (Catalog.Compact, POST /admin/compact, or automatically every
+// -compact-every batches), which then truncates the journal.
 //
 // # Performance
 //

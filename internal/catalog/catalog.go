@@ -39,9 +39,10 @@ type Dataset struct {
 	eng  atomic.Pointer[engine.Engine]
 	cfg  engine.Config
 
-	mu     sync.Mutex // serializes swaps (readers go through eng alone)
+	mu     sync.Mutex // serializes swaps and mutations (readers go through eng alone)
 	source string
 	swaps  uint64
+	live   *liveState // journaling state; nil when mounted without a journal
 }
 
 // Engine returns the dataset's current engine. The pointer stays valid for
@@ -54,14 +55,22 @@ func (d *Dataset) Name() string { return d.name }
 
 // Info is the describable state of a mounted dataset.
 type Info struct {
-	Name    string       `json:"name"`
-	Default bool         `json:"default"`
-	Nodes   int          `json:"nodes"`
-	Edges   int          `json:"edges"`
-	NumDim  int          `json:"num_dim"`
-	Source  string       `json:"source,omitempty"`
-	Swaps   uint64       `json:"swaps"`
-	Stats   engine.Stats `json:"stats"`
+	Name    string `json:"name"`
+	Default bool   `json:"default"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	NumDim  int    `json:"num_dim"`
+	Source  string `json:"source,omitempty"`
+	Swaps   uint64 `json:"swaps"`
+	// Version is the engine's graph generation (mutation batches applied
+	// since the engine was built).
+	Version uint64 `json:"version"`
+	// Journal is the write-ahead journal path ("" when unjournaled);
+	// JournalBatches counts batches awaiting compaction.
+	Journal        string       `json:"journal,omitempty"`
+	JournalBatches int          `json:"journal_batches,omitempty"`
+	CompactError   string       `json:"compact_error,omitempty"`
+	Stats          engine.Stats `json:"stats"`
 }
 
 // Catalog is a concurrency-safe named registry of datasets. The zero value
@@ -120,6 +129,16 @@ func (c *Catalog) Swap(name string, eng *engine.Engine, source string) (*engine.
 	old := d.eng.Swap(eng)
 	d.source = source
 	d.swaps++
+	// A swap rebases the dataset on a new source: journaled deltas applied
+	// to the old lineage no longer describe it, so the journal restarts —
+	// and a broken-journal quarantine lifts, since the new lineage has no
+	// semantic hole.
+	if d.live != nil {
+		if err := d.live.journal.Reset(); err != nil {
+			return old, fmt.Errorf("catalog: swapped, but resetting journal: %w", err)
+		}
+		d.live.broken = false
+	}
 	return old, nil
 }
 
@@ -130,10 +149,17 @@ func (c *Catalog) Swap(name string, eng *engine.Engine, source string) (*engine.
 func (c *Catalog) Unmount(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.datasets[name]; !ok {
+	d, ok := c.datasets[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", cserr.ErrUnknownGraph, name)
 	}
 	delete(c.datasets, name)
+	d.mu.Lock()
+	if d.live != nil {
+		d.live.journal.Close()
+		d.live = nil
+	}
+	d.mu.Unlock()
 	if c.def == name {
 		c.def = ""
 		if names := c.names(); len(names) > 0 {
@@ -238,16 +264,30 @@ func (c *Catalog) Infos() []Info {
 		g := eng.Graph()
 		d.mu.Lock()
 		source, swaps := d.source, d.swaps
+		var journal string
+		var batches int
+		var compactErr string
+		if d.live != nil {
+			journal = d.live.journal.Path()
+			batches = d.live.journal.Batches()
+			if d.live.compactErr != nil {
+				compactErr = d.live.compactErr.Error()
+			}
+		}
 		d.mu.Unlock()
 		out[i] = Info{
-			Name:    d.name,
-			Default: d.name == def,
-			Nodes:   g.NumNodes(),
-			Edges:   g.NumEdges(),
-			NumDim:  g.NumDim(),
-			Source:  source,
-			Swaps:   swaps,
-			Stats:   eng.Stats(),
+			Name:           d.name,
+			Default:        d.name == def,
+			Nodes:          g.NumNodes(),
+			Edges:          g.NumEdges(),
+			NumDim:         g.NumDim(),
+			Source:         source,
+			Swaps:          swaps,
+			Version:        eng.Version(),
+			Journal:        journal,
+			JournalBatches: batches,
+			CompactError:   compactErr,
+			Stats:          eng.Stats(),
 		}
 	}
 	return out

@@ -7,16 +7,23 @@ package catalog
 //	GET  /graphs        → mounted datasets with shape, source and stats
 //	POST /admin/reload  → {"graph":"fb","path":"fb2.snap"}: load the file
 //	                      off to the side, hot-swap it in (mount when new)
+//	POST /admin/mutate  → {"graph":"fb","deltas":[{"op":"add_edge","u":1,"v":2}]}:
+//	                      apply a live mutation batch (journaled when the
+//	                      dataset mounted with a journal); no hot-swap
+//	POST /admin/compact → {"graph":"fb"}: fold the journal into a fresh
+//	                      snapshot and truncate it
 //
 // Reload never disturbs the running engine on failure: a corrupt or
-// missing file reports 422/500 and the old engine keeps serving.
+// missing file reports 422/500 and the old engine keeps serving. Mutate is
+// all-or-nothing per batch: a rejected delta reports 400 and nothing
+// changes.
 
 import (
-	"encoding/json"
 	"net/http"
 
 	"repro/internal/cserr"
 	"repro/internal/engine"
+	"repro/internal/mutate"
 )
 
 // graphsResponse is the GET /graphs body.
@@ -38,6 +45,18 @@ type reloadResponse struct {
 	Swaps uint64 `json:"swaps"`
 }
 
+// mutateRequest is the POST /admin/mutate body; an empty Graph targets the
+// default dataset.
+type mutateRequest struct {
+	Graph  string         `json:"graph"`
+	Deltas []mutate.Delta `json:"deltas"`
+}
+
+// compactRequest is the POST /admin/compact body.
+type compactRequest struct {
+	Graph string `json:"graph"`
+}
+
 // NewHTTPHandler returns the multi-dataset JSON serving surface of c. base
 // is the engine config template used when /admin/reload mounts a dataset
 // under a new name (existing datasets keep the config they were mounted
@@ -57,8 +76,8 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 			return
 		}
 		var req reloadRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf("bad request body: %v", err))
+		if err := engine.DecodeJSONBody(w, r, &req); err != nil {
+			engine.WriteError(w, engine.StatusFor(err), err)
 			return
 		}
 		if req.Graph == "" || req.Path == "" {
@@ -77,6 +96,51 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 		engine.WriteJSON(w, http.StatusOK, reloadResponse{
 			Graph: d.Name(), Nodes: g.NumNodes(), Edges: g.NumEdges(), Swaps: swaps,
 		})
+	})
+	mux.HandleFunc("/admin/mutate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use POST"))
+			return
+		}
+		var req mutateRequest
+		if err := engine.DecodeJSONBody(w, r, &req); err != nil {
+			engine.WriteError(w, engine.StatusFor(err), err)
+			return
+		}
+		if len(req.Deltas) == 0 {
+			engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf(`need a non-empty "deltas" array`))
+			return
+		}
+		res, err := c.Mutate(req.Graph, req.Deltas)
+		if err != nil {
+			if res != nil && res.Applied > 0 {
+				// The batch IS live but failed to journal: a bare error
+				// would invite a retry that double-applies it. Report the
+				// full result (JournalError set) under a 500 status.
+				engine.WriteJSON(w, http.StatusInternalServerError, res)
+				return
+			}
+			engine.WriteError(w, engine.StatusFor(err), err)
+			return
+		}
+		engine.WriteJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("/admin/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use POST"))
+			return
+		}
+		var req compactRequest
+		if err := engine.DecodeJSONBody(w, r, &req); err != nil {
+			engine.WriteError(w, engine.StatusFor(err), err)
+			return
+		}
+		res, err := c.Compact(req.Graph)
+		if err != nil {
+			engine.WriteError(w, engine.StatusFor(err), err)
+			return
+		}
+		engine.WriteJSON(w, http.StatusOK, res)
 	})
 	return mux
 }

@@ -1,0 +1,326 @@
+package catalog
+
+// Live updates through the catalog: a dataset can mount with a write-ahead
+// mutation journal (internal/store.Journal). Mutate applies a delta batch
+// to the dataset's engine — incremental index maintenance, scoped cache
+// invalidation, no hot-swap — and journals it durably before returning, so
+// a restart reconstructs the exact live state by replaying the journal on
+// top of the last snapshot. A background compactor folds the journal into a
+// fresh snapshot (atomic rename) and truncates it, either on demand
+// (Compact, POST /admin/compact) or automatically once the journal exceeds
+// the dataset's compaction threshold.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/cserr"
+	"repro/internal/engine"
+	"repro/internal/mutate"
+	"repro/internal/store"
+)
+
+// DefaultCompactEvery is the journal batch count that triggers background
+// compaction on a journaled dataset.
+const DefaultCompactEvery = 64
+
+// liveState is the journaling state of a mounted dataset, guarded by the
+// dataset's mu.
+type liveState struct {
+	journal      *store.Journal
+	snapPath     string // where Compact writes the folded snapshot
+	compactEvery int
+	compacting   bool
+	compactErr   error // last background compaction failure, cleared on success
+	// broken marks a journal with a semantic hole: a batch was applied to
+	// the engine but its append failed, so later appends would replay
+	// against a state missing it. Mutations fail closed until a compaction
+	// rebuilds durability from the live state.
+	broken bool
+	wg     sync.WaitGroup
+}
+
+// MountPathJournaled mounts the dataset file at path with the write-ahead
+// journal at journalPath (created when absent), replaying any journaled
+// batches on top of the file before the dataset starts serving. It returns
+// the mounted dataset and the number of replayed batches.
+//
+// Compaction folds the journal into a packed snapshot: over path itself
+// when it already is one, else alongside it at path+".snap" (the text
+// source is never overwritten). The mount prefers that sidecar snapshot
+// when it exists — it is what the journal was last truncated against, so
+// booting from the text source instead would silently drop every batch a
+// compaction folded.
+func (c *Catalog) MountPathJournaled(name, path, journalPath string, cfg engine.Config) (*Dataset, int, error) {
+	src := path
+	if isSnap, err := store.DetectFile(path); err == nil && !isSnap {
+		if sidecar := path + ".snap"; fileExists(sidecar) {
+			src = sidecar
+		}
+	}
+	eng, err := openPath(src, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	journal, batches, err := store.OpenJournal(journalPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, b := range batches {
+		if _, err := eng.Apply(b.Deltas); err != nil {
+			journal.Close()
+			return nil, 0, fmt.Errorf("%w: journal %s batch %d does not apply to %s: %v",
+				cserr.ErrSnapshotCorrupt, journalPath, b.Seq, path, err)
+		}
+	}
+	d, err := c.Mount(name, eng, cfg, src)
+	if err != nil {
+		journal.Close()
+		return nil, 0, err
+	}
+	snapPath := src
+	if isSnap, err := store.DetectFile(src); err != nil || !isSnap {
+		snapPath = src + ".snap"
+	}
+	d.mu.Lock()
+	d.live = &liveState{journal: journal, snapPath: snapPath, compactEvery: DefaultCompactEvery}
+	d.mu.Unlock()
+	return d, len(batches), nil
+}
+
+// SetCompactEvery sets the journal batch count that triggers background
+// compaction (≤0 disables automatic compaction). No-op on an unjournaled
+// dataset.
+func (d *Dataset) SetCompactEvery(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.live != nil {
+		d.live.compactEvery = n
+	}
+}
+
+// MutateResult reports one applied mutation batch.
+type MutateResult struct {
+	Graph string `json:"graph"`
+	engine.ApplyResult
+	// Journaled is the journal sequence number of the batch (0 when the
+	// dataset has no journal).
+	Journaled uint64 `json:"journaled,omitempty"`
+	// JournalError reports a batch that is live on the engine but could
+	// not be made durable (journal append failed): retrying the mutation
+	// would double-apply it — compact instead, which restores durability
+	// from the live state.
+	JournalError string `json:"journal_error,omitempty"`
+	// Compacting reports that this batch tipped the journal over its
+	// threshold and a background compaction started.
+	Compacting bool `json:"compacting,omitempty"`
+}
+
+// Mutate applies one delta batch to the named dataset's engine and journals
+// it durably (when the dataset is journaled) before returning. Mutations on
+// one dataset serialize; queries keep flowing throughout, and the engine is
+// never hot-swapped — that is the point.
+func (c *Catalog) Mutate(name string, deltas []mutate.Delta) (*MutateResult, error) {
+	d, err := c.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.live != nil && d.live.broken {
+		// A previous batch is live but missing from the journal; appending
+		// more would create a replayable journal with a semantic hole
+		// (contiguous sequence numbers, missing state). Fail closed until a
+		// compaction rebuilds durability from the live state.
+		return nil, fmt.Errorf("%w: journal for %q is missing an applied batch; compact to restore durability",
+			cserr.ErrSnapshotCorrupt, d.name)
+	}
+	res, err := d.eng.Load().Apply(deltas)
+	if err != nil {
+		return nil, err
+	}
+	out := &MutateResult{Graph: d.name, ApplyResult: *res}
+	if d.live != nil {
+		seq, err := d.live.journal.Append(deltas)
+		if err != nil {
+			// The mutation is live but not durable. Fail this dataset's
+			// mutations closed and return the result WITH the error
+			// recorded on it: the caller must see what was applied
+			// (retrying would double-apply the batch) and that compacting
+			// restores durability from the live state.
+			d.live.broken = true
+			out.JournalError = err.Error()
+			return out, fmt.Errorf("mutation applied but not journaled: %w", err)
+		}
+		out.Journaled = seq
+		if d.live.compactEvery > 0 && d.live.journal.Batches() >= d.live.compactEvery && !d.live.compacting {
+			d.live.compacting = true
+			d.live.wg.Add(1)
+			// The goroutine gets the liveState captured under d.mu: a
+			// concurrent Unmount may nil d.live, and the compactor must
+			// neither dereference that nor fold a journal it no longer owns.
+			go c.compactAsync(d, d.live)
+			out.Compacting = true
+		}
+	}
+	return out, nil
+}
+
+// CompactResult reports one journal compaction.
+type CompactResult struct {
+	Graph string `json:"graph"`
+	// Path is the snapshot file the journal folded into.
+	Path string `json:"path"`
+	// Bytes is the written snapshot size.
+	Bytes int64 `json:"bytes"`
+	// BatchesFolded is the number of journal batches the snapshot absorbed.
+	BatchesFolded int `json:"batches_folded"`
+	// Version is the engine's graph generation captured by the snapshot.
+	Version uint64 `json:"version"`
+}
+
+// Compact folds the named dataset's journal into a fresh snapshot (written
+// atomically over the dataset's snapshot path) and truncates the journal.
+// The serving engine is untouched — compaction changes only what a future
+// boot reads. An unjournaled dataset is an error.
+func (c *Catalog) Compact(name string) (*CompactResult, error) {
+	d, err := c.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked()
+}
+
+// compactLocked is Compact holding d.mu.
+func (d *Dataset) compactLocked() (*CompactResult, error) {
+	if d.live == nil {
+		return nil, cserr.Invalidf("catalog: dataset %q has no journal to compact", d.name)
+	}
+	eng := d.eng.Load()
+	folded := d.live.journal.Batches()
+	size, err := store.AtomicWriteFile(d.live.snapPath, eng.WriteSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.live.journal.Reset(); err != nil {
+		return nil, err
+	}
+	d.live.broken = false
+	d.source = d.live.snapPath
+	return &CompactResult{
+		Graph: d.name, Path: d.live.snapPath, Bytes: size,
+		BatchesFolded: folded, Version: eng.Version(),
+	}, nil
+}
+
+// compactAsync is the background compactor body; live.compacting is already
+// set by the caller. Unlike the explicit Compact, it does not hold d.mu
+// across the snapshot write — mutations keep flowing while the fold is on
+// disk. The write is optimistic: the engine state and journal batch count
+// are captured together under d.mu, the snapshot streams to a temp file
+// unlocked, and the rename + journal reset happen back under d.mu only if
+// no further batch landed in between (otherwise the temp file is discarded
+// and the next threshold crossing retries with the newer state).
+func (c *Catalog) compactAsync(d *Dataset, live *liveState) {
+	defer live.wg.Done()
+	err := c.compactOptimistic(d, live)
+	d.mu.Lock()
+	live.compactErr = err
+	live.compacting = false
+	d.mu.Unlock()
+}
+
+func (c *Catalog) compactOptimistic(d *Dataset, live *liveState) error {
+	d.mu.Lock()
+	if d.live != live { // unmounted or swapped since the trigger
+		d.mu.Unlock()
+		return nil
+	}
+	eng := d.eng.Load()
+	ver := eng.Version()
+	snapPath := live.snapPath
+	d.mu.Unlock()
+
+	dir, base := filepath.Split(snapPath)
+	f, err := os.CreateTemp(dir, base+".compact*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	discard := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := eng.WriteSnapshot(f); err != nil {
+		return discard(err)
+	}
+	if err := f.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Staleness is judged by the engine pointer (a Swap installs a new
+	// engine) and its monotonic version (a Mutate bumps it) — NOT by the
+	// journal batch count, which aliases across a concurrent Reset (an
+	// explicit Compact, or a Swap) and could let a stale snapshot fold over
+	// durably-acknowledged batches.
+	if d.live != live || d.eng.Load() != eng || eng.Version() != ver {
+		os.Remove(tmp)
+		return nil
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := live.journal.Reset(); err != nil {
+		return err
+	}
+	live.broken = false
+	d.source = snapPath
+	return nil
+}
+
+// fileExists reports whether path names an existing regular file.
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Mode().IsRegular()
+}
+
+// Close releases every dataset's journal. Mount no further datasets after
+// closing; in-flight background compactions are waited out.
+func (c *Catalog) Close() error {
+	c.mu.RLock()
+	ds := make([]*Dataset, 0, len(c.datasets))
+	for _, d := range c.datasets {
+		ds = append(ds, d)
+	}
+	c.mu.RUnlock()
+	var errs []string
+	for _, d := range ds {
+		d.mu.Lock()
+		live := d.live
+		d.mu.Unlock()
+		if live == nil {
+			continue
+		}
+		live.wg.Wait()
+		if err := live.journal.Close(); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", d.name, err))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("catalog: closing journals: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

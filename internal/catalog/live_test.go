@@ -1,0 +1,482 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cserr"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/mutate"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// liveFixture packs a small graph into a snapshot and returns its path plus
+// a journal path in the same temp dir.
+func liveFixture(t *testing.T) (snapPath, journalPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	b := graph.NewBuilder(12, 1)
+	for v := 0; v < 12; v++ {
+		b.SetTextAttrs(graph.NodeID(v), fmt.Sprintf("tag%d", v%3))
+		b.SetNumAttrs(graph.NodeID(v), float64(v)/12)
+	}
+	// Two squares plus a path between them.
+	for _, e := range [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2},
+		{6, 7}, {7, 8}, {8, 9}, {9, 6}, {6, 8},
+		{3, 5}, {5, 6},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.MustBuild()
+	eng, err := engine.New(g, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath = filepath.Join(dir, "g.snap")
+	if _, err := store.AtomicWriteFile(snapPath, eng.WriteSnapshot); err != nil {
+		t.Fatal(err)
+	}
+	return snapPath, filepath.Join(dir, "g.journal")
+}
+
+func TestMutateJournalReplay(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	ctx := context.Background()
+	req := query.Request{Query: 0, Method: query.MethodStructural, K: 3}.WithDefaults()
+
+	c := New()
+	d, replayed, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 {
+		t.Fatalf("replayed %d batches from a fresh journal", replayed)
+	}
+	// Make node 4 part of a 3-core with the first square.
+	res, err := c.Mutate("g", []mutate.Delta{
+		mutate.AddEdge(4, 0), mutate.AddEdge(4, 1), mutate.AddEdge(4, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Journaled != 1 || res.Version != 1 {
+		t.Fatalf("mutate result %+v", res)
+	}
+	liveOut, err := d.Engine().Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A rebooted catalog replays the journal and answers identically.
+	c2 := New()
+	d2, replayed, err := c2.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if replayed != 1 {
+		t.Fatalf("replayed %d batches, want 1", replayed)
+	}
+	rebootOut, err := d2.Engine().Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveOut.Community, rebootOut.Community) || liveOut.Delta != rebootOut.Delta {
+		t.Fatalf("replayed state diverges:\nlive   %v δ=%v\nreboot %v δ=%v",
+			liveOut.Community, liveOut.Delta, rebootOut.Community, rebootOut.Delta)
+	}
+	if d2.Engine().Version() != 1 {
+		t.Fatalf("reboot version = %d", d2.Engine().Version())
+	}
+}
+
+func TestCompactFoldsJournal(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	ctx := context.Background()
+	req := query.Request{Query: 6, Method: query.MethodStructural, K: 3}.WithDefaults()
+
+	c := New()
+	d, _, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Mutate("g", []mutate.Delta{mutate.AddEdge(10, 6), mutate.AddEdge(10, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Mutate("g", []mutate.Delta{mutate.AddEdge(10, 8), mutate.SetAttr(10, []string{"hub"}, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	liveOut, err := d.Engine().Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cres, err := c.Compact("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.BatchesFolded != 2 || cres.Path != snapPath || cres.Version != 2 {
+		t.Fatalf("compact result %+v", cres)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebooting from the compacted snapshot: nothing to replay, identical
+	// answers (byte-identical outcome for the same request).
+	c2 := New()
+	d2, replayed, err := c2.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if replayed != 0 {
+		t.Fatalf("journal not truncated: %d batches replayed", replayed)
+	}
+	compactOut, err := d2.Engine().Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveOut.Community, compactOut.Community) || liveOut.Delta != compactOut.Delta {
+		t.Fatalf("compacted state diverges:\nlive    %v δ=%v\ncompact %v δ=%v",
+			liveOut.Community, liveOut.Delta, compactOut.Community, compactOut.Delta)
+	}
+	// The folded snapshot carries the mutated attributes.
+	g := d2.Engine().Graph()
+	name := g.Dict().Name(g.TextAttrs(10)[0])
+	if name != "hub" {
+		t.Fatalf("node 10 attr %q after compaction", name)
+	}
+	// Compacting an unjournaled dataset errors.
+	cat := New()
+	if _, err := cat.MountPath("plain", snapPath, engine.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Compact("plain"); err == nil {
+		t.Fatal("compact on unjournaled dataset accepted")
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	c := New()
+	d, _, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetCompactEvery(2)
+	if _, err := c.Mutate("g", []mutate.Delta{mutate.AddEdge(4, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Mutate("g", []mutate.Delta{mutate.AddEdge(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacting {
+		t.Fatalf("second batch should trigger compaction: %+v", res)
+	}
+	if err := c.Close(); err != nil { // waits for the background compactor
+		t.Fatal(err)
+	}
+	j, replayed, err := store.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(replayed) != 0 {
+		t.Fatalf("journal holds %d batches after auto-compaction", len(replayed))
+	}
+}
+
+// TestConcurrentQueryMutateCompact runs queries, journaled mutation batches
+// and explicit compactions concurrently; under -race this proves the whole
+// live-serving path — atomic engine state, scoped sweeps, journal appends,
+// snapshot rewrites — is data-race free.
+func TestConcurrentQueryMutateCompact(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	c := New()
+	d, _, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d.SetCompactEvery(0) // explicit compaction only, so the test controls it
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng := d.Engine()
+				q := graph.NodeID((i*7 + w) % eng.Graph().NumNodes())
+				req := query.Request{Query: q, Method: query.MethodStructural, K: 1 + i%3}.WithDefaults()
+				if _, err := eng.Query(ctx, req); err != nil && !errors.Is(err, cserr.ErrNoCommunity) {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := c.Compact("g"); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	next := graph.NodeID(12)
+	for i := 0; i < 20; i++ {
+		deltas := []mutate.Delta{
+			mutate.AddNode([]string{"n"}, []float64{0.5}),
+			mutate.AddEdge(next, graph.NodeID(i%12)),
+		}
+		next++
+		if _, err := c.Mutate("g", deltas); err != nil {
+			t.Fatalf("mutate %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if v := d.Engine().Version(); v != 20 {
+		t.Fatalf("version = %d, want 20", v)
+	}
+}
+
+func TestMutateHTTP(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	c := New()
+	if _, _, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewHTTPHandler(c, engine.DefaultConfig()))
+	defer srv.Close()
+
+	post := func(path, body string) (*http.Response, string) {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.String()
+	}
+
+	// Before: no 3-core around node 4 (degree 0-ish).
+	resp, body := post("/search", `{"q":4,"method":"structural","k":3}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-mutation search: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = post("/admin/mutate",
+		`{"graph":"g","deltas":[{"op":"add_edge","u":4,"v":0},{"op":"add_edge","u":4,"v":1},{"op":"add_edge","u":4,"v":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+	}
+	var mres MutateResult
+	if err := json.Unmarshal([]byte(body), &mres); err != nil {
+		t.Fatal(err)
+	}
+	if mres.Applied != 3 || mres.Journaled != 1 {
+		t.Fatalf("mutate response %+v", mres)
+	}
+
+	// After: the mutation is visible, zero swaps (no hot-swap happened).
+	resp, body = post("/search", `{"q":4,"method":"structural","k":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutation search: %d %s", resp.StatusCode, body)
+	}
+	for _, info := range c.Infos() {
+		if info.Swaps != 0 || info.Version != 1 || info.JournalBatches != 1 {
+			t.Fatalf("info %+v", info)
+		}
+	}
+
+	resp, body = post("/admin/compact", `{"graph":"g"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: %d %s", resp.StatusCode, body)
+	}
+	var cres CompactResult
+	if err := json.Unmarshal([]byte(body), &cres); err != nil {
+		t.Fatal(err)
+	}
+	if cres.BatchesFolded != 1 {
+		t.Fatalf("compact response %+v", cres)
+	}
+
+	// Malformed and rejected batches.
+	if resp, _ := post("/admin/mutate", `{"graph":"g","deltas":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty deltas: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/admin/mutate", `{"graph":"g","deltas":[{"op":"add_edge","u":4,"v":4}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("self-loop: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/admin/mutate", `{"graph":"nope","deltas":[{"op":"add_edge","u":1,"v":5}]}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/admin/mutate", `{"graph":"g","deltas":[{"op":"warp","u":1}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op: %d", resp.StatusCode)
+	}
+	// A delta with "op" omitted must be rejected, not applied as add_edge.
+	if resp, _ := post("/admin/mutate", `{"graph":"g","deltas":[{"u":1,"v":5}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing op: %d", resp.StatusCode)
+	}
+}
+
+// TestTextSourceCompactionSurvivesReboot mounts a journaled *text* source,
+// compacts (which writes the sidecar path+".snap"), and proves a reboot
+// with the same flags serves the compacted state instead of silently
+// re-reading the stale text file.
+func TestTextSourceCompactionSurvivesReboot(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	// Convert the fixture snapshot into a text-format source.
+	snap, err := store.OpenFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textPath := filepath.Join(filepath.Dir(snapPath), "g.txt")
+	if _, err := store.AtomicWriteFile(textPath, func(w io.Writer) error {
+		return dataset.WriteGraph(w, snap.Graph)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	d, _, err := c.MountPathJournaled("g", textPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Mutate("g", []mutate.Delta{mutate.AddEdge(4, 0), mutate.AddEdge(4, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	cres, err := c.Compact("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Path != textPath+".snap" {
+		t.Fatalf("compacted to %q, want the sidecar next to the text source", cres.Path)
+	}
+	wantEdges := d.Engine().Graph().NumEdges()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New()
+	d2, replayed, err := c2.MountPathJournaled("g", textPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if replayed != 0 {
+		t.Fatalf("replayed %d batches after compaction", replayed)
+	}
+	if got := d2.Engine().Graph().NumEdges(); got != wantEdges {
+		t.Fatalf("reboot lost compacted mutations: %d edges, want %d", got, wantEdges)
+	}
+}
+
+// TestAddNodeKeepsDistVectorsWarm pins the appended-node guarantee: an
+// add_node + add_edge batch extends cached distance vectors instead of
+// dropping the touched component's.
+func TestAddNodeKeepsDistVectorsWarm(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	c := New()
+	d, _, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	// Cache a distance vector in the component the new node will join.
+	if _, err := d.Engine().Query(ctx, query.Request{Query: 0, Method: query.MethodSEA, K: 2, Seed: 1}.WithDefaults()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Mutate("g", []mutate.Delta{
+		mutate.AddNode([]string{"fresh"}, []float64{0.5}),
+		mutate.AddEdge(12, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistsInvalidated != 0 {
+		t.Fatalf("DistsInvalidated = %d, want 0 (new node must not drop the component's vectors)", res.DistsInvalidated)
+	}
+	if res.DistsExtended != 1 {
+		t.Fatalf("DistsExtended = %d, want 1", res.DistsExtended)
+	}
+}
+
+// TestBodyLimits exercises the MaxBytesReader + trailing-garbage hardening
+// across the admin and query decoders.
+func TestBodyLimits(t *testing.T) {
+	snapPath, journalPath := liveFixture(t)
+	c := New()
+	if _, _, err := c.MountPathJournaled("g", snapPath, journalPath, engine.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewHTTPHandler(c, engine.DefaultConfig()))
+	defer srv.Close()
+
+	huge := `{"graph":"g","deltas":[{"op":"add_node","text":["` +
+		strings.Repeat("x", engine.MaxBodyBytes+1024) + `"]}]}`
+	for _, path := range []string{"/admin/mutate", "/admin/reload", "/search", "/batch", "/compare"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body: %d, want 413", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/admin/mutate", "/admin/compact", "/admin/reload", "/search"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(`{"q":1} trailing-garbage`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s trailing garbage: %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Concatenated JSON values are garbage too.
+	resp, err := http.Post(srv.URL+"/search", "application/json", strings.NewReader(`{"q":1}{"q":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("concatenated bodies: %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,6 +1,6 @@
 // Package engine provides a long-lived, concurrency-safe serving layer over
-// a fixed attributed graph. Where the library-level query.Execute pays the
-// full per-query cost — metric construction, distance vectors, structural
+// an attributed graph. Where the library-level query.Execute pays the full
+// per-query cost — metric construction, distance vectors, structural
 // decompositions — on every call, an Engine precomputes the per-graph state
 // once and shares it across queries:
 //
@@ -22,6 +22,13 @@
 // caller is waiting on it, freeing its concurrency slot. Every request
 // yields flat, CSV-friendly per-stage timing metrics (QueryMetrics) and the
 // engine aggregates global counters (Stats).
+//
+// The served graph is live: Engine.Apply folds a batch of mutate.Deltas
+// (edge/node/attribute mutations) into a fresh graph + incrementally
+// maintained indexes and publishes them atomically, invalidating only the
+// cache entries whose query node falls in the mutation's affected region
+// (see mutate.go). Queries load one state pointer at entry, so a request
+// always runs against one consistent snapshot of the graph and its indexes.
 package engine
 
 import (
@@ -30,12 +37,14 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attr"
 	"repro/internal/cserr"
 	"repro/internal/graph"
 	"repro/internal/kcore"
+	"repro/internal/mutate"
 	"repro/internal/query"
 	"repro/internal/sea"
 	"repro/internal/truss"
@@ -106,32 +115,108 @@ type searchOutcome struct {
 	searchNS int64
 }
 
-// Engine is a concurrency-safe query-serving layer over one fixed graph.
+// engState is the engine's per-graph serving state: the graph and every
+// shared structure derived from it, published as one unit through an atomic
+// pointer so a request never mixes two generations. Apply builds a new
+// engState per mutation batch; the old one keeps serving in-flight requests.
+type engState struct {
+	g       *graph.Graph
+	metric  *attr.Metric
+	core    []int32 // coreness per node
+	version uint64  // increments once per applied mutation batch
+
+	trussOnce sync.Once
+	truss     atomic.Pointer[[]int32] // node trussness; nil until built
+}
+
+// nodeTruss lazily builds (or returns) the truss-level index: for each node
+// the maximum trussness over its incident edges.
+func (st *engState) nodeTruss() []int32 {
+	st.trussOnce.Do(func() {
+		ix, tr := truss.Decompose(st.g)
+		nt := make([]int32, st.g.NumNodes())
+		for eid := range tr {
+			if t := tr[eid]; t > 0 {
+				if u := ix.U[eid]; t > nt[u] {
+					nt[u] = t
+				}
+				if v := ix.V[eid]; t > nt[v] {
+					nt[v] = t
+				}
+			}
+		}
+		st.truss.Store(&nt)
+	})
+	return *st.truss.Load()
+}
+
+// trussPeek returns the node-truss index if it has been built, else nil,
+// without triggering the build. Safe against a concurrent first build.
+func (st *engState) trussPeek() []int32 {
+	if p := st.truss.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// adoptTruss installs a precomputed node-truss index (snapshot reopen,
+// incremental maintenance). Must be called before the state is published.
+func (st *engState) adoptTruss(nt []int32) {
+	st.trussOnce.Do(func() { st.truss.Store(&nt) })
+}
+
+// Engine is a concurrency-safe query-serving layer over one live graph.
 // Returned Outcomes and their Community slices are shared across callers
 // and must be treated as immutable.
 type Engine struct {
-	g      *graph.Graph
-	metric *attr.Metric
-	cfg    Config
+	cfg Config
 
-	core []int32 // coreness per node, built at construction
+	// st is the current serving state; every request loads it exactly once.
+	st atomic.Pointer[engState]
+	// epoch counts applied mutation batches; it always equals the current
+	// state's version. Cache fills check it (under pubMu.RLock) against the
+	// version of the state they computed on, so a computation that started
+	// against a pre-mutation state can never re-insert a stale entry after
+	// that mutation's scoped sweep.
+	epoch atomic.Uint64
+	// pubMu orders cache fills against the epoch bump: Apply takes the
+	// write side for the bump alone, so every fill either completes before
+	// the bump (and is visible to the sweep) or observes the new epoch and
+	// skips itself.
+	pubMu sync.RWMutex
 
-	trussOnce sync.Once
-	truss     []int32 // max trussness over edges incident to each node
+	// mu serializes mutation batches; etruss is the per-edge trussness
+	// table maintained incrementally under it (nil until the node-truss
+	// index exists and a first mutation seeds it).
+	mu     sync.Mutex
+	etruss map[mutate.Edge]int32
 
 	dists   *shardedLRU[graph.NodeID, []float64]
 	results *shardedLRU[query.Request, *query.Outcome]
-	flight  flightGroup[query.Request, *searchOutcome]
-	dflight flightGroup[graph.NodeID, []float64]
+	flight  flightGroup[flightKey, *searchOutcome]
+	dflight flightGroup[distKey, []float64]
 
 	sem chan struct{} // bounds concurrently executing searches
 
 	ctr counters
 }
 
+// flightKey scopes result coalescing to one graph generation, so a request
+// arriving after a mutation never joins a computation on the old graph.
+type flightKey struct {
+	req     query.Request
+	version uint64
+}
+
+// distKey scopes distance-vector coalescing the same way.
+type distKey struct {
+	q       graph.NodeID
+	version uint64
+}
+
 // New builds an Engine over g, precomputing the attribute metric and the
-// core decomposition. The graph must not be mutated afterwards (Graphs are
-// immutable by construction).
+// core decomposition. The engine serves g until a mutation batch replaces
+// it; the graph value itself is immutable and is never written.
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if g == nil {
 		return nil, cserr.Invalidf("engine: nil graph")
@@ -145,7 +230,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	if cfg.EagerTruss {
-		e.nodeTruss()
+		e.st.Load().nodeTruss()
 	}
 	return e, nil
 }
@@ -171,12 +256,10 @@ func newEngine(g *graph.Graph, cfg Config, m *attr.Metric, core []int32) (*Engin
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		g:      g,
-		metric: m,
-		cfg:    cfg,
-		core:   core,
-		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxConcurrent),
 	}
+	e.st.Store(&engState{g: g, metric: m, core: core})
 	e.dists = newShardedLRU[graph.NodeID, []float64](
 		cfg.DistCacheSize, cfg.CacheShards,
 		func(q graph.NodeID) uint64 { return fnvMix(fnvOffset, uint64(q)) })
@@ -185,14 +268,20 @@ func newEngine(g *graph.Graph, cfg Config, m *attr.Metric, core []int32) (*Engin
 	return e, nil
 }
 
-// Graph returns the graph the engine serves.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the graph the engine currently serves. Across a concurrent
+// Apply, successive calls may return different (individually immutable)
+// graphs; hold the returned pointer for one consistent view.
+func (e *Engine) Graph() *graph.Graph { return e.st.Load().g }
 
-// Metric returns the shared attribute metric.
-func (e *Engine) Metric() *attr.Metric { return e.metric }
+// Metric returns the shared attribute metric of the current graph.
+func (e *Engine) Metric() *attr.Metric { return e.st.Load().metric }
 
-// Coreness returns the precomputed coreness of q.
-func (e *Engine) Coreness(q graph.NodeID) int32 { return e.core[q] }
+// Coreness returns the precomputed coreness of q on the current graph.
+func (e *Engine) Coreness(q graph.NodeID) int32 { return e.st.Load().core[q] }
+
+// Version returns the graph generation: 0 for the mounted graph, +1 per
+// applied mutation batch.
+func (e *Engine) Version() uint64 { return e.st.Load().version }
 
 // Query runs one community-search request with whatever method it names,
 // serving from the result cache, the shared admission index, or a (possibly
@@ -246,6 +335,10 @@ func (e *Engine) SearchWithMetrics(ctx context.Context, q graph.NodeID, opts sea
 
 func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics) (*query.Outcome, error) {
 	e.ctr.queries.Add(1)
+	// One state load per request: the graph, the metric and the admission
+	// indexes all come from this generation even if a mutation lands
+	// mid-request.
+	st := e.st.Load()
 	// Cache first, validation after: only validated requests ever land in
 	// the cache, so a hit proves validity and the hot path skips the
 	// Validate/Options projection entirely; anything malformed misses and
@@ -257,8 +350,8 @@ func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics)
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	if int(req.Query) < 0 || int(req.Query) >= e.g.NumNodes() {
-		return nil, fmt.Errorf("%w: node %d, graph [0,%d)", ErrQueryOutOfRange, req.Query, e.g.NumNodes())
+	if int(req.Query) < 0 || int(req.Query) >= st.g.NumNodes() {
+		return nil, fmt.Errorf("%w: node %d, graph [0,%d)", ErrQueryOutOfRange, req.Query, st.g.NumNodes())
 	}
 	if e.cfg.RequestTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -272,7 +365,7 @@ func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics)
 	// Every registered method returns a connected k-core or k-truss around
 	// the query node, so the check is method-agnostic.
 	ti := time.Now()
-	admitted := e.admit(req.Query, req.K, req.Model)
+	admitted := admit(st, req.Query, req.K, req.Model)
 	qm.IndexNS = time.Since(ti).Nanoseconds()
 	if !admitted {
 		qm.IndexHit = true
@@ -280,8 +373,8 @@ func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics)
 		return nil, cserr.ErrNoCommunity
 	}
 
-	out, err, joined := e.flight.do(ctx, req, func(cctx context.Context) (*searchOutcome, error) {
-		return e.compute(cctx, req), nil
+	out, err, joined := e.flight.do(ctx, flightKey{req, st.version}, func(cctx context.Context) (*searchOutcome, error) {
+		return e.compute(cctx, st, req), nil
 	})
 	if joined {
 		qm.Coalesced = true
@@ -295,10 +388,11 @@ func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics)
 }
 
 // compute performs the cache-miss path of one request under the concurrency
-// cap. ctx is the flight's computation context: it is cancelled when every
-// caller has abandoned the request, which stops the search loops and frees
-// the slot. Only error-free outcomes land in the cache.
-func (e *Engine) compute(ctx context.Context, req query.Request) *searchOutcome {
+// cap, against one fixed state generation. ctx is the flight's computation
+// context: it is cancelled when every caller has abandoned the request,
+// which stops the search loops and frees the slot. Only error-free outcomes
+// land in the cache, and only when no mutation intervened (fill fence).
+func (e *Engine) compute(ctx context.Context, st *engState, req query.Request) *searchOutcome {
 	out := &searchOutcome{}
 	select {
 	case e.sem <- struct{}{}:
@@ -309,32 +403,46 @@ func (e *Engine) compute(ctx context.Context, req query.Request) *searchOutcome 
 	defer func() { <-e.sem }()
 
 	td := time.Now()
-	dist, hit := e.queryDist(req.Query)
+	dist, hit := e.queryDist(st, req.Query)
 	out.distHit = hit
 	out.distNS = time.Since(td).Nanoseconds()
 
 	ts := time.Now()
 	e.ctr.searchRuns.Add(1)
-	res, err := query.Run(ctx, e.g, e.metric, dist, req)
+	res, err := query.Run(ctx, st.g, st.metric, dist, req)
 	out.searchNS = time.Since(ts).Nanoseconds()
 	out.out, out.err = res, err
 	if err == nil {
-		e.results.put(req, res)
+		e.fill(st, func() { e.results.put(req, res) })
 	}
 	return out
 }
 
+// fill runs a cache insertion for a value computed against st, unless a
+// mutation has been applied since st was current. The read-lock pairs with
+// Apply's write-locked epoch bump: a fill is either fully visible to the
+// mutation's scoped sweep or skips itself, so stale entries can never
+// outlive the sweep.
+func (e *Engine) fill(st *engState, put func()) {
+	e.pubMu.RLock()
+	if e.epoch.Load() == st.version {
+		put()
+	}
+	e.pubMu.RUnlock()
+}
+
 // queryDist returns the f(·,q) vector from the distance cache, computing and
-// caching it (single-flight per q) on a miss. hit reports a cache hit. The
-// computation is brief and always completes, so it runs detached from
-// request contexts and warms the cache even for abandoned requests.
-func (e *Engine) queryDist(q graph.NodeID) (dist []float64, hit bool) {
-	if d, ok := e.dists.get(q); ok {
+// caching it (single-flight per q and generation) on a miss. hit reports a
+// cache hit. The computation is brief and always completes, so it runs
+// detached from request contexts and warms the cache even for abandoned
+// requests — unless a mutation intervened (fill fence).
+func (e *Engine) queryDist(st *engState, q graph.NodeID) (dist []float64, hit bool) {
+	if d, ok := e.dists.get(q); ok && len(d) >= st.g.NumNodes() {
 		return d, true
 	}
-	d, _, _ := e.dflight.do(context.Background(), q, func(context.Context) ([]float64, error) {
-		d := e.metric.QueryDist(q)
-		e.dists.put(q, d)
+	d, _, _ := e.dflight.do(context.Background(), distKey{q, st.version}, func(context.Context) ([]float64, error) {
+		d := st.metric.QueryDist(q)
+		e.fill(st, func() { e.dists.put(q, d) })
 		return d, nil
 	})
 	return d, false
@@ -345,33 +453,11 @@ func (e *Engine) queryDist(q graph.NodeID) (dist []float64, hit bool) {
 // definitive: any method would return ErrNoCommunity. (A k-core or k-truss
 // of any induced subgraph is one of g itself, so a full-graph rejection
 // covers every sample too.)
-func (e *Engine) admit(q graph.NodeID, k int, model sea.Model) bool {
+func admit(st *engState, q graph.NodeID, k int, model sea.Model) bool {
 	switch model {
 	case sea.KTruss:
-		return int(e.nodeTruss()[q]) >= k
+		return int(st.nodeTruss()[q]) >= k
 	default:
-		return int(e.core[q]) >= k
+		return int(st.core[q]) >= k
 	}
-}
-
-// nodeTruss lazily builds the truss-level index: for each node the maximum
-// trussness over its incident edges, i.e. the largest k for which the node
-// belongs to some k-truss.
-func (e *Engine) nodeTruss() []int32 {
-	e.trussOnce.Do(func() {
-		ix, tr := truss.Decompose(e.g)
-		nt := make([]int32, e.g.NumNodes())
-		for eid := range tr {
-			if t := tr[eid]; t > 0 {
-				if u := ix.U[eid]; t > nt[u] {
-					nt[u] = t
-				}
-				if v := ix.V[eid]; t > nt[v] {
-					nt[v] = t
-				}
-			}
-		}
-		e.truss = nt
-	})
-	return e.truss
 }

@@ -177,7 +177,7 @@ func TestEngineIndexReject(t *testing.T) {
 	// Same for the truss-level index.
 	topts := opts
 	topts.Model = sea.KTruss
-	topts.K = int(e.nodeTruss()[q]) + 1
+	topts.K = int(e.st.Load().nodeTruss()[q]) + 1
 	_, qm, err = e.SearchWithMetrics(ctx, q, topts)
 	if !errors.Is(err, sea.ErrNoCommunity) || !qm.IndexHit {
 		t.Fatalf("truss reject: err=%v metrics=%+v", err, qm)
@@ -192,7 +192,7 @@ func TestEngineCoalescing(t *testing.T) {
 	cfg.MaxConcurrent = 1
 	e, _, q := testEngine(t, cfg)
 	opts := testOpts()
-	key := query.FromOptions(q, opts).WithDefaults()
+	key := flightKey{req: query.FromOptions(q, opts).WithDefaults(), version: e.Version()}
 
 	e.sem <- struct{}{} // block the compute path behind the concurrency cap
 

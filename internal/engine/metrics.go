@@ -62,6 +62,12 @@ type counters struct {
 	coalesced    atomic.Uint64
 	indexRejects atomic.Uint64
 	errors       atomic.Uint64
+
+	mutations          atomic.Uint64
+	deltas             atomic.Uint64
+	resultInvalidation atomic.Uint64
+	distInvalidation   atomic.Uint64
+	distExtended       atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's aggregate state,
@@ -82,16 +88,33 @@ type Stats struct {
 	DistMisses    uint64 `json:"dist_misses"`
 	DistEvictions uint64 `json:"dist_evictions"`
 	DistEntries   int    `json:"dist_entries"`
+
+	// Live-update counters: applied mutation batches/deltas, the current
+	// graph generation, and the scoped-invalidation tallies — cache entries
+	// dropped because their query node fell in a mutation's affected
+	// region, and distance vectors extended in place for appended nodes.
+	Mutations           uint64 `json:"mutations"`
+	DeltasApplied       uint64 `json:"deltas_applied"`
+	GraphVersion        uint64 `json:"graph_version"`
+	ResultInvalidations uint64 `json:"result_invalidations"`
+	DistInvalidations   uint64 `json:"dist_invalidations"`
+	DistExtensions      uint64 `json:"dist_extensions"`
 }
 
 // Stats returns a snapshot of the engine's counters and cache occupancy.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Queries:      e.ctr.queries.Load(),
-		SearchRuns:   e.ctr.searchRuns.Load(),
-		Coalesced:    e.ctr.coalesced.Load(),
-		IndexRejects: e.ctr.indexRejects.Load(),
-		Errors:       e.ctr.errors.Load(),
+		Queries:             e.ctr.queries.Load(),
+		SearchRuns:          e.ctr.searchRuns.Load(),
+		Coalesced:           e.ctr.coalesced.Load(),
+		IndexRejects:        e.ctr.indexRejects.Load(),
+		Errors:              e.ctr.errors.Load(),
+		Mutations:           e.ctr.mutations.Load(),
+		DeltasApplied:       e.ctr.deltas.Load(),
+		GraphVersion:        e.Version(),
+		ResultInvalidations: e.ctr.resultInvalidation.Load(),
+		DistInvalidations:   e.ctr.distInvalidation.Load(),
+		DistExtensions:      e.ctr.distExtended.Load(),
 	}
 	s.ResultHits, s.ResultMisses, s.ResultEvictions, s.ResultEntries = e.results.stats()
 	s.DistHits, s.DistMisses, s.DistEvictions, s.DistEntries = e.dists.stats()

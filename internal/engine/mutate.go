@@ -1,0 +1,268 @@
+package engine
+
+// Live graph updates. Apply folds a batch of mutate.Deltas into the serving
+// state without a reload or an engine hot-swap:
+//
+//  1. a mutate.Session accumulates the deltas in a graph.Overlay and
+//     maintains the coreness and per-edge trussness indexes incrementally
+//     (bounded re-computation over the affected scope, never the graph);
+//  2. the overlay materializes into a fresh immutable CSR graph and the
+//     metric is rebound to it, keeping the mounted normalizer table;
+//  3. cache fills from pre-mutation computations are fenced off (epoch
+//     bump), then the caches are swept with *scoped* invalidation: an entry
+//     is dropped only if its query node lies in the mutation's affected
+//     region, everything else stays warm;
+//  4. the new state publishes with one atomic pointer store; in-flight
+//     queries finish on the generation they loaded at entry.
+//
+// The affected region of a result entry (q, k, model) is sound by
+// construction: an outcome can change only if the maximal connected
+// k-core/k-truss around q (before or after the mutation) contains a touched
+// node — a mutation endpoint, an index-changed node, or an attribute-changed
+// node. The sweep reaches exactly the nodes connected to the touched set
+// through nodes whose index level (max of old and new) is ≥ k, in the union
+// of the old and new adjacencies, which covers both sides conservatively.
+// Distance vectors depend only on attributes, so structural mutations leave
+// the whole distance cache warm; an attribute change invalidates only the
+// vectors of queries connected to the changed node (a disconnected q can
+// never read the stale entry), and appended nodes extend surviving vectors
+// copy-on-write instead of dropping them.
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/cserr"
+	"repro/internal/graph"
+	"repro/internal/mutate"
+	"repro/internal/query"
+	"repro/internal/sea"
+	"repro/internal/truss"
+)
+
+// ApplyResult reports what one mutation batch did.
+type ApplyResult struct {
+	// Applied is the number of deltas folded in (all of them: a batch is
+	// all-or-nothing).
+	Applied int `json:"applied"`
+	// NewNodes lists the IDs assigned to add_node deltas, in batch order.
+	NewNodes []graph.NodeID `json:"new_nodes,omitempty"`
+	// Version is the graph generation after the batch.
+	Version uint64 `json:"version"`
+	// Nodes/Edges describe the post-mutation graph.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// ResultsInvalidated / DistsInvalidated count cache entries dropped by
+	// the scoped sweep; DistsExtended counts distance vectors grown in
+	// place for appended nodes.
+	ResultsInvalidated int `json:"results_invalidated"`
+	DistsInvalidated   int `json:"dists_invalidated"`
+	DistsExtended      int `json:"dists_extended"`
+}
+
+// Apply folds one batch of deltas into the serving state, maintaining the
+// admission indexes incrementally and invalidating only the cache entries
+// whose query node falls in the affected region. The batch is
+// all-or-nothing: on error nothing changes and the error wraps
+// cserr.ErrInvalidRequest. Apply serializes with other Apply calls; queries
+// proceed concurrently throughout.
+func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
+	if len(deltas) == 0 {
+		return nil, cserr.Invalidf("engine: empty mutation batch")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.st.Load()
+
+	// Seed the per-edge trussness table the first time a mutation arrives
+	// after the node-truss index exists; from then on it is maintained
+	// incrementally. While the node index has never been built (no k-truss
+	// query yet), maintenance is skipped and the new state rebuilds lazily.
+	oldTruss := old.trussPeek()
+	if oldTruss != nil && e.etruss == nil {
+		e.etruss = edgeTrussTable(old.g)
+	}
+
+	sess := mutate.NewSession(old.g, old.core, e.etruss)
+	for i, d := range deltas {
+		if err := sess.Apply(d); err != nil {
+			sess.Rollback()
+			return nil, fmt.Errorf("delta %d: %w", i, err)
+		}
+	}
+
+	newG := sess.Materialize()
+	m, err := attr.NewMetricWithNormalizer(newG, old.metric.Gamma(), old.metric.Normalizer())
+	if err != nil {
+		sess.Rollback()
+		return nil, err
+	}
+	st := &engState{g: newG, metric: m, core: sess.Core(), version: old.version + 1}
+	if nt := sess.NodeTruss(oldTruss); nt != nil {
+		st.adoptTruss(nt)
+	}
+
+	// Fence: the write-locked bump waits out in-flight cache fills and
+	// makes every later fill observe the new epoch (and skip itself, since
+	// it computed against the old state) — so the sweep below removes every
+	// stale entry for good.
+	e.pubMu.Lock()
+	e.epoch.Add(1)
+	e.pubMu.Unlock()
+	res := &ApplyResult{
+		Applied:  sess.Applied(),
+		NewNodes: sess.NewNodes(),
+		Version:  st.version,
+		Nodes:    newG.NumNodes(),
+		Edges:    newG.NumEdges(),
+	}
+	res.ResultsInvalidated, res.DistsInvalidated, res.DistsExtended = e.invalidateScoped(old, st, sess)
+	e.st.Store(st)
+
+	e.ctr.mutations.Add(1)
+	e.ctr.deltas.Add(uint64(sess.Applied()))
+	e.ctr.resultInvalidation.Add(uint64(res.ResultsInvalidated))
+	e.ctr.distInvalidation.Add(uint64(res.DistsInvalidated))
+	e.ctr.distExtended.Add(uint64(res.DistsExtended))
+	return res, nil
+}
+
+// edgeTrussTable runs one full truss decomposition and keys it by endpoint
+// pair, the persistent form the incremental maintenance works on.
+func edgeTrussTable(g *graph.Graph) map[mutate.Edge]int32 {
+	ix, tr := truss.Decompose(g)
+	out := make(map[mutate.Edge]int32, ix.NumEdges())
+	for e := range tr {
+		out[mutate.EdgeOf(ix.U[e], ix.V[e])] = tr[e]
+	}
+	return out
+}
+
+// invalidateScoped sweeps both caches against the mutation's affected
+// region; see the file comment for the soundness argument.
+func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (results, dists, extended int) {
+	structural := sess.StructuralNodes()
+	attrNodes := sess.AttrNodes()
+	touched := make([]graph.NodeID, 0, len(structural)+len(attrNodes))
+	touched = append(touched, structural...)
+	touched = append(touched, attrNodes...)
+	oldN, newN := old.g.NumNodes(), new.g.NumNodes()
+	oldTruss, newTruss := old.trussPeek(), new.trussPeek()
+
+	// expandRegion grows region from the seeds over the union of old and
+	// new adjacencies, entering a node only when level(v) ≥ k and expanding
+	// only through entered nodes.
+	expandRegion := func(seeds []graph.NodeID, level func(graph.NodeID) int32, k int) map[graph.NodeID]bool {
+		region := make(map[graph.NodeID]bool, len(seeds))
+		queue := make([]graph.NodeID, 0, len(seeds))
+		for _, t := range seeds {
+			if !region[t] {
+				region[t] = true
+				queue = append(queue, t)
+			}
+		}
+		for i := 0; i < len(queue); i++ {
+			x := queue[i]
+			if int(level(x)) < k {
+				continue // in the region, but no level-k path runs through it
+			}
+			visit := func(ns []graph.NodeID) {
+				for _, w := range ns {
+					if !region[w] && int(level(w)) >= k {
+						region[w] = true
+						queue = append(queue, w)
+					}
+				}
+			}
+			if int(x) < oldN {
+				visit(old.g.Neighbors(x))
+			}
+			if int(x) < newN {
+				visit(new.g.Neighbors(x))
+			}
+		}
+		return region
+	}
+	coreLevel := func(v graph.NodeID) int32 {
+		l := new.core[v]
+		if int(v) < oldN && old.core[v] > l {
+			l = old.core[v]
+		}
+		return l
+	}
+	trussLevel := func(v graph.NodeID) int32 {
+		var l int32
+		if int(v) < len(newTruss) {
+			l = newTruss[v]
+		}
+		if int(v) < len(oldTruss) && oldTruss[v] > l {
+			l = oldTruss[v]
+		}
+		return l
+	}
+
+	type regionKey struct {
+		model sea.Model
+		k     int
+	}
+	regions := make(map[regionKey]map[graph.NodeID]bool)
+	regionFor := func(model sea.Model, k int) map[graph.NodeID]bool {
+		rk := regionKey{model, k}
+		if r, ok := regions[rk]; ok {
+			return r
+		}
+		level := coreLevel
+		if model == sea.KTruss {
+			level = trussLevel
+		}
+		r := expandRegion(touched, level, k)
+		regions[rk] = r
+		return r
+	}
+
+	results, _ = e.results.sweep(func(req query.Request, _ *query.Outcome) (*query.Outcome, sweepAction) {
+		if req.Model == sea.KTruss && (oldTruss == nil || newTruss == nil) {
+			// No truss index on one side means no scoped region can be
+			// proven for the entry; drop it conservatively. (Reachable only
+			// when k-truss results were cached against an index a reload
+			// discarded — a mutation itself never unbuilds the index.)
+			return nil, sweepDrop
+		}
+		if regionFor(req.Model, req.K)[req.Query] {
+			return nil, sweepDrop
+		}
+		return nil, sweepKeep
+	})
+
+	// Distance vectors depend only on attributes: a structural mutation
+	// invalidates none of them. An attribute change invalidates the vectors
+	// of queries connected to a changed node (level 0 = plain reachability
+	// in either graph). Appended nodes are excluded from the seeds: no
+	// existing vector can hold a stale entry for a node that did not exist,
+	// so they only extend surviving vectors in place.
+	attrSeeds := make([]graph.NodeID, 0, len(attrNodes))
+	for _, v := range attrNodes {
+		if int(v) < oldN {
+			attrSeeds = append(attrSeeds, v)
+		}
+	}
+	var attrRegion map[graph.NodeID]bool
+	if len(attrSeeds) > 0 {
+		attrRegion = expandRegion(attrSeeds, func(graph.NodeID) int32 { return 1 }, 0)
+	}
+	dists, extended = e.dists.sweep(func(q graph.NodeID, vec []float64) ([]float64, sweepAction) {
+		if attrRegion[q] {
+			return nil, sweepDrop
+		}
+		if len(vec) < newN {
+			grown := make([]float64, newN)
+			copy(grown, vec)
+			for v := len(vec); v < newN; v++ {
+				grown[v] = new.metric.Distance(graph.NodeID(v), q)
+			}
+			return grown, sweepReplace
+		}
+		return nil, sweepKeep
+	})
+	return results, dists, extended
+}

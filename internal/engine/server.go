@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -103,13 +104,16 @@ type errorResponse struct {
 }
 
 // StatusFor maps the unified error taxonomy to HTTP statuses: invalid
-// requests → 400, provable absence and unknown datasets → 404,
-// interruptions → 408, unreadable snapshots → 422, exhausted budgets still
-// carry a best-so-far community → 200 with Err set.
+// requests → 400, oversized request bodies → 413, provable absence and
+// unknown datasets → 404, interruptions → 408, unreadable snapshots → 422,
+// exhausted budgets still carry a best-so-far community → 200 with Err set.
 func StatusFor(err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
 	case err == nil, errors.Is(err, cserr.ErrBudgetExhausted):
 		return http.StatusOK
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, cserr.ErrInvalidRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, cserr.ErrNoCommunity), errors.Is(err, cserr.ErrUnknownGraph):
@@ -333,10 +337,12 @@ func NewResolverHandler(resolve Resolver) *http.ServeMux {
 			WriteError(w, StatusFor(err), err)
 			return
 		}
+		g := e.Graph()
 		WriteJSON(w, http.StatusOK, map[string]any{
 			"status":  "ok",
-			"nodes":   e.Graph().NumNodes(),
-			"edges":   e.Graph().NumEdges(),
+			"nodes":   g.NumNodes(),
+			"edges":   g.NumEdges(),
+			"version": e.Version(),
 			"methods": query.MethodNames(),
 		})
 	})
@@ -369,15 +375,41 @@ func decodeWire(w http.ResponseWriter, r *http.Request, allowed ...string) (wire
 			return wire, false
 		}
 	default:
-		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
-			if !errors.Is(err, cserr.ErrInvalidRequest) {
-				err = cserr.Invalidf("bad request body: %v", err)
-			}
-			WriteError(w, http.StatusBadRequest, err)
+		if err := DecodeJSONBody(w, r, &wire); err != nil {
+			WriteError(w, StatusFor(err), err)
 			return wire, false
 		}
 	}
 	return wire, true
+}
+
+// MaxBodyBytes caps every JSON request body this surface (and the
+// catalog's) reads; larger bodies answer 413 instead of buffering
+// unboundedly.
+const MaxBodyBytes = 1 << 20
+
+// DecodeJSONBody decodes r's JSON body into v under the MaxBodyBytes cap,
+// rejecting trailing garbage after the JSON value. Errors map through
+// StatusFor: an overlong body to 413, anything else malformed to 400.
+func DecodeJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return tooBig
+		}
+		if errors.Is(err, cserr.ErrInvalidRequest) {
+			return err
+		}
+		return cserr.Invalidf("bad request body: %v", err)
+	}
+	// A conforming body is exactly one JSON value; trailing non-whitespace
+	// is a malformed request, not ignorable padding.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return cserr.Invalidf("trailing data after JSON request body")
+	}
+	return nil
 }
 
 // wireFromQuery fills wire from URL query parameters (GET endpoints).

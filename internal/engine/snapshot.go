@@ -15,25 +15,33 @@ import (
 	"repro/internal/store"
 )
 
-// ExportIndex flattens the engine's precomputed state into a store.Index.
-// The truss-level index is built first if it was not already, so snapshots
-// always carry the complete admission state. The returned slices alias the
-// engine's own and must not be modified.
-func (e *Engine) ExportIndex() *store.Index {
-	min, max := e.metric.Normalizer().Bounds()
+// exportIndex flattens one state generation into a store.Index, building
+// the truss-level index first if it was not already so snapshots always
+// carry the complete admission state.
+func exportIndex(st *engState) *store.Index {
+	min, max := st.metric.Normalizer().Bounds()
 	return &store.Index{
-		Coreness:  e.core,
-		NodeTruss: e.nodeTruss(),
+		Coreness:  st.core,
+		NodeTruss: st.nodeTruss(),
 		NormMin:   min,
 		NormMax:   max,
 	}
 }
 
-// WriteSnapshot serializes the engine's graph and precomputed index to w in
-// the store snapshot format. Reopening it with NewFromSnapshot yields an
-// engine that answers every request identically to this one.
+// ExportIndex flattens the engine's precomputed state into a store.Index.
+// The returned slices alias the engine's own and must not be modified.
+func (e *Engine) ExportIndex() *store.Index {
+	return exportIndex(e.st.Load())
+}
+
+// WriteSnapshot serializes the engine's current graph and precomputed index
+// to w in the store snapshot format. Reopening it with NewFromSnapshot
+// yields an engine that answers every request identically to this one. The
+// state is captured atomically: a concurrent mutation lands either entirely
+// before or entirely after the written snapshot.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
-	return store.Write(w, e.g, e.ExportIndex())
+	st := e.st.Load()
+	return store.Write(w, st.g, exportIndex(st))
 }
 
 // NewFromSnapshot builds an Engine directly from a reopened snapshot: the
@@ -77,10 +85,10 @@ func NewFromIndex(g *graph.Graph, cfg Config, idx *store.Index) (*Engine, error)
 		return nil, err
 	}
 	if idx.NodeTruss != nil {
-		e.trussOnce.Do(func() { e.truss = idx.NodeTruss })
+		e.st.Load().adoptTruss(idx.NodeTruss)
 	}
 	if cfg.EagerTruss {
-		e.nodeTruss()
+		e.st.Load().nodeTruss()
 	}
 	return e, nil
 }

@@ -148,6 +148,12 @@ func (o Options) Validate() error {
 	if o.Beta <= 0 || o.Beta >= 1 {
 		return cserr.Invalidf("sea: Beta %v outside (0,1)", o.Beta)
 	}
+	// Negative bounds are rejected outright — a negative SizeLo or SizeHi
+	// with the other side zero previously slipped past the bounded-range
+	// check below and silently behaved as "unbounded".
+	if o.SizeLo < 0 || o.SizeHi < 0 {
+		return cserr.Invalidf("sea: size bound [%d,%d] negative", o.SizeLo, o.SizeHi)
+	}
 	if o.SizeHi > 0 && (o.SizeLo < 1 || o.SizeLo > o.SizeHi) {
 		return cserr.Invalidf("sea: size bound [%d,%d] invalid", o.SizeLo, o.SizeHi)
 	}

@@ -1,0 +1,263 @@
+package store
+
+// Write-ahead mutation journal. A Journal is the durability companion of a
+// packed snapshot: every mutation batch the serving layer accepts is
+// appended (and synced) before the call returns, and a restarting process
+// replays the journal on top of the last snapshot to reconstruct the exact
+// live state. Compaction writes a fresh snapshot carrying the folded-in
+// deltas and resets the journal to empty.
+//
+// # Format (version 1)
+//
+//	magic    [8]byte  "SEAJRNL\x00"
+//	version  uint32   currently 1
+//	records:
+//	  seq    uint64   1-based batch sequence number, strictly increasing
+//	  len    uint32   payload byte length
+//	  payload []byte  JSON array of mutate.Delta
+//	  crc    uint32   CRC-32 (Castagnoli) of seq+len+payload
+//
+// Records are self-checking: Open replays until the first short or
+// corrupted record, truncates the file there (a torn tail from a crashed
+// writer), and resumes appending after it. A journal whose header is
+// unreadable reports cserr.ErrSnapshotCorrupt rather than silently starting
+// over.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cserr"
+	"repro/internal/mutate"
+)
+
+// JournalVersion is the journal format version this build reads and writes.
+const JournalVersion = 1
+
+var journalMagic = [8]byte{'S', 'E', 'A', 'J', 'R', 'N', 'L', 0}
+
+const journalHeaderLen = 12 // magic + version
+
+// JournalBatch is one replayed mutation batch.
+type JournalBatch struct {
+	Seq    uint64
+	Deltas []mutate.Delta
+}
+
+// Journal is an append-only write-ahead log of mutation batches. It is not
+// safe for concurrent use; the catalog serializes appends per dataset.
+type Journal struct {
+	f       *os.File
+	path    string
+	seq     uint64 // last sequence number written or replayed
+	batches int    // batches appended since the last reset (replay included)
+	off     int64  // end offset of the last durable record
+}
+
+// OpenJournal opens (or creates) the journal at path and replays its
+// records. A torn or corrupted tail — the residue of a crash mid-append —
+// is truncated away; the replayed prefix is returned for the caller to
+// re-apply on top of its snapshot.
+func OpenJournal(path string) (*Journal, []JournalBatch, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		j.off = journalHeaderLen
+		return j, nil, nil
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(data) < journalHeaderLen {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %s: %d bytes is shorter than a journal header",
+			cserr.ErrSnapshotCorrupt, path, len(data))
+	}
+	var head [8]byte
+	copy(head[:], data)
+	if head != journalMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %s is not a mutation journal", cserr.ErrSnapshotVersion, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != JournalVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %s: journal version %d, this build reads %d",
+			cserr.ErrSnapshotVersion, path, v, JournalVersion)
+	}
+
+	var batches []JournalBatch
+	off := journalHeaderLen
+	good := off
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 12 {
+			break // torn tail
+		}
+		seq := binary.LittleEndian.Uint64(rest[:8])
+		plen := int(binary.LittleEndian.Uint32(rest[8:12]))
+		if plen < 0 || len(rest) < 12+plen+4 {
+			break // torn tail
+		}
+		sum := crc32.Checksum(rest[:12+plen], castagnoli)
+		if sum != binary.LittleEndian.Uint32(rest[12+plen:12+plen+4]) {
+			break // corrupted record: stop replay here
+		}
+		var deltas []mutate.Delta
+		if err := json.Unmarshal(rest[12:12+plen], &deltas); err != nil {
+			break // undecodable payload despite the checksum: treat as tail
+		}
+		if seq != j.seq+1 {
+			break // sequence gap: a truncated-then-reused file; stop
+		}
+		j.seq = seq
+		batches = append(batches, JournalBatch{Seq: seq, Deltas: deltas})
+		off += 12 + plen + 4
+		good = off
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j.batches = len(batches)
+	j.off = int64(good)
+	return j, batches, nil
+}
+
+func (j *Journal) writeHeader() error {
+	var hdr [journalHeaderLen]byte
+	copy(hdr[:], journalMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], JournalVersion)
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Append writes one mutation batch and syncs it to stable storage before
+// returning its sequence number. A failed append (short write, ENOSPC)
+// truncates the file back to the last durable record, so a later
+// successful append can never land after torn garbage that replay would
+// stop at — an acknowledged batch is never silently discarded at boot.
+func (j *Journal) Append(deltas []mutate.Delta) (uint64, error) {
+	if len(deltas) == 0 {
+		return 0, cserr.Invalidf("journal: empty mutation batch")
+	}
+	payload, err := json.Marshal(deltas)
+	if err != nil {
+		return 0, err
+	}
+	seq := j.seq + 1
+	rec := make([]byte, 12+len(payload)+4)
+	binary.LittleEndian.PutUint64(rec[:8], seq)
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
+	copy(rec[12:], payload)
+	binary.LittleEndian.PutUint32(rec[12+len(payload):], crc32.Checksum(rec[:12+len(payload)], castagnoli))
+	rewind := func(err error) (uint64, error) {
+		if terr := j.f.Truncate(j.off); terr == nil {
+			j.f.Seek(j.off, io.SeekStart)
+		}
+		return 0, err
+	}
+	if _, err := j.f.Write(rec); err != nil {
+		return rewind(err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return rewind(err)
+	}
+	j.seq = seq
+	j.batches++
+	j.off += int64(len(rec))
+	return seq, nil
+}
+
+// Batches returns the number of batches the journal currently holds.
+func (j *Journal) Batches() int { return j.batches }
+
+// Seq returns the last written sequence number (0 for an empty journal).
+func (j *Journal) Seq() uint64 { return j.seq }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Reset empties the journal after a compaction has folded its batches into
+// a snapshot. The sequence numbering restarts.
+func (j *Journal) Reset() error {
+	if err := j.f.Truncate(journalHeaderLen); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(journalHeaderLen, io.SeekStart); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.seq = 0
+	j.batches = 0
+	j.off = journalHeaderLen
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// AtomicWriteFile streams write's output to a temp file in path's directory
+// and renames it into place only on success, so rewriting over an existing
+// good file can never destroy it. It returns the written size. It is the
+// write discipline behind snapshot packing and journal compaction.
+func AtomicWriteFile(path string, write func(io.Writer) error) (int64, error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# End-to-end live-update smoke: boot seaserve on a journaled snapshot, apply
+# a mutation batch over HTTP, verify the new edge shows up in /search with
+# zero engine hot-swaps, compact the journal, drain the server with SIGTERM
+# (exit 0 required), reboot from the compacted snapshot and verify the same
+# request answers byte-identically.
+#
+# Expects: $SMOKE_DIR containing datagen/seacli/seaserve binaries plus
+# fb.snap (packed snapshot). Port: $SMOKE_PORT (default 8972).
+set -eu
+
+DIR=${SMOKE_DIR:?set SMOKE_DIR to the directory with binaries and fb.snap}
+PORT=${SMOKE_PORT:-8972}
+BASE="http://127.0.0.1:$PORT"
+
+wait_up() {
+  for _ in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "mutation-smoke: server did not come up" >&2
+  return 1
+}
+
+"$DIR/seaserve" -snapshot "$DIR/fb.snap" -journal "$DIR/fb.journal" \
+  -name fb -addr "127.0.0.1:$PORT" &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+wait_up
+
+# Append a fresh node X (ID = current node count) and wire it to nodes 0
+# and 1: a structural query at X fails before the mutation (X is not a node
+# yet) and succeeds after, proving live visibility without any reload.
+X=$(curl -sf "$BASE/healthz" | grep -o '"nodes":[0-9]*' | grep -o '[0-9]*')
+Q="{\"q\":$X,\"method\":\"structural\",\"k\":1}"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/search" -d "$Q")
+[ "$CODE" = 400 ] || { echo "mutation-smoke: pre-mutation search on node $X gave $CODE, want 400" >&2; exit 1; }
+
+curl -sf -X POST "$BASE/admin/mutate" -d \
+  "{\"graph\":\"fb\",\"deltas\":[{\"op\":\"add_node\",\"text\":[\"smoke\"]},{\"op\":\"add_edge\",\"u\":$X,\"v\":0},{\"op\":\"add_edge\",\"u\":$X,\"v\":1}]}" \
+  | tee "$DIR/mutate.json"
+echo
+grep -q "\"new_nodes\":\[$X\]" "$DIR/mutate.json"
+grep -q '"version":1' "$DIR/mutate.json"
+
+# Mutation visible, and with zero hot-swaps (swaps stays 0, version is 1).
+curl -sf -X POST "$BASE/search" -d "$Q" >"$DIR/live.json"
+grep -q "\"query\":$X" "$DIR/live.json"
+curl -sf "$BASE/graphs" | grep -q '"swaps":0'
+curl -sf "$BASE/healthz" | grep -q '"version":1'
+
+# Fold the journal into the snapshot.
+curl -sf -X POST "$BASE/admin/compact" -d '{"graph":"fb"}' | grep -q '"batches_folded":1'
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM $PID
+wait $PID || { echo "mutation-smoke: seaserve exited non-zero on SIGTERM" >&2; exit 1; }
+trap - EXIT
+
+# Reboot from the compacted snapshot: nothing to replay, identical answer.
+"$DIR/seaserve" -snapshot "$DIR/fb.snap" -journal "$DIR/fb.journal" \
+  -name fb -addr "127.0.0.1:$PORT" &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+wait_up
+curl -sf -X POST "$BASE/search" -d "$Q" >"$DIR/reboot.json"
+kill -TERM $PID
+wait $PID || true
+trap - EXIT
+
+# Byte-identical re-query: same community, same delta, modulo the timing
+# fields — strip "metrics" before comparing.
+strip() { sed 's/"metrics":{[^}]*}//' "$1"; }
+if [ "$(strip "$DIR/live.json")" != "$(strip "$DIR/reboot.json")" ]; then
+  echo "mutation-smoke: live and post-compaction answers differ" >&2
+  diff "$DIR/live.json" "$DIR/reboot.json" >&2 || true
+  exit 1
+fi
+echo "mutation-smoke OK"
