@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke ci
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ bench-json:
 
 # Re-run the canonical configuration and print per-experiment wall-clock
 # ratios against the latest committed trajectory record.
-BENCH_BASE ?= BENCH_4.json
+BENCH_BASE ?= BENCH_6.json
 bench-compare:
 	$(GO) run ./cmd/seabench -scale 0.25 -queries 4 -compare $(BENCH_BASE)
 
@@ -82,4 +82,13 @@ mutation-smoke:
 	/tmp/sea-mut-smoke/seacli pack -load /tmp/sea-mut-smoke/fb.txt -out /tmp/sea-mut-smoke/fb.snap
 	SMOKE_DIR=/tmp/sea-mut-smoke sh scripts/mutation-smoke.sh
 
-ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke
+# End-to-end zero-copy serving smoke, mirroring the CI mmap-smoke job: pack
+# a compressed v2 snapshot, boot seaserve mapped, verify /graphs reports
+# mapped:true, /search and /admin/mutate work over the mapped base, and the
+# mapped boot wall-time stays flat across a 4× snapshot-size increase.
+mmap-smoke:
+	@rm -rf /tmp/sea-mmap-smoke && mkdir -p /tmp/sea-mmap-smoke
+	$(GO) build -o /tmp/sea-mmap-smoke/ ./cmd/...
+	SMOKE_DIR=/tmp/sea-mmap-smoke sh scripts/mmap-smoke.sh
+
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke

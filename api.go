@@ -29,6 +29,21 @@ type NodeID = graph.NodeID
 // Graph is an immutable undirected attributed graph in CSR form.
 type Graph = graph.Graph
 
+// Adjacency is read-only access to graph structure — the interface every
+// backing (heap CSR, zero-copy mapped snapshot, compressed adjacency,
+// mutation overlay) implements and every algorithm consumes.
+type Adjacency = graph.Adjacency
+
+// GraphStore is the full serving surface of an immutable graph backing:
+// positional CSR structure plus attribute columns. *Graph satisfies it, as
+// do the snapshot store's mapped and compressed backings.
+type GraphStore = graph.Store
+
+// CopyGraph materializes any GraphStore into a heap *Graph (a *Graph passes
+// through unchanged) — the export/compaction path for mapped and compressed
+// backings.
+func CopyGraph(s GraphStore) *Graph { return graph.CopyStore(s) }
+
 // GraphBuilder assembles a Graph; create one with NewGraphBuilder.
 type GraphBuilder = graph.Builder
 
@@ -289,6 +304,10 @@ func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
 // built lazily unless cfg.EagerTruss is set).
 func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) { return engine.New(g, cfg) }
 
+// NewEngineFromStore is NewEngine over any GraphStore backing — most
+// importantly a zero-copy mapped or compressed snapshot.
+func NewEngineFromStore(g GraphStore, cfg EngineConfig) (*Engine, error) { return engine.New(g, cfg) }
+
 // NewHTTPHandler returns the JSON serving surface of an Engine: /search
 // (one Request, any method), /batch (one Request spec over many query
 // nodes), /compare (one Request replayed through several methods side by
@@ -305,10 +324,43 @@ type Snapshot = store.Snapshot
 // indexes and the attribute-metric normalization table.
 type SnapshotIndex = store.Index
 
+// PackOptions selects the on-disk snapshot layout: the zero value writes the
+// legacy v1 stream, Align the mmap-ready aligned v2 section-table layout,
+// Compress the v2 layout with delta+varint compressed adjacency.
+type PackOptions = store.PackOptions
+
+// SnapshotInfo describes an on-disk snapshot without opening it: format
+// version, section layout, alignment/compression/index properties and size.
+// The zero value (Version 0) means "not a snapshot file".
+type SnapshotInfo = store.SnapshotInfo
+
+// MountedSnapshot is an opened serving backing plus the resources behind it
+// — for a mapped snapshot, the live memory mapping. Close it only when
+// nothing reaches the backing anymore.
+type MountedSnapshot = store.Mounted
+
 // WriteSnapshot serializes g and idx (which may be nil for a graph-only
 // snapshot) to w in the versioned, checksummed binary snapshot format of
 // internal/store. Engine.WriteSnapshot packs a serving engine's full state.
+// WriteSnapshotOpts selects the v2 aligned/compressed layouts.
 func WriteSnapshot(w io.Writer, g *Graph, idx *SnapshotIndex) error { return store.Write(w, g, idx) }
+
+// WriteSnapshotOpts is WriteSnapshot with an explicit layout choice.
+func WriteSnapshotOpts(w io.Writer, g *Graph, idx *SnapshotIndex, opt PackOptions) error {
+	return store.WriteSnapshot(w, g, idx, opt)
+}
+
+// OpenMappedSnapshot opens the snapshot at path for zero-copy serving: a v2
+// aligned snapshot maps read-only and serves straight from the page cache —
+// O(1) boot in the graph size — while a v1 snapshot or an mmap-less
+// platform falls back to a fully verified heap open (Mapped() reports
+// which).
+func OpenMappedSnapshot(path string) (*MountedSnapshot, error) { return store.OpenMapped(path) }
+
+// MountGraphFile is OpenGraphFile's zero-copy sibling: a v2 snapshot maps
+// read-only, a v1 snapshot heap-opens, anything else parses as the text
+// exchange format.
+func MountGraphFile(path string) (*MountedSnapshot, error) { return store.MountGraphFile(path) }
 
 // OpenSnapshot reads one snapshot, verifying version, checksum and
 // structure; the result is ready to serve with zero parsing or
@@ -319,9 +371,12 @@ func OpenSnapshot(r io.Reader) (*Snapshot, error) { return store.Open(r) }
 // OpenSnapshotFile opens the snapshot at path.
 func OpenSnapshotFile(path string) (*Snapshot, error) { return store.OpenFile(path) }
 
-// DetectSnapshotFile reports whether the file at path is a packed snapshot
-// (as opposed to the text exchange format).
-func DetectSnapshotFile(path string) (bool, error) { return store.DetectFile(path) }
+// DetectSnapshotFile inspects the file at path and describes what kind of
+// snapshot it is (format version, sections, alignment, compression, size),
+// reading only the header and section table. A file that is not a snapshot
+// — e.g. the text exchange format — returns the zero SnapshotInfo
+// (IsSnapshot() == false) with a nil error.
+func DetectSnapshotFile(path string) (SnapshotInfo, error) { return store.DetectFile(path) }
 
 // OpenGraphFile opens a graph file in either on-disk form, sniffing the
 // snapshot magic: a packed snapshot opens with its index, anything else
@@ -345,19 +400,33 @@ func WriteSnapshotFile(eng *Engine, path string) (int64, error) {
 	return store.AtomicWriteFile(path, eng.WriteSnapshot)
 }
 
+// WriteSnapshotFileOpts is WriteSnapshotFile with an explicit on-disk layout
+// (PackOptions{Align: true} for the mmap-ready v2 format, Compress for
+// delta+varint adjacency).
+func WriteSnapshotFileOpts(eng *Engine, path string, opt PackOptions) (int64, error) {
+	return store.AtomicWriteFile(path, func(w io.Writer) error {
+		return eng.WriteSnapshotOpts(w, opt)
+	})
+}
+
 // PackSnapshotFile builds the complete serving index over g (core, truss,
 // metric table) and writes the snapshot to path, returning the file size.
 // It is the one pack pipeline behind cmd/datagen -pack and cmd/seacli pack.
 // Snapshots are gamma-agnostic — the packed normalizer table does not
 // depend on the balance factor, which is chosen at serving time.
 func PackSnapshotFile(g *Graph, path string) (int64, error) {
+	return PackSnapshotFileOpts(g, path, PackOptions{})
+}
+
+// PackSnapshotFileOpts is PackSnapshotFile with an explicit on-disk layout.
+func PackSnapshotFileOpts(g *Graph, path string, opt PackOptions) (int64, error) {
 	cfg := DefaultEngineConfig()
 	cfg.EagerTruss = true
 	eng, err := NewEngine(g, cfg)
 	if err != nil {
 		return 0, err
 	}
-	return WriteSnapshotFile(eng, path)
+	return WriteSnapshotFileOpts(eng, path, opt)
 }
 
 // Mutation is one live graph delta — add_edge, remove_edge, add_node or

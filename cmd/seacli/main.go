@@ -231,13 +231,25 @@ func textOf(g *sealib.Graph, v sealib.NodeID) string {
 
 // loadGraphFile opens a graph file in either on-disk form (snapshot or
 // text), discarding any packed index — the one-shot query path rebuilds
-// only what it needs.
+// only what it needs. Snapshot files print their format description.
 func loadGraphFile(path string) (*sealib.Graph, error) {
+	info, err := sealib.DetectSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsSnapshot() {
+		fmt.Printf("%s: %s\n", path, info)
+	}
 	snap, err := sealib.OpenGraphFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return snap.Graph, nil
+	if snap.Graph != nil {
+		return snap.Graph, nil
+	}
+	// A compressed snapshot opens as a PackedGraph; the one-shot CLI path
+	// materializes it to a heap CSR.
+	return sealib.CopyGraph(snap.Store), nil
 }
 
 // runPack is the pack subcommand: text format (or generated analog) →
@@ -248,10 +260,12 @@ func loadGraphFile(path string) (*sealib.Graph, error) {
 func runPack(args []string) error {
 	fs := flag.NewFlagSet("seacli pack", flag.ExitOnError)
 	var (
-		load   = fs.String("load", "", "input graph file (text exchange format or snapshot)")
-		dsName = fs.String("dataset", "", "generate this dataset analog instead of reading -load")
-		scale  = fs.Float64("scale", 0.5, "dataset scale factor (with -dataset)")
-		out    = fs.String("out", "", "output snapshot path (required)")
+		load     = fs.String("load", "", "input graph file (text exchange format or snapshot)")
+		dsName   = fs.String("dataset", "", "generate this dataset analog instead of reading -load")
+		scale    = fs.Float64("scale", 0.5, "dataset scale factor (with -dataset)")
+		out      = fs.String("out", "", "output snapshot path (required)")
+		align    = fs.Bool("mmap-align", false, "write the v2 aligned layout seaserve maps zero-copy")
+		compress = fs.Bool("compress", false, "delta+varint compress the adjacency (implies -mmap-align)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -259,6 +273,7 @@ func runPack(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("pack: -out is required")
 	}
+	opt := sealib.PackOptions{Align: *align || *compress, Compress: *compress}
 	t0 := time.Now()
 	var (
 		size int64
@@ -266,11 +281,17 @@ func runPack(args []string) error {
 	)
 	switch {
 	case *load != "":
+		if info, err := sealib.DetectSnapshotFile(*load); err == nil && info.IsSnapshot() {
+			fmt.Printf("%s: %s\n", *load, info)
+		}
 		snap, err := sealib.OpenGraphFile(*load)
 		if err != nil {
 			return err
 		}
 		g = snap.Graph
+		if g == nil {
+			g = sealib.CopyGraph(snap.Store) // compressed input: materialize
+		}
 		if snap.Index != nil {
 			// Repacking a snapshot reuses its index instead of rebuilding.
 			cfg := sealib.DefaultEngineConfig()
@@ -279,12 +300,12 @@ func runPack(args []string) error {
 			if err != nil {
 				return err
 			}
-			if size, err = sealib.WriteSnapshotFile(eng, *out); err != nil {
+			if size, err = sealib.WriteSnapshotFileOpts(eng, *out, opt); err != nil {
 				return err
 			}
 			break
 		}
-		if size, err = sealib.PackSnapshotFile(g, *out); err != nil {
+		if size, err = sealib.PackSnapshotFileOpts(g, *out, opt); err != nil {
 			return err
 		}
 	case *dsName != "":
@@ -293,14 +314,18 @@ func runPack(args []string) error {
 			return err
 		}
 		g = d.Graph
-		if size, err = sealib.PackSnapshotFile(g, *out); err != nil {
+		if size, err = sealib.PackSnapshotFileOpts(g, *out, opt); err != nil {
 			return err
 		}
 	default:
 		return fmt.Errorf("pack: need -load or -dataset")
 	}
-	fmt.Printf("packed %s: %d nodes, %d edges, %d bytes (indexes ready in %v)\n",
-		*out, g.NumNodes(), g.NumEdges(), size, time.Since(t0).Round(time.Millisecond))
+	info, err := sealib.DetectSnapshotFile(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %s: %d nodes, %d edges, %d bytes, %s (indexes ready in %v)\n",
+		*out, g.NumNodes(), g.NumEdges(), size, info, time.Since(t0).Round(time.Millisecond))
 	return nil
 }
 

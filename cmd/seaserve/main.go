@@ -72,6 +72,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
 		drain        = flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight queries")
 		eagerTruss   = flag.Bool("eager-truss", false, "build the truss index at startup when absent from the source")
+		mmap         = flag.Bool("mmap", true, "serve aligned snapshots zero-copy from a read-only memory mapping")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 
 	t0 := time.Now()
 	cat := sealib.NewCatalog()
+	cat.SetMmap(*mmap)
 	mountFile := func(path string) {
 		dname := nameForPath(*name, path)
 		if *journal == "" {
@@ -134,7 +136,11 @@ func main() {
 	fmt.Printf("seaserve: %d dataset(s) mounted in %v (default %q); listening on %s\n",
 		cat.Len(), boot, cat.Default(), *addr)
 	for _, info := range cat.Infos() {
-		fmt.Printf("  %s: %d nodes, %d edges (%s)\n", info.Name, info.Nodes, info.Edges, info.Source)
+		serving := "heap"
+		if info.Mapped {
+			serving = fmt.Sprintf("mapped, %d bytes", info.MappedBytes)
+		}
+		fmt.Printf("  %s: %d nodes, %d edges (%s; %s)\n", info.Name, info.Nodes, info.Edges, info.Source, serving)
 	}
 
 	srv := &http.Server{

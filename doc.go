@@ -92,6 +92,19 @@
 // Snapshots are produced by cmd/datagen -pack, cmd/seacli pack (text →
 // snapshot), or any engine at runtime.
 //
+// Two on-disk layouts exist. Version 1 is the sequential heap-loadable
+// stream. Version 2 (seacli pack -mmap-align, or PackOptions.Align) lays
+// every array out at an 8-byte-aligned file offset behind a section table,
+// so OpenMappedSnapshot serves the snapshot zero-copy from a read-only
+// memory mapping — boot cost is O(header + dictionary), independent of
+// graph size. PackOptions.Compress additionally stores the adjacency as
+// per-node delta+uvarint runs (decoded into caller scratch at query time)
+// while keeping Degree and positional edge IDs O(1). Every consumer reaches
+// the graph through the Adjacency/GraphStore interfaces, so heap, mapped
+// and compressed backings answer byte-identically — including live
+// mutation, which overlays heap deltas over the read-only mapped base.
+// DetectSnapshotFile describes any file's layout without opening it.
+//
 // # Multi-graph serving
 //
 // NewCatalog builds a named registry of datasets, each backed by its own

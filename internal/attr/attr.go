@@ -21,7 +21,7 @@ type Normalizer struct {
 }
 
 // NewNormalizer computes per-dimension min/max over all nodes of g.
-func NewNormalizer(g *graph.Graph) *Normalizer {
+func NewNormalizer(g graph.Store) *Normalizer {
 	d := g.NumDim()
 	nz := &Normalizer{min: make([]float64, d), max: make([]float64, d)}
 	for i := 0; i < d; i++ {
@@ -80,7 +80,7 @@ func (nz *Normalizer) Scale(i int, x float64) float64 {
 
 // Metric evaluates the composite attribute distance of §II on a fixed graph.
 type Metric struct {
-	g     *graph.Graph
+	g     graph.Store
 	gamma float64
 	norm  *Normalizer
 }
@@ -88,7 +88,7 @@ type Metric struct {
 // NewMetric returns a Metric with balance factor gamma ∈ [0,1].
 // gamma = 1 uses only textual (Jaccard) distance, gamma = 0 only numerical
 // (Manhattan) distance.
-func NewMetric(g *graph.Graph, gamma float64) (*Metric, error) {
+func NewMetric(g graph.Store, gamma float64) (*Metric, error) {
 	if gamma < 0 || gamma > 1 {
 		return nil, fmt.Errorf("attr: gamma %v outside [0,1]", gamma)
 	}
@@ -98,7 +98,7 @@ func NewMetric(g *graph.Graph, gamma float64) (*Metric, error) {
 // NewMetricWithNormalizer is NewMetric with a precomputed Normalizer
 // (typically reopened from a snapshot), skipping the full-graph min/max scan.
 // The normalizer's width must match the graph's numerical dimension.
-func NewMetricWithNormalizer(g *graph.Graph, gamma float64, nz *Normalizer) (*Metric, error) {
+func NewMetricWithNormalizer(g graph.Store, gamma float64, nz *Normalizer) (*Metric, error) {
 	if gamma < 0 || gamma > 1 {
 		return nil, fmt.Errorf("attr: gamma %v outside [0,1]", gamma)
 	}
@@ -108,8 +108,8 @@ func NewMetricWithNormalizer(g *graph.Graph, gamma float64, nz *Normalizer) (*Me
 	return &Metric{g: g, gamma: gamma, norm: nz}, nil
 }
 
-// Graph returns the graph the metric is bound to.
-func (m *Metric) Graph() *graph.Graph { return m.g }
+// Graph returns the graph backing the metric is bound to.
+func (m *Metric) Graph() graph.Store { return m.g }
 
 // Normalizer returns the metric's numerical-attribute normalizer.
 func (m *Metric) Normalizer() *Normalizer { return m.norm }

@@ -50,7 +50,7 @@ func interrupted(ctx context.Context, name string, best []graph.NodeID) ([]graph
 
 // maximal returns the maximal connected structure containing q and a
 // maintainer over it, or nil when none exists.
-func maximal(g *graph.Graph, q graph.NodeID, k int, model Model) (cohesive.Maintainer, []graph.NodeID) {
+func maximal(g graph.Store, q graph.NodeID, k int, model Model) (cohesive.Maintainer, []graph.NodeID) {
 	switch model {
 	case KTruss:
 		members := truss.MaximalConnectedKTruss(g, q, k)
@@ -87,14 +87,14 @@ func minSize(k int, model Model) int {
 // of q's textual attributes as possible. It examines q's attributes in
 // decreasing selectivity, greedily growing the shared set while a qualifying
 // community survives, per the ACQ algorithm's core idea.
-func ACQ(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+func ACQ(g graph.Store, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	return ACQContext(context.Background(), g, q, k, model)
 }
 
 // ACQContext is ACQ under a context: the greedy attribute-extension loop
 // checks ctx before every trial and, when cancelled, returns the best
 // community found so far with ctx's error wrapped.
-func ACQContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+func ACQContext(ctx context.Context, g graph.Store, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	base := maximalMembers(g, q, k, model)
 	if base == nil {
 		return nil, ErrNoCommunity
@@ -141,14 +141,14 @@ func ACQContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, mode
 
 // communityWithAttrs returns the maximal connected structure containing q
 // restricted to nodes having every attribute in attrs, or nil.
-func communityWithAttrs(g *graph.Graph, q graph.NodeID, k int, model Model, attrs []int32) []graph.NodeID {
+func communityWithAttrs(g graph.Store, q graph.NodeID, k int, model Model, attrs []int32) []graph.NodeID {
 	keep := make([]graph.NodeID, 0, g.NumNodes())
 	for v := 0; v < g.NumNodes(); v++ {
 		if hasAll(g.TextAttrs(graph.NodeID(v)), attrs) {
 			keep = append(keep, graph.NodeID(v))
 		}
 	}
-	sub, orig := g.InducedSubgraph(keep)
+	sub, orig := graph.InducedSubgraphOf(g, keep)
 	var subQ graph.NodeID = -1
 	for i, v := range orig {
 		if v == q {
@@ -188,7 +188,7 @@ func hasAll(have, want []int32) bool {
 	return true
 }
 
-func maximalMembers(g *graph.Graph, q graph.NodeID, k int, model Model) []graph.NodeID {
+func maximalMembers(g graph.Store, q graph.NodeID, k int, model Model) []graph.NodeID {
 	if model == KTruss {
 		return truss.MaximalConnectedKTruss(g, q, k)
 	}
@@ -197,7 +197,7 @@ func maximalMembers(g *graph.Graph, q graph.NodeID, k int, model Model) []graph.
 
 // CoverageScore computes the LocATC objective over q's attributes:
 // Σ_a |V_a ∩ V_H|² / |V_H|.
-func CoverageScore(g *graph.Graph, q graph.NodeID, members []graph.NodeID) float64 {
+func CoverageScore(g graph.Store, q graph.NodeID, members []graph.NodeID) float64 {
 	if len(members) == 0 {
 		return 0
 	}
@@ -218,14 +218,14 @@ func CoverageScore(g *graph.Graph, q graph.NodeID, members []graph.NodeID) float
 // LocATC performs the local search of ATC: starting from the maximal
 // connected structure, iteratively remove the node whose removal most
 // improves the attribute coverage score, stopping at a local optimum.
-func LocATC(g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+func LocATC(g graph.Store, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	return LocATCContext(context.Background(), g, q, k, model)
 }
 
 // LocATCContext is LocATC under a context: the local search checks ctx
 // before every trial removal and, when cancelled, returns the best
 // community found so far with ctx's error wrapped.
-func LocATCContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+func LocATCContext(ctx context.Context, g graph.Store, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	maint, members := maximal(g, q, k, model)
 	if maint == nil {
 		return nil, ErrNoCommunity
@@ -292,14 +292,14 @@ func LocATCContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, m
 // the structure survives; stop when the worst-case pair cannot be improved.
 // This mirrors the 2-approximation peeling of the VAC paper, using distance
 // to the farthest member as the vertex score.
-func VAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+func VAC(g graph.Store, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	return VACContext(context.Background(), g, m, q, k, model)
 }
 
 // VACContext is VAC under a context: the peeling loop checks ctx before
 // every endpoint trial and, when cancelled, returns the best community
 // found so far with ctx's error wrapped.
-func VACContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
+func VACContext(ctx context.Context, g graph.Store, m *attr.Metric, q graph.NodeID, k int, model Model) ([]graph.NodeID, error) {
 	maint, members := maximal(g, q, k, model)
 	if maint == nil {
 		return nil, ErrNoCommunity
@@ -367,7 +367,7 @@ func worstPair(m *attr.Metric, members []graph.NodeID) (graph.NodeID, graph.Node
 // non-positive budget returns the starting community without searching, and
 // an exhausted budget returns the best-so-far silently. New code should use
 // EVACContext, which reports exhaustion through ErrBudgetExhausted.
-func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
+func EVAC(g graph.Store, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
 	if maxStates <= 0 {
 		members := maximalMembers(g, q, k, model)
 		if members == nil {
@@ -387,7 +387,7 @@ func EVAC(g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, ma
 // with ctx's error wrapped. maxStates ≤ 0 means unlimited; when a positive
 // budget is hit, the best-so-far is returned with ErrBudgetExhausted,
 // symmetric with exact.SearchContext.
-func EVACContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
+func EVACContext(ctx context.Context, g graph.Store, m *attr.Metric, q graph.NodeID, k int, model Model, maxStates int) ([]graph.NodeID, error) {
 	maint, members := maximal(g, q, k, model)
 	if maint == nil {
 		return nil, ErrNoCommunity

@@ -39,10 +39,11 @@ type Dataset struct {
 	eng  atomic.Pointer[engine.Engine]
 	cfg  engine.Config
 
-	mu     sync.Mutex // serializes swaps and mutations (readers go through eng alone)
-	source string
-	swaps  uint64
-	live   *liveState // journaling state; nil when mounted without a journal
+	mu      sync.Mutex // serializes swaps and mutations (readers go through eng alone)
+	source  string
+	swaps   uint64
+	live    *liveState     // journaling state; nil when mounted without a journal
+	mounted *store.Mounted // backing mapping; nil for heap/text mounts
 }
 
 // Engine returns the dataset's current engine. The pointer stays valid for
@@ -67,10 +68,15 @@ type Info struct {
 	Version uint64 `json:"version"`
 	// Journal is the write-ahead journal path ("" when unjournaled);
 	// JournalBatches counts batches awaiting compaction.
-	Journal        string       `json:"journal,omitempty"`
-	JournalBatches int          `json:"journal_batches,omitempty"`
-	CompactError   string       `json:"compact_error,omitempty"`
-	Stats          engine.Stats `json:"stats"`
+	Journal        string `json:"journal,omitempty"`
+	JournalBatches int    `json:"journal_batches,omitempty"`
+	CompactError   string `json:"compact_error,omitempty"`
+	// Mapped reports that the dataset's base snapshot serves zero-copy from
+	// a read-only memory mapping; MappedBytes is the mapping size (the
+	// resident bound — pages materialize from the page cache on demand).
+	Mapped      bool         `json:"mapped"`
+	MappedBytes int64        `json:"mapped_bytes,omitempty"`
+	Stats       engine.Stats `json:"stats"`
 }
 
 // Catalog is a concurrency-safe named registry of datasets. The zero value
@@ -79,11 +85,34 @@ type Catalog struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	def      string
+	mmapOff  bool
+	// retired holds mappings displaced by Swap/Unmount. They are never
+	// unmapped while the process serves — an in-flight query may still hold
+	// the old engine over them — only at Close.
+	retired []*store.Mounted
 }
 
-// New returns an empty catalog.
+// New returns an empty catalog. Snapshot mounts serve zero-copy from memory
+// mappings where the format and platform allow; SetMmap(false) disables
+// that, forcing heap opens.
 func New() *Catalog {
 	return &Catalog{datasets: make(map[string]*Dataset)}
+}
+
+// SetMmap enables or disables zero-copy mapped serving for subsequent
+// mounts (enabled by default). Already-mounted datasets are unaffected.
+func (c *Catalog) SetMmap(enabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mmapOff = !enabled
+}
+
+// retireLocked parks a displaced mapping for unmapping at Close; the caller
+// holds c.mu. Heap-resident handles have nothing to release and are dropped.
+func (c *Catalog) retireLocked(m *store.Mounted) {
+	if m.Mapped() {
+		c.retired = append(c.retired, m)
+	}
 }
 
 // Mount registers eng under name. The first mounted dataset becomes the
@@ -115,6 +144,12 @@ func (c *Catalog) Mount(name string, eng *engine.Engine, cfg engine.Config, sour
 // happens under the catalog lock, so a concurrent Unmount cannot race the
 // new engine onto a dataset that is no longer mounted.
 func (c *Catalog) Swap(name string, eng *engine.Engine, source string) (*engine.Engine, error) {
+	return c.swapMounted(name, eng, source, nil)
+}
+
+// swapMounted is Swap carrying the new engine's backing mapping (nil for
+// heap-resident engines).
+func (c *Catalog) swapMounted(name string, eng *engine.Engine, source string, m *store.Mounted) (*engine.Engine, error) {
 	if eng == nil {
 		return nil, cserr.Invalidf("catalog: nil engine for %q", name)
 	}
@@ -129,6 +164,10 @@ func (c *Catalog) Swap(name string, eng *engine.Engine, source string) (*engine.
 	old := d.eng.Swap(eng)
 	d.source = source
 	d.swaps++
+	// The displaced engine may still be answering in-flight queries over the
+	// old mapping; park it for unmapping at Close instead of unmapping now.
+	c.retireLocked(d.mounted)
+	d.mounted = m
 	// A swap rebases the dataset on a new source: journaled deltas applied
 	// to the old lineage no longer describe it, so the journal restarts —
 	// and a broken-journal quarantine lifts, since the new lineage has no
@@ -159,6 +198,10 @@ func (c *Catalog) Unmount(name string) error {
 		d.live.journal.Close()
 		d.live = nil
 	}
+	// In-flight queries may still hold the unmounted engine; its mapping is
+	// only released at Close.
+	c.retireLocked(d.mounted)
+	d.mounted = nil
 	d.mu.Unlock()
 	if c.def == name {
 		c.def = ""
@@ -274,6 +317,8 @@ func (c *Catalog) Infos() []Info {
 				compactErr = d.live.compactErr.Error()
 			}
 		}
+		mapped := d.mounted.Mapped()
+		mappedBytes := d.mounted.MappedBytes()
 		d.mu.Unlock()
 		out[i] = Info{
 			Name:           d.name,
@@ -287,6 +332,8 @@ func (c *Catalog) Infos() []Info {
 			Journal:        journal,
 			JournalBatches: batches,
 			CompactError:   compactErr,
+			Mapped:         mapped,
+			MappedBytes:    mappedBytes,
 			Stats:          eng.Stats(),
 		}
 	}
@@ -294,23 +341,52 @@ func (c *Catalog) Infos() []Info {
 }
 
 // openPath builds an engine from the file at path: a packed snapshot opens
-// with zero recomputation, anything else is parsed as the text exchange
-// format and indexed from scratch.
-func openPath(path string, cfg engine.Config) (*engine.Engine, error) {
-	snap, err := store.OpenGraphFile(path)
-	if err != nil {
-		return nil, err
+// with zero recomputation — zero-copy mapped when the format and platform
+// allow and mmap is enabled — anything else is parsed as the text exchange
+// format and indexed from scratch. The returned Mounted handle owns the
+// mapping backing the engine (nil for heap-resident opens).
+func (c *Catalog) openPath(path string, cfg engine.Config) (*engine.Engine, *store.Mounted, error) {
+	c.mu.RLock()
+	useMmap := !c.mmapOff
+	c.mu.RUnlock()
+	if !useMmap {
+		snap, err := store.OpenGraphFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := engine.NewFromSnapshot(snap, cfg)
+		return eng, nil, err
 	}
-	return engine.NewFromSnapshot(snap, cfg)
+	m, err := store.MountGraphFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := engine.NewFromSnapshot(m.Snapshot(), cfg)
+	if err != nil {
+		m.Close() // nothing reads the mapping yet
+		return nil, nil, err
+	}
+	if !m.Mapped() {
+		return eng, nil, nil
+	}
+	return eng, m, nil
 }
 
 // MountPath mounts the dataset file (snapshot or text) at path under name.
 func (c *Catalog) MountPath(name, path string, cfg engine.Config) (*Dataset, error) {
-	eng, err := openPath(path, cfg)
+	eng, m, err := c.openPath(path, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return c.Mount(name, eng, cfg, path)
+	d, err := c.Mount(name, eng, cfg, path)
+	if err != nil {
+		m.Close() // mount failed before anything could read the mapping
+		return nil, err
+	}
+	d.mu.Lock()
+	d.mounted = m
+	d.mu.Unlock()
+	return d, nil
 }
 
 // SwapPath loads the dataset file at path off to the side and hot-swaps it
@@ -319,11 +395,12 @@ func (c *Catalog) MountPath(name, path string, cfg engine.Config) (*Dataset, err
 func (c *Catalog) SwapPath(name, path string, cfg engine.Config) (*Dataset, error) {
 	d, err := c.dataset(name)
 	if err == nil {
-		eng, err := openPath(path, d.cfg)
+		eng, m, err := c.openPath(path, d.cfg)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := c.Swap(name, eng, path); err != nil {
+		if _, err := c.swapMounted(name, eng, path, m); err != nil {
+			m.Close()
 			return nil, err
 		}
 		return d, nil

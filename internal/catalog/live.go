@@ -56,22 +56,27 @@ type liveState struct {
 // compaction folded.
 func (c *Catalog) MountPathJournaled(name, path, journalPath string, cfg engine.Config) (*Dataset, int, error) {
 	src := path
-	if isSnap, err := store.DetectFile(path); err == nil && !isSnap {
+	if info, err := store.DetectFile(path); err == nil && !info.IsSnapshot() {
 		if sidecar := path + ".snap"; fileExists(sidecar) {
 			src = sidecar
 		}
 	}
-	eng, err := openPath(src, cfg)
+	eng, mounted, err := c.openPath(src, cfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	journal, batches, err := store.OpenJournal(journalPath)
 	if err != nil {
+		mounted.Close()
 		return nil, 0, err
 	}
+	// Replay applies each batch as an overlay over the mounted base (which
+	// may be a zero-copy mapped snapshot — the mutation path never writes
+	// the read-only pages) and materializes a fresh heap graph per batch.
 	for _, b := range batches {
 		if _, err := eng.Apply(b.Deltas); err != nil {
 			journal.Close()
+			mounted.Close()
 			return nil, 0, fmt.Errorf("%w: journal %s batch %d does not apply to %s: %v",
 				cserr.ErrSnapshotCorrupt, journalPath, b.Seq, path, err)
 		}
@@ -79,14 +84,16 @@ func (c *Catalog) MountPathJournaled(name, path, journalPath string, cfg engine.
 	d, err := c.Mount(name, eng, cfg, src)
 	if err != nil {
 		journal.Close()
+		mounted.Close()
 		return nil, 0, err
 	}
 	snapPath := src
-	if isSnap, err := store.DetectFile(src); err != nil || !isSnap {
+	if info, err := store.DetectFile(src); err != nil || !info.IsSnapshot() {
 		snapPath = src + ".snap"
 	}
 	d.mu.Lock()
 	d.live = &liveState{journal: journal, snapPath: snapPath, compactEvery: DefaultCompactEvery}
+	d.mounted = mounted
 	d.mu.Unlock()
 	return d, len(batches), nil
 }
@@ -297,30 +304,43 @@ func fileExists(path string) bool {
 	return err == nil && st.Mode().IsRegular()
 }
 
-// Close releases every dataset's journal. Mount no further datasets after
-// closing; in-flight background compactions are waited out.
+// Close releases every dataset's journal and unmaps every snapshot mapping
+// — live and retired. Serving must have stopped: no query may still hold an
+// engine over a mapped backing. Mount no further datasets after closing;
+// in-flight background compactions are waited out.
 func (c *Catalog) Close() error {
-	c.mu.RLock()
+	c.mu.Lock()
 	ds := make([]*Dataset, 0, len(c.datasets))
 	for _, d := range c.datasets {
 		ds = append(ds, d)
 	}
-	c.mu.RUnlock()
+	retired := c.retired
+	c.retired = nil
+	c.mu.Unlock()
 	var errs []string
 	for _, d := range ds {
 		d.mu.Lock()
 		live := d.live
+		mounted := d.mounted
+		d.mounted = nil
 		d.mu.Unlock()
-		if live == nil {
-			continue
+		if live != nil {
+			live.wg.Wait()
+			if err := live.journal.Close(); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %v", d.name, err))
+			}
 		}
-		live.wg.Wait()
-		if err := live.journal.Close(); err != nil {
-			errs = append(errs, fmt.Sprintf("%s: %v", d.name, err))
+		if err := mounted.Close(); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: unmap: %v", d.name, err))
+		}
+	}
+	for _, m := range retired {
+		if err := m.Close(); err != nil {
+			errs = append(errs, fmt.Sprintf("retired mapping: %v", err))
 		}
 	}
 	if len(errs) > 0 {
-		return fmt.Errorf("catalog: closing journals: %s", strings.Join(errs, "; "))
+		return fmt.Errorf("catalog: closing: %s", strings.Join(errs, "; "))
 	}
 	return nil
 }

@@ -25,10 +25,14 @@ var ErrBudgetExceeded = errors.New("clique: enumeration budget exceeded")
 // MaximalCliques enumerates the maximal cliques of g with at least minSize
 // nodes using Bron–Kerbosch with pivoting, stopping after maxCliques
 // results (0 means 100000).
-func MaximalCliques(g *graph.Graph, minSize, maxCliques int) ([][]graph.NodeID, error) {
+func MaximalCliques(s graph.Store, minSize, maxCliques int) ([][]graph.NodeID, error) {
 	if maxCliques <= 0 {
 		maxCliques = 100000
 	}
+	// The pivoted recursion holds aliased neighbor lists across recursive
+	// calls, so it runs on a heap CSR; non-heap backings are materialized
+	// once up front (clique enumeration dwarfs the copy).
+	g := graph.CopyStore(s)
 	n := g.NumNodes()
 	var out [][]graph.NodeID
 	var overBudget bool
@@ -93,7 +97,7 @@ func MaximalCliques(g *graph.Graph, minSize, maxCliques int) ([][]graph.NodeID, 
 // all k-cliques connected to a k-clique containing q through chains of
 // (k−1)-node overlaps. Returns nil when q is in no k-clique. maxCliques
 // bounds the enumeration (0 means 200000).
-func Community(g *graph.Graph, q graph.NodeID, k int, maxCliques int) ([]graph.NodeID, error) {
+func Community(g graph.Store, q graph.NodeID, k int, maxCliques int) ([]graph.NodeID, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("clique: k must be ≥ 2, got %d", k)
 	}
@@ -106,7 +110,7 @@ func Community(g *graph.Graph, q graph.NodeID, k int, maxCliques int) ([]graph.N
 	if region == nil {
 		return nil, nil
 	}
-	sub, orig := g.InducedSubgraph(region)
+	sub, orig := graph.InducedSubgraphOf(g, region)
 	var subQ graph.NodeID = -1
 	for i, v := range orig {
 		if v == q {

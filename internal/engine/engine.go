@@ -120,7 +120,7 @@ type searchOutcome struct {
 // pointer so a request never mixes two generations. Apply builds a new
 // engState per mutation batch; the old one keeps serving in-flight requests.
 type engState struct {
-	g       *graph.Graph
+	g       graph.Store
 	metric  *attr.Metric
 	core    []int32 // coreness per node
 	version uint64  // increments once per applied mutation batch
@@ -214,10 +214,11 @@ type distKey struct {
 	version uint64
 }
 
-// New builds an Engine over g, precomputing the attribute metric and the
-// core decomposition. The engine serves g until a mutation batch replaces
-// it; the graph value itself is immutable and is never written.
-func New(g *graph.Graph, cfg Config) (*Engine, error) {
+// New builds an Engine over g — any immutable graph.Store backing: a heap
+// CSR, a zero-copy mapped snapshot, a compressed adjacency — precomputing
+// the attribute metric and the core decomposition. The engine serves g until
+// a mutation batch replaces it; the backing itself is never written.
+func New(g graph.Store, cfg Config) (*Engine, error) {
 	if g == nil {
 		return nil, cserr.Invalidf("engine: nil graph")
 	}
@@ -238,7 +239,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 // newEngine applies config defaults and assembles the caches around a
 // metric and core index the caller supplies — computed fresh by New,
 // reopened without recomputation by NewFromIndex.
-func newEngine(g *graph.Graph, cfg Config, m *attr.Metric, core []int32) (*Engine, error) {
+func newEngine(g graph.Store, cfg Config, m *attr.Metric, core []int32) (*Engine, error) {
 	def := DefaultConfig()
 	if cfg.DistCacheSize <= 0 {
 		cfg.DistCacheSize = def.DistCacheSize
@@ -268,10 +269,10 @@ func newEngine(g *graph.Graph, cfg Config, m *attr.Metric, core []int32) (*Engin
 	return e, nil
 }
 
-// Graph returns the graph the engine currently serves. Across a concurrent
-// Apply, successive calls may return different (individually immutable)
-// graphs; hold the returned pointer for one consistent view.
-func (e *Engine) Graph() *graph.Graph { return e.st.Load().g }
+// Graph returns the graph backing the engine currently serves. Across a
+// concurrent Apply, successive calls may return different (individually
+// immutable) backings; hold the returned value for one consistent view.
+func (e *Engine) Graph() graph.Store { return e.st.Load().g }
 
 // Metric returns the shared attribute metric of the current graph.
 func (e *Engine) Metric() *attr.Metric { return e.st.Load().metric }

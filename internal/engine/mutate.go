@@ -129,7 +129,7 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 
 // edgeTrussTable runs one full truss decomposition and keys it by endpoint
 // pair, the persistent form the incremental maintenance works on.
-func edgeTrussTable(g *graph.Graph) map[mutate.Edge]int32 {
+func edgeTrussTable(g graph.CSR) map[mutate.Edge]int32 {
 	ix, tr := truss.Decompose(g)
 	out := make(map[mutate.Edge]int32, ix.NumEdges())
 	for e := range tr {
@@ -161,6 +161,7 @@ func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (res
 				queue = append(queue, t)
 			}
 		}
+		var nbr []graph.NodeID
 		for i := 0; i < len(queue); i++ {
 			x := queue[i]
 			if int(level(x)) < k {
@@ -175,10 +176,10 @@ func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (res
 				}
 			}
 			if int(x) < oldN {
-				visit(old.g.Neighbors(x))
+				visit(old.g.NeighborsInto(&nbr, x))
 			}
 			if int(x) < newN {
-				visit(new.g.Neighbors(x))
+				visit(new.g.NeighborsInto(&nbr, x))
 			}
 		}
 		return region

@@ -274,7 +274,8 @@ func TestApplyEquivalentToRebuild(t *testing.T) {
 					deltas = append(deltas, mutate.AddEdge(u, v))
 				}
 			case 2:
-				if ns := g.Neighbors(u); len(ns) > 0 {
+				var nbuf []graph.NodeID
+				if ns := g.NeighborsInto(&nbuf, u); len(ns) > 0 {
 					w := ns[rng.Intn(len(ns))]
 					if !hasDelta(deltas, mutate.OpRemoveEdge, u, w) && !hasDelta(deltas, mutate.OpAddEdge, u, w) {
 						deltas = append(deltas, mutate.RemoveEdge(u, w))

@@ -41,7 +41,18 @@ func (e *Engine) ExportIndex() *store.Index {
 // before or entirely after the written snapshot.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	st := e.st.Load()
-	return store.Write(w, st.g, exportIndex(st))
+	// Snapshot writing needs the materialized CSR arrays; a mapped or
+	// compressed backing is copied to the heap first (a *Graph passes
+	// through unchanged).
+	return store.Write(w, graph.CopyStore(st.g), exportIndex(st))
+}
+
+// WriteSnapshotOpts is WriteSnapshot with an explicit on-disk layout: the
+// zero PackOptions writes the legacy v1 stream, Align the mmap-ready v2
+// section-table layout, Compress the v2 layout with delta+varint adjacency.
+func (e *Engine) WriteSnapshotOpts(w io.Writer, opt store.PackOptions) error {
+	st := e.st.Load()
+	return store.WriteSnapshot(w, graph.CopyStore(st.g), exportIndex(st), opt)
 }
 
 // NewFromSnapshot builds an Engine directly from a reopened snapshot: the
@@ -51,13 +62,18 @@ func NewFromSnapshot(snap *store.Snapshot, cfg Config) (*Engine, error) {
 	if snap == nil {
 		return nil, cserr.Invalidf("engine: nil snapshot")
 	}
-	return NewFromIndex(snap.Graph, cfg, snap.Index)
+	g := snap.Backing()
+	if g == nil {
+		return nil, cserr.Invalidf("engine: snapshot has no graph backing")
+	}
+	return NewFromIndex(g, cfg, snap.Index)
 }
 
 // NewFromIndex is New with a precomputed index. idx may be nil, which is
 // plain New; otherwise its arrays are validated against the graph shape and
-// adopted (not copied — the caller must not modify them).
-func NewFromIndex(g *graph.Graph, cfg Config, idx *store.Index) (*Engine, error) {
+// adopted (not copied — the caller must not modify them). g may be any
+// graph.Store backing, most importantly a zero-copy mapped snapshot.
+func NewFromIndex(g graph.Store, cfg Config, idx *store.Index) (*Engine, error) {
 	if idx == nil {
 		return New(g, cfg)
 	}

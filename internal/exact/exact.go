@@ -85,7 +85,7 @@ const ctxCheckMask = 63
 // Search solves CS-AG exactly: it finds the connected k-core containing q
 // with the smallest q-centric attribute distance δ. dist[v] must hold f(v,q)
 // for every node (see attr.Metric.QueryDist).
-func Search(g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (Result, error) {
+func Search(g graph.Adjacency, q graph.NodeID, k int, dist []float64, cfg Config) (Result, error) {
 	return SearchContext(context.Background(), g, q, k, dist, cfg)
 }
 
@@ -94,7 +94,7 @@ func Search(g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (
 // returns the best community found so far together with an error wrapping
 // ctx's error — symmetric with the ErrBudgetExhausted contract, so a
 // deadline behaves like a budget that ran out mid-search.
-func SearchContext(ctx context.Context, g *graph.Graph, q graph.NodeID, k int, dist []float64, cfg Config) (Result, error) {
+func SearchContext(ctx context.Context, g graph.Adjacency, q graph.NodeID, k int, dist []float64, cfg Config) (Result, error) {
 	if k < 1 {
 		return Result{}, cserr.Invalidf("exact: k must be ≥ 1, got %d", k)
 	}
@@ -282,7 +282,7 @@ func (s *searcher) enumerate(fuq float64) {
 // BruteForce enumerates every subset of g's nodes that contains q and forms a
 // connected k-core, returning the one with minimum δ. It is exponential in
 // the number of nodes (≤ 20) and exists as the ground-truth oracle for tests.
-func BruteForce(g *graph.Graph, q graph.NodeID, k int, dist []float64) (Result, error) {
+func BruteForce(g graph.Adjacency, q graph.NodeID, k int, dist []float64) (Result, error) {
 	n := g.NumNodes()
 	if n > 20 {
 		return Result{}, fmt.Errorf("exact: BruteForce limited to 20 nodes, got %d", n)
@@ -324,7 +324,7 @@ func BruteForce(g *graph.Graph, q graph.NodeID, k int, dist []float64) (Result, 
 // connectedSet reports whether members induce a connected subgraph reaching
 // q. Membership and visitation use epoch-stamped sets from the workspace
 // pool instead of per-call maps.
-func connectedSet(g *graph.Graph, members []graph.NodeID, q graph.NodeID) bool {
+func connectedSet(g graph.Adjacency, members []graph.NodeID, q graph.NodeID) bool {
 	w := ws.Get()
 	defer w.Release()
 	in := &w.Member
@@ -342,7 +342,7 @@ func connectedSet(g *graph.Graph, members []graph.NodeID, q graph.NodeID) bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&w.NbrA, v) {
 			if in.Has(u) && seen.Add(u) {
 				stack = append(stack, u)
 			}

@@ -121,6 +121,66 @@ func FromRaw(r Raw) (*Graph, error) {
 	return g, nil
 }
 
+// FromRawTrusted adopts r as a Graph without the O(n+m) structural
+// validation FromRaw performs — only the shape invariants that keep
+// accessors memory-safe are checked (offset array lengths and bounds
+// against the payloads). It exists for backings whose bytes were already
+// validated when they were written, most importantly the mmap'd snapshot
+// path, where re-walking every adjacency list on open would turn an O(1)
+// boot into an O(n+m) one. The slices are adopted, not copied; callers
+// wanting corruption detection must use FromRaw.
+func FromRawTrusted(r Raw) (*Graph, error) {
+	if len(r.Offsets) < 1 {
+		return nil, fmt.Errorf("graph: raw: empty offsets")
+	}
+	n := len(r.Offsets) - 1
+	if r.Offsets[0] != 0 || int(r.Offsets[n]) != len(r.Adj) {
+		return nil, fmt.Errorf("graph: raw: offsets span [%d,%d], payload %d", r.Offsets[0], r.Offsets[n], len(r.Adj))
+	}
+	if len(r.TextOff) != n+1 {
+		return nil, fmt.Errorf("graph: raw: len(TextOff) = %d, want %d", len(r.TextOff), n+1)
+	}
+	if r.TextOff[0] != 0 || int(r.TextOff[n]) != len(r.Text) {
+		return nil, fmt.Errorf("graph: raw: text offsets span [%d,%d], payload %d", r.TextOff[0], r.TextOff[n], len(r.Text))
+	}
+	if r.NumDim < 0 || len(r.Num) != n*r.NumDim {
+		return nil, fmt.Errorf("graph: raw: len(Num) = %d, want %d·%d", len(r.Num), n, r.NumDim)
+	}
+	dict, err := NewDictFromNames(r.DictNames)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{
+		offsets: r.Offsets,
+		adj:     r.Adj,
+		textOff: r.TextOff,
+		text:    r.Text,
+		numDim:  r.NumDim,
+		num:     r.Num,
+		dict:    dict,
+	}, nil
+}
+
+// Clone deep-copies every slice of r, detaching it from whatever storage
+// the original aliased (a live Graph, an mmap'd snapshot about to be
+// unmapped, a decode buffer). The copy-mode counterpart of the borrowing
+// Export.
+func (r Raw) Clone() Raw {
+	return Raw{
+		Offsets:   append([]int32(nil), r.Offsets...),
+		Adj:       append([]NodeID(nil), r.Adj...),
+		TextOff:   append([]int32(nil), r.TextOff...),
+		Text:      append([]int32(nil), r.Text...),
+		NumDim:    r.NumDim,
+		Num:       append([]float64(nil), r.Num...),
+		DictNames: append([]string(nil), r.DictNames...),
+	}
+}
+
+// ExportCopy is Export in copy mode: the returned Raw owns its storage and
+// stays valid independently of g.
+func (g *Graph) ExportCopy() Raw { return g.Export().Clone() }
+
 // checkOffsets verifies an offset array: starts at 0, nondecreasing, and
 // ends exactly at the payload length.
 func checkOffsets(what string, off []int32, payload int) error {

@@ -13,6 +13,7 @@ type SubScratch struct {
 	remap []int32 // remap[v] = induced ID of v
 
 	orig    []NodeID
+	nbuf    []NodeID // neighbor-decode scratch for non-aliasing backings
 	offsets []int32
 	adj     []NodeID
 	textOff []int32 // all-zero textOff so TextAttrs works on the sub graph
@@ -31,6 +32,15 @@ type SubScratch struct {
 // duplicates and is not modified; the induced IDs follow ascending original
 // ID order, so neighbor lists are sorted without a per-list sort.
 func (g *Graph) InducedStructure(nodes []NodeID, sc *SubScratch) (*Graph, []NodeID) {
+	sub, orig := InducedStructureOf(g, nodes, sc)
+	sub.dict = g.dict
+	return sub, orig
+}
+
+// InducedStructureOf is InducedStructure over any Adjacency backing; the
+// neighbor lists of a decoding backing are drawn through sc's internal
+// scratch buffer. The induced graph's dictionary is nil (structure only).
+func InducedStructureOf(g Adjacency, nodes []NodeID, sc *SubScratch) (*Graph, []NodeID) {
 	n := g.NumNodes()
 	k := len(nodes)
 	sc.in.Reset(n)
@@ -55,7 +65,7 @@ func (g *Graph) InducedStructure(nodes []NodeID, sc *SubScratch) (*Graph, []Node
 
 	sc.adj = sc.adj[:0]
 	for i, v := range sc.orig {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&sc.nbuf, v) {
 			if sc.in.Has(u) {
 				sc.adj = append(sc.adj, sc.remap[u])
 			}
@@ -68,7 +78,6 @@ func (g *Graph) InducedStructure(nodes []NodeID, sc *SubScratch) (*Graph, []Node
 		adj:     sc.adj,
 		textOff: sc.textOff,
 		numDim:  0,
-		dict:    g.dict,
 	}
 	return &sc.sub, sc.orig
 }

@@ -5,19 +5,22 @@ import (
 	"sort"
 )
 
-// Overlay is a mutable delta view over an immutable base Graph: edges and
+// Overlay is a mutable delta view over an immutable base Store: edges and
 // nodes can be added, edges removed, and per-node attributes replaced without
-// touching the base CSR. Reads (Degree, Neighbors, HasEdge, attributes) see
-// the base patched by the accumulated deltas, so index-maintenance code can
-// traverse the post-mutation graph before any CSR exists for it; Materialize
-// folds the deltas into a fresh immutable Graph in one pass, copying the
-// adjacency spans of untouched nodes verbatim (no re-sorting, no
-// re-deduplication, no decomposition).
+// touching the base storage. The base may be any Store backing — a heap
+// Graph, an mmap'd snapshot, a compressed adjacency — which is what lets the
+// serving layer replay journaled mutations over a read-only mapped base.
+// Reads (Degree, NeighborsInto, HasEdge, attributes) see the base patched by
+// the accumulated deltas, so index-maintenance code can traverse the
+// post-mutation graph before any CSR exists for it; Materialize folds the
+// deltas into a fresh immutable heap Graph in one pass, copying the adjacency
+// spans of untouched nodes verbatim (no re-sorting, no re-deduplication, no
+// decomposition).
 //
 // An Overlay is not safe for concurrent use; the serving layer applies
 // mutations under its own lock and publishes only materialized Graphs.
 type Overlay struct {
-	base *Graph
+	base Store
 
 	// added/removed neighbor lists per touched node, kept sorted. A neighbor
 	// appears in at most one of the two (adding an edge cancels a pending
@@ -41,22 +44,24 @@ type Overlay struct {
 	dictOwned bool
 
 	edgeDelta int // added minus removed undirected edges
+
+	nbuf []NodeID // neighbor-decode scratch for non-aliasing bases
 }
 
 // NewOverlay returns an empty overlay over base.
-func NewOverlay(base *Graph) *Overlay {
+func NewOverlay(base Store) *Overlay {
 	return &Overlay{
 		base:     base,
 		added:    make(map[NodeID][]NodeID),
 		removed:  make(map[NodeID][]NodeID),
 		textOver: make(map[NodeID][]int32),
 		numOver:  make(map[NodeID][]float64),
-		dict:     base.dict,
+		dict:     base.Dict(),
 	}
 }
 
-// Base returns the overlay's base graph.
-func (o *Overlay) Base() *Graph { return o.base }
+// Base returns the overlay's base store.
+func (o *Overlay) Base() Store { return o.base }
 
 // NumNodes returns the node count including appended nodes.
 func (o *Overlay) NumNodes() int { return o.base.NumNodes() + len(o.newText) }
@@ -106,7 +111,7 @@ func (o *Overlay) AppendNeighbors(dst []NodeID, v NodeID) []NodeID {
 	if int(v) >= o.base.NumNodes() {
 		return append(dst, add...)
 	}
-	base := o.base.Neighbors(v)
+	base := o.base.NeighborsInto(&o.nbuf, v)
 	rem := o.removed[v]
 	if len(add) == 0 && len(rem) == 0 {
 		return append(dst, base...)
@@ -303,7 +308,7 @@ func (o *Overlay) Materialize() *Graph {
 	for v := 0; v < n; v++ {
 		span := adj[offsets[v]:offsets[v]:offsets[v+1]]
 		if v < baseN && !o.Touched(NodeID(v)) {
-			copy(adj[offsets[v]:offsets[v+1]], o.base.Neighbors(NodeID(v)))
+			copy(adj[offsets[v]:offsets[v+1]], o.base.NeighborsInto(&o.nbuf, NodeID(v)))
 			continue
 		}
 		o.AppendNeighbors(span, NodeID(v))

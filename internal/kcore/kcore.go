@@ -13,26 +13,27 @@ import (
 // allocated and owned by the caller (the Engine retains it as its admission
 // index); hot loops that consume the coreness transiently should use
 // DecomposeWS instead.
-func Decompose(g *graph.Graph) []int32 {
+func Decompose(g graph.Adjacency) []int32 {
 	n := g.NumNodes()
-	return decompose(g, make([]int32, n), make([]int32, n), make([]int32, n), nil)
+	var nbr []graph.NodeID
+	return decompose(g, make([]int32, n), make([]int32, n), make([]int32, n), nil, &nbr)
 }
 
 // DecomposeWS is Decompose with every buffer — including the returned
 // coreness slice — drawn from w. The result aliases w's scratch and is valid
 // only until the next workspace-threaded kcore operation.
-func DecomposeWS(g *graph.Graph, w *ws.Workspace) []int32 {
+func DecomposeWS(g graph.Adjacency, w *ws.Workspace) []int32 {
 	n := g.NumNodes()
 	w.DegS = ws.I32(w.DegS, n)
 	w.VertS = ws.I32(w.VertS, n)
 	w.PosS = ws.I32(w.PosS, n)
-	return decompose(g, w.DegS, w.VertS, w.PosS, &w.BinS)
+	return decompose(g, w.DegS, w.VertS, w.PosS, &w.BinS, &w.NbrA)
 }
 
 // decompose is the shared bin-sort peeling. deg doubles as the output
 // coreness array; binBuf, when non-nil, recycles the degree-bucket array
 // (its needed length depends on the max degree, so it is resized here).
-func decompose(g *graph.Graph, deg, vert, pos []int32, binBuf *[]int32) []int32 {
+func decompose(g graph.Adjacency, deg, vert, pos []int32, binBuf *[]int32, nbr *[]graph.NodeID) []int32 {
 	n := g.NumNodes()
 	maxDeg := int32(0)
 	for v := 0; v < n; v++ {
@@ -74,7 +75,7 @@ func decompose(g *graph.Graph, deg, vert, pos []int32, binBuf *[]int32) []int32 
 	core := deg // reuse; peeled in order
 	for i := 0; i < n; i++ {
 		v := vert[i]
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(nbr, v) {
 			if core[u] > core[v] {
 				du, pu := core[u], pos[u]
 				pw := bin[du]
@@ -92,7 +93,7 @@ func decompose(g *graph.Graph, deg, vert, pos []int32, binBuf *[]int32) []int32 
 }
 
 // MaxCoreness returns the maximum and average coreness of g.
-func MaxCoreness(g *graph.Graph) (max int32, avg float64) {
+func MaxCoreness(g graph.Adjacency) (max int32, avg float64) {
 	core := Decompose(g)
 	sum := 0.0
 	for _, c := range core {
@@ -110,7 +111,7 @@ func MaxCoreness(g *graph.Graph) (max int32, avg float64) {
 // MaximalConnectedKCore returns the node set of the maximal connected k-core
 // containing q, or nil if q is not in any k-core. The result is the connected
 // component of q inside the k-core of g.
-func MaximalConnectedKCore(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID {
+func MaximalConnectedKCore(g graph.Adjacency, q graph.NodeID, k int) []graph.NodeID {
 	w := ws.Get()
 	defer w.Release()
 	return MaximalConnectedKCoreInto(nil, g, q, k, w)
@@ -119,7 +120,7 @@ func MaximalConnectedKCore(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID
 // MaximalConnectedKCoreInto is MaximalConnectedKCore appending to dst, with
 // the decomposition and traversal scratch drawn from w. It returns nil (not
 // dst) when q is in no k-core, preserving the nil-means-absent contract.
-func MaximalConnectedKCoreInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, k int, w *ws.Workspace) []graph.NodeID {
+func MaximalConnectedKCoreInto(dst []graph.NodeID, g graph.Adjacency, q graph.NodeID, k int, w *ws.Workspace) []graph.NodeID {
 	core := DecomposeWS(g, w)
 	if int(core[q]) < k {
 		return nil
@@ -130,7 +131,7 @@ func MaximalConnectedKCoreInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeI
 	start := len(dst)
 	dst = append(dst, q)
 	for i := start; i < len(dst); i++ {
-		for _, u := range g.Neighbors(dst[i]) {
+		for _, u := range g.NeighborsInto(&w.NbrA, dst[i]) {
 			if int(core[u]) >= k && w.Visited.Add(u) {
 				dst = append(dst, u)
 			}
@@ -142,14 +143,14 @@ func MaximalConnectedKCoreInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeI
 // InKCoreSet reports whether every node of members has at least k neighbors
 // inside members. Used by tests and validators. Membership is tracked by an
 // epoch-stamped set from the workspace pool, not a per-call map.
-func InKCoreSet(g *graph.Graph, members []graph.NodeID, k int) bool {
+func InKCoreSet(g graph.Adjacency, members []graph.NodeID, k int) bool {
 	w := ws.Get()
 	defer w.Release()
 	return InKCoreSetWS(g, members, k, w)
 }
 
 // InKCoreSetWS is InKCoreSet with the membership set drawn from w.
-func InKCoreSetWS(g *graph.Graph, members []graph.NodeID, k int, w *ws.Workspace) bool {
+func InKCoreSetWS(g graph.Adjacency, members []graph.NodeID, k int, w *ws.Workspace) bool {
 	in := &w.Member
 	in.Reset(g.NumNodes())
 	for _, v := range members {
@@ -157,7 +158,7 @@ func InKCoreSetWS(g *graph.Graph, members []graph.NodeID, k int, w *ws.Workspace
 	}
 	for _, v := range members {
 		d := 0
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&w.NbrA, v) {
 			if in.Has(u) {
 				d++
 			}

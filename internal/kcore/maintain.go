@@ -12,7 +12,7 @@ var _ cohesive.Maintainer = (*Sub)(nil)
 // Sub maintains a connected k-core containing a query node under node
 // deletions with rollback. It implements cohesive.Maintainer.
 type Sub struct {
-	g        *graph.Graph
+	g        graph.Adjacency
 	k        int
 	q        graph.NodeID
 	universe []graph.NodeID // the initial member set; alive ⊆ universe
@@ -24,12 +24,13 @@ type Sub struct {
 	stack []graph.NodeID
 	mark  []bool
 	comp  []graph.NodeID
+	nbr   []graph.NodeID // neighbor-decode scratch for non-aliasing backings
 }
 
 // NewSub builds a maintenance structure over the nodes of members, which must
 // already form a connected k-core containing q (e.g. the output of
 // MaximalConnectedKCore).
-func NewSub(g *graph.Graph, q graph.NodeID, k int, members []graph.NodeID) (*Sub, error) {
+func NewSub(g graph.Adjacency, q graph.NodeID, k int, members []graph.NodeID) (*Sub, error) {
 	n := g.NumNodes()
 	s := &Sub{
 		g:        g,
@@ -48,7 +49,7 @@ func NewSub(g *graph.Graph, q graph.NodeID, k int, members []graph.NodeID) (*Sub
 	}
 	for _, v := range members {
 		d := int32(0)
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&s.nbr, v) {
 			if s.alive[u] {
 				d++
 			}
@@ -98,7 +99,7 @@ func (s *Sub) kill(v graph.NodeID, removed *[]graph.NodeID) {
 	s.alive[v] = false
 	s.size--
 	*removed = append(*removed, v)
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.g.NeighborsInto(&s.nbr, v) {
 		if !s.alive[u] {
 			continue
 		}
@@ -132,7 +133,7 @@ func (s *Sub) RemoveCascade(v graph.NodeID) (removed []graph.NodeID, qAlive bool
 	s.comp = append(s.comp, s.q)
 	s.mark[s.q] = true
 	for i := 0; i < len(s.comp); i++ {
-		for _, u := range s.g.Neighbors(s.comp[i]) {
+		for _, u := range s.g.NeighborsInto(&s.nbr, s.comp[i]) {
 			if s.alive[u] && !s.mark[u] {
 				s.mark[u] = true
 				s.comp = append(s.comp, u)
@@ -148,7 +149,7 @@ func (s *Sub) RemoveCascade(v graph.NodeID) (removed []graph.NodeID, qAlive bool
 				s.alive[w] = false
 				s.size--
 				removed = append(removed, w)
-				for _, u := range s.g.Neighbors(w) {
+				for _, u := range s.g.NeighborsInto(&s.nbr, w) {
 					if s.alive[u] {
 						s.deg[u]--
 					}
@@ -169,7 +170,7 @@ func (s *Sub) Restore(removed []graph.NodeID) {
 		s.alive[w] = true
 		s.size++
 		d := int32(0)
-		for _, u := range s.g.Neighbors(w) {
+		for _, u := range s.g.NeighborsInto(&s.nbr, w) {
 			if s.alive[u] {
 				d++
 				if u != w {

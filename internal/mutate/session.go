@@ -38,11 +38,13 @@ type Session struct {
 	nbuf, nbuf2 []graph.NodeID // neighbor-list scratch
 }
 
-// NewSession starts a mutation session over base. core is the base graph's
-// coreness (copied); etruss is the per-edge trussness table, adopted and
-// maintained in place when non-nil (pass nil to skip truss maintenance —
-// the caller rebuilds its truss index lazily instead).
-func NewSession(base *graph.Graph, core []int32, etruss map[Edge]int32) *Session {
+// NewSession starts a mutation session over base, which may be any immutable
+// graph.Store backing (heap CSR, mapped snapshot, compressed adjacency).
+// core is the base graph's coreness (copied); etruss is the per-edge
+// trussness table, adopted and maintained in place when non-nil (pass nil to
+// skip truss maintenance — the caller rebuilds its truss index lazily
+// instead).
+func NewSession(base graph.Store, core []int32, etruss map[Edge]int32) *Session {
 	return &Session{
 		ov:         graph.NewOverlay(base),
 		core:       append(make([]int32, 0, base.NumNodes()+8), core...),

@@ -316,17 +316,17 @@ type Outcome struct {
 	Exact *exact.Result `json:"-"`
 }
 
-// Searcher answers Requests with one fixed method on any graph. Obtain one
-// from NewSearcher; implementations are stateless and safe for concurrent
-// use. Search builds the attribute metric itself (γ=0.5, the paper's
-// default); use Run to share a precomputed metric or f(·,q) vector.
+// Searcher answers Requests with one fixed method on any graph backing.
+// Obtain one from NewSearcher; implementations are stateless and safe for
+// concurrent use. Search builds the attribute metric itself (γ=0.5, the
+// paper's default); use Run to share a precomputed metric or f(·,q) vector.
 type Searcher interface {
 	// Method returns the solver this searcher routes to.
 	Method() Method
 	// Search answers req on g. The request's Method field is ignored in
 	// favor of the searcher's own, so one Request can be replayed across
 	// several searchers for comparison.
-	Search(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error)
+	Search(ctx context.Context, g graph.Store, req Request) (*Outcome, error)
 }
 
 // DefaultGamma is the attribute-metric balance factor used when a searcher
@@ -345,14 +345,14 @@ type methodSearcher struct{ m Method }
 
 func (s methodSearcher) Method() Method { return s.m }
 
-func (s methodSearcher) Search(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error) {
+func (s methodSearcher) Search(ctx context.Context, g graph.Store, req Request) (*Outcome, error) {
 	req.Method = s.m
 	return Run(ctx, g, nil, nil, req)
 }
 
 // Execute answers req on g with the method req names, building the default
 // attribute metric. It is the one-call form of NewSearcher + Search.
-func Execute(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error) {
+func Execute(ctx context.Context, g graph.Store, req Request) (*Outcome, error) {
 	return Run(ctx, g, nil, nil, req)
 }
 
@@ -360,9 +360,11 @@ func Execute(ctx context.Context, g *graph.Graph, req Request) (*Outcome, error)
 // vector dist when the caller has them (either may be nil: a nil m builds
 // the DefaultGamma metric, a nil dist is computed from m on demand). This is
 // the entry point the Engine drives with its shared metric and distance
-// cache. On interruption or budget exhaustion the Outcome carries the best
-// community found so far (Truncated set) alongside the classifying error.
-func Run(ctx context.Context, g *graph.Graph, m *attr.Metric, dist []float64, req Request) (*Outcome, error) {
+// cache; g may be any graph.Store backing — heap CSR, mapped snapshot or
+// compressed adjacency — and the Outcome is byte-identical across them. On
+// interruption or budget exhaustion the Outcome carries the best community
+// found so far (Truncated set) alongside the classifying error.
+func Run(ctx context.Context, g graph.Store, m *attr.Metric, dist []float64, req Request) (*Outcome, error) {
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -390,7 +392,7 @@ func Run(ctx context.Context, g *graph.Graph, m *attr.Metric, dist []float64, re
 // them when an Outcome needs its Delta.
 type env struct {
 	ctx  context.Context
-	g    *graph.Graph
+	g    graph.Store
 	q    graph.NodeID
 	m    *attr.Metric
 	dist []float64

@@ -67,7 +67,7 @@ func heapPop(h []ws.NodeDist) ([]ws.NodeDist, ws.NodeDist) {
 // node with the smallest composite distance to q first, until minSize nodes
 // are collected (or the component of q is exhausted). dist[v] must hold
 // f(v,q). q is always the first element of the result.
-func BuildGq(g *graph.Graph, q graph.NodeID, dist []float64, minSize int) []graph.NodeID {
+func BuildGq(g graph.Adjacency, q graph.NodeID, dist []float64, minSize int) []graph.NodeID {
 	w := ws.Get()
 	defer w.Release()
 	if minSize < 1 {
@@ -79,7 +79,7 @@ func BuildGq(g *graph.Graph, q graph.NodeID, dist []float64, minSize int) []grap
 // BuildGqInto is BuildGq appending to dst, with all scratch state (visited
 // set, frontier heap) drawn from w: zero allocations once dst and w have
 // warmed to the working size.
-func BuildGqInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, dist []float64, minSize int, w *ws.Workspace) []graph.NodeID {
+func BuildGqInto(dst []graph.NodeID, g graph.Adjacency, q graph.NodeID, dist []float64, minSize int, w *ws.Workspace) []graph.NodeID {
 	if minSize < 1 {
 		minSize = 1
 	}
@@ -91,7 +91,7 @@ func BuildGqInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, dist []floa
 		var nd ws.NodeDist
 		h, nd = heapPop(h)
 		dst = append(dst, nd.V)
-		for _, u := range g.Neighbors(nd.V) {
+		for _, u := range g.NeighborsInto(&w.NbrA, nd.V) {
 			if w.Visited.Add(u) {
 				h = heapPush(h, ws.NodeDist{V: u, D: dist[u]})
 			}
@@ -104,15 +104,26 @@ func BuildGqInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, dist []floa
 // BuildGqBFS is the plain hop-order variant used by the frontier ablation
 // benchmark: identical contract to BuildGq but breadth-first instead of
 // best-first.
-func BuildGqBFS(g *graph.Graph, q graph.NodeID, minSize int) []graph.NodeID {
+func BuildGqBFS(g graph.Adjacency, q graph.NodeID, minSize int) []graph.NodeID {
 	if minSize < 1 {
 		minSize = 1
 	}
 	out := make([]graph.NodeID, 0, minSize)
-	g.BFS(q, func(v graph.NodeID, _ int) bool {
-		out = append(out, v)
-		return len(out) < minSize
-	})
+	seen := make([]bool, g.NumNodes())
+	seen[q] = true
+	out = append(out, q)
+	var nbr []graph.NodeID
+	for i := 0; i < len(out) && len(out) < minSize; i++ {
+		for _, u := range g.NeighborsInto(&nbr, out[i]) {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+				if len(out) >= minSize {
+					break
+				}
+			}
+		}
+	}
 	return out
 }
 

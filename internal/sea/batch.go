@@ -25,14 +25,14 @@ type BatchResult struct {
 // goroutines (0 means GOMAXPROCS). Results are returned in query order.
 // Each query uses an independent RNG seeded from opts.Seed and its position,
 // so the output is deterministic regardless of scheduling.
-func BatchSearch(g *graph.Graph, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
+func BatchSearch(g graph.CSR, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
 	return BatchSearchContext(context.Background(), g, m, queries, opts, workers)
 }
 
 // BatchSearchContext is BatchSearch under a context: every per-query search
 // runs with ctx, so cancelling it interrupts in-flight queries (each returns
 // its best-so-far with ctx's error wrapped) and skips unstarted ones.
-func BatchSearchContext(ctx context.Context, g *graph.Graph, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
+func BatchSearchContext(ctx context.Context, g graph.CSR, m *attr.Metric, queries []graph.NodeID, opts Options, workers int) ([]BatchResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}

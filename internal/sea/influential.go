@@ -32,7 +32,7 @@ type InfluentialResult struct {
 // structure survives — the standard influential-community peeling, which is
 // exact for the max-min objective. influence[v] is v's influence score
 // (e.g. an h-index or PageRank); len(influence) must equal g.NumNodes().
-func InfluentialSearch(g *graph.Graph, q graph.NodeID, k int, influence []float64) (*InfluentialResult, error) {
+func InfluentialSearch(g graph.Adjacency, q graph.NodeID, k int, influence []float64) (*InfluentialResult, error) {
 	if len(influence) != g.NumNodes() {
 		return nil, fmt.Errorf("sea: influence vector has %d entries for %d nodes", len(influence), g.NumNodes())
 	}

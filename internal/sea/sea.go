@@ -201,7 +201,7 @@ type Result struct {
 var ErrNoCommunity = cserr.ErrNoCommunity
 
 // Search runs SEA on g for query node q using metric m.
-func Search(g *graph.Graph, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
+func Search(g graph.CSR, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
 	return SearchContext(context.Background(), g, m, q, opts)
 }
 
@@ -209,7 +209,7 @@ func Search(g *graph.Graph, m *attr.Metric, q graph.NodeID, opts Options) (*Resu
 // loop and the greedy peeling both check ctx and stop promptly when it is
 // cancelled. An interrupted search returns the best candidate found so far
 // (nil when none exists yet) together with an error wrapping ctx's error.
-func SearchContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
+func SearchContext(ctx context.Context, g graph.CSR, m *attr.Metric, q graph.NodeID, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,13 +219,13 @@ func SearchContext(ctx context.Context, g *graph.Graph, m *attr.Metric, q graph.
 
 // SearchWithDist is Search with a precomputed f(·,q) vector, letting callers
 // amortize the distance computation across runs.
-func SearchWithDist(g *graph.Graph, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
+func SearchWithDist(g graph.CSR, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
 	return SearchWithDistContext(context.Background(), g, dist, q, opts)
 }
 
 // SearchWithDistContext is SearchWithDist under a context; see SearchContext
 // for the cancellation contract.
-func SearchWithDistContext(ctx context.Context, g *graph.Graph, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
+func SearchWithDistContext(ctx context.Context, g graph.CSR, dist []float64, q graph.NodeID, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -237,7 +237,7 @@ func SearchWithDistContext(ctx context.Context, g *graph.Graph, dist []float64, 
 
 type seaRun struct {
 	ctx  context.Context
-	g    *graph.Graph
+	g    graph.CSR
 	dist []float64
 	q    graph.NodeID
 	opts Options
@@ -465,7 +465,7 @@ func (s *seaRun) buildMaintainer(sample []graph.NodeID) (cohesive.Maintainer, []
 	// preallocated CSR arrays: the extraction paths below read only
 	// adjacency, and attribute distances go through orig on the parent
 	// graph. sub and orig stay valid until the next round's rebuild.
-	sub, orig := s.g.InducedStructure(sample, &s.w.Sub)
+	sub, orig := graph.InducedStructureOf(s.g, sample, &s.w.Sub)
 	var subQ graph.NodeID = -1
 	for i, v := range orig {
 		if v == s.q {

@@ -1,0 +1,572 @@
+package store
+
+// Version 2 of the snapshot format: the mmap-ready aligned section-table
+// layout, optionally with delta+varint compressed adjacency.
+//
+// # Format (version 2)
+//
+// All integers are little-endian. The file is a fixed header, a section
+// table, the section payloads, and a trailing CRC:
+//
+//	magic    [8]byte  "SEASNAP\x00"
+//	version  uint32   2
+//	flags    uint32   bit 0: index sections present; bit 1: compressed adjacency
+//	nsec     uint32   number of section-table entries
+//	reserved uint32   0
+//	table    nsec × { id uint32, reserved uint32, off uint64, len uint64 }
+//	...section payloads, each at an 8-byte-aligned file offset...
+//	crc      uint32   CRC-32 (Castagnoli) of every preceding byte
+//
+// Section offsets are absolute file offsets; the gap between sections is
+// zero padding. Every section offset is a multiple of 8, so a mapped
+// snapshot's int32/int64/float64 payloads can be reinterpreted in place
+// without copying (see OpenMapped). Sections appear in the table in
+// ascending file order.
+//
+// Section IDs and payloads:
+//
+//	 1 meta       n uint64, edges uint64, textLen uint64, numDim uint32, dictLen uint32
+//	 2 offsets    [n+1]int32   CSR element offsets
+//	 3 adj        [2·edges]int32  (uncompressed layout only)
+//	 4 packoff    [n+1]int64   per-node byte offsets into packblob (compressed only)
+//	 5 packblob   varint bytes (compressed only)
+//	 6 textoff    [n+1]int32
+//	 7 text       [textLen]int32
+//	 8 num        [n·numDim]float64
+//	 9 dict       dictLen × (uint32 byteLen + bytes)
+//	10 coreness   [n]int32     (index only)
+//	11 nodetruss  [n]int32     (index only, optional)
+//	12 normmin    [numDim]float64 (index only)
+//	13 normmax    [numDim]float64 (index only)
+//
+// The compressed adjacency encodes each node's sorted neighbor list as
+// uvarints: the first neighbor as its value, every later neighbor as the
+// delta to its predecessor (always ≥ 1 — lists are strictly ascending).
+// packoff[v] is the byte offset of v's encoding in packblob; the element
+// offsets section is kept as-is so Degree and the positional edge-ID
+// contract (graph.CSR) stay O(1).
+//
+// Open/OpenFile verify the trailing checksum and the structural invariants
+// before serving (heap open). OpenMapped validates only the header and
+// section table — O(1) in the graph size — and trusts payload bytes that
+// were validated when written; that is the zero-copy boot path.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/cserr"
+	"repro/internal/graph"
+)
+
+// Version2 is the aligned section-table snapshot format version.
+const Version2 = 2
+
+const (
+	flagCompressed = 1 << 1
+
+	v2HeaderLen   = 24
+	v2TableEntry  = 24
+	v2MetaLen     = 32
+	v2MaxSections = 64
+)
+
+// Section IDs of the v2 layout.
+const (
+	secMeta uint32 = iota + 1
+	secOffsets
+	secAdj
+	secPackOff
+	secPackBlob
+	secTextOff
+	secText
+	secNum
+	secDict
+	secCoreness
+	secNodeTruss
+	secNormMin
+	secNormMax
+)
+
+var sectionNames = map[uint32]string{
+	secMeta:      "meta",
+	secOffsets:   "offsets",
+	secAdj:       "adj",
+	secPackOff:   "packoff",
+	secPackBlob:  "packblob",
+	secTextOff:   "textoff",
+	secText:      "text",
+	secNum:       "num",
+	secDict:      "dict",
+	secCoreness:  "coreness",
+	secNodeTruss: "nodetruss",
+	secNormMin:   "normmin",
+	secNormMax:   "normmax",
+}
+
+func sectionName(id uint32) string {
+	if n, ok := sectionNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("section#%d", id)
+}
+
+// PackOptions selects the on-disk snapshot layout.
+type PackOptions struct {
+	// Align writes the version-2 aligned section-table layout, which
+	// OpenMapped can serve zero-copy straight from the page cache. False
+	// (and Compress false) keeps the legacy version-1 stream.
+	Align bool
+	// Compress stores the adjacency delta+varint encoded (implies Align).
+	// Neighbor lists are decoded per node into caller scratch at query
+	// time; the rest of the snapshot stays flat and mappable.
+	Compress bool
+}
+
+// WriteSnapshot serializes g and idx (nil for graph-only) to w in the layout
+// opt selects: the zero PackOptions writes the legacy v1 stream (identical
+// to Write), Align the v2 aligned layout, Compress the v2 layout with
+// delta+varint adjacency.
+func WriteSnapshot(w io.Writer, g *graph.Graph, idx *Index, opt PackOptions) error {
+	if !opt.Align && !opt.Compress {
+		return Write(w, g, idx)
+	}
+	if g == nil {
+		return fmt.Errorf("store: nil graph")
+	}
+	raw := g.Export()
+	n := g.NumNodes()
+	if idx != nil {
+		if len(idx.Coreness) != n {
+			return fmt.Errorf("store: index coreness length %d, graph has %d nodes", len(idx.Coreness), n)
+		}
+		if idx.NodeTruss != nil && len(idx.NodeTruss) != n {
+			return fmt.Errorf("store: index truss length %d, graph has %d nodes", len(idx.NodeTruss), n)
+		}
+		if len(idx.NormMin) != raw.NumDim || len(idx.NormMax) != raw.NumDim {
+			return fmt.Errorf("store: index bounds width %d/%d, graph NumDim %d",
+				len(idx.NormMin), len(idx.NormMax), raw.NumDim)
+		}
+	}
+
+	// Meta payload.
+	meta := make([]byte, v2MetaLen)
+	binary.LittleEndian.PutUint64(meta[0:], uint64(n))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(g.NumEdges()))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(len(raw.Text)))
+	binary.LittleEndian.PutUint32(meta[24:], uint32(raw.NumDim))
+	binary.LittleEndian.PutUint32(meta[28:], uint32(len(raw.DictNames)))
+
+	// Dict payload (length-prefixed names, materialized to know its size).
+	var dictLen int
+	for _, name := range raw.DictNames {
+		dictLen += 4 + len(name)
+	}
+	dict := make([]byte, 0, dictLen)
+	var b4 [4]byte
+	for _, name := range raw.DictNames {
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(name)))
+		dict = append(dict, b4[:]...)
+		dict = append(dict, name...)
+	}
+
+	type sec struct {
+		id    uint32
+		size  int64
+		write func(e *encoder)
+	}
+	secs := []sec{
+		{secMeta, v2MetaLen, func(e *encoder) { e.bytes(meta) }},
+		{secOffsets, 4 * int64(len(raw.Offsets)), func(e *encoder) { e.i32s(raw.Offsets) }},
+	}
+	if opt.Compress {
+		packOff, blob := packAdjacency(raw.Offsets, raw.Adj)
+		secs = append(secs,
+			sec{secPackOff, 8 * int64(len(packOff)), func(e *encoder) { e.i64s(packOff) }},
+			sec{secPackBlob, int64(len(blob)), func(e *encoder) { e.bytes(blob) }},
+		)
+	} else {
+		secs = append(secs, sec{secAdj, 4 * int64(len(raw.Adj)), func(e *encoder) { e.i32s(raw.Adj) }})
+	}
+	secs = append(secs,
+		sec{secTextOff, 4 * int64(len(raw.TextOff)), func(e *encoder) { e.i32s(raw.TextOff) }},
+		sec{secText, 4 * int64(len(raw.Text)), func(e *encoder) { e.i32s(raw.Text) }},
+		sec{secNum, 8 * int64(len(raw.Num)), func(e *encoder) { e.f64s(raw.Num) }},
+		sec{secDict, int64(len(dict)), func(e *encoder) { e.bytes(dict) }},
+	)
+	if idx != nil {
+		secs = append(secs, sec{secCoreness, 4 * int64(len(idx.Coreness)), func(e *encoder) { e.i32s(idx.Coreness) }})
+		if idx.NodeTruss != nil {
+			secs = append(secs, sec{secNodeTruss, 4 * int64(len(idx.NodeTruss)), func(e *encoder) { e.i32s(idx.NodeTruss) }})
+		}
+		secs = append(secs,
+			sec{secNormMin, 8 * int64(len(idx.NormMin)), func(e *encoder) { e.f64s(idx.NormMin) }},
+			sec{secNormMax, 8 * int64(len(idx.NormMax)), func(e *encoder) { e.f64s(idx.NormMax) }},
+		)
+	}
+
+	// Lay out: header, table, then 8-byte-aligned payloads.
+	offs := make([]int64, len(secs))
+	pos := int64(v2HeaderLen + v2TableEntry*len(secs))
+	for i, s := range secs {
+		pos = align8(pos)
+		offs[i] = pos
+		pos += s.size
+	}
+
+	crc := crc32.New(castagnoli)
+	ew := &encoder{w: io.MultiWriter(w, crc)}
+	ew.bytes(magic[:])
+	ew.u32(Version2)
+	var flags uint32
+	if idx != nil {
+		flags |= flagIndex
+	}
+	if opt.Compress {
+		flags |= flagCompressed
+	}
+	ew.u32(flags)
+	ew.u32(uint32(len(secs)))
+	ew.u32(0)
+	for i, s := range secs {
+		ew.u32(s.id)
+		ew.u32(0)
+		ew.u64(uint64(offs[i]))
+		ew.u64(uint64(s.size))
+	}
+	var pad [8]byte
+	written := int64(v2HeaderLen + v2TableEntry*len(secs))
+	for i, s := range secs {
+		if gap := offs[i] - written; gap > 0 {
+			ew.bytes(pad[:gap])
+		}
+		s.write(ew)
+		written = offs[i] + s.size
+	}
+	if ew.err != nil {
+		return ew.err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+func align8(x int64) int64 { return (x + 7) &^ 7 }
+
+// packAdjacency delta+uvarint encodes the CSR neighbor lists: per node, the
+// first neighbor as its value, every later one as the (≥1) delta to its
+// predecessor. Returns per-node byte offsets into the blob (len n+1).
+func packAdjacency(offsets []int32, adj []graph.NodeID) ([]int64, []byte) {
+	n := len(offsets) - 1
+	packOff := make([]int64, n+1)
+	blob := make([]byte, 0, len(adj)) // deltas are usually 1–2 bytes
+	var tmp [binary.MaxVarintLen64]byte
+	for v := 0; v < n; v++ {
+		prev := int64(-1)
+		for _, u := range adj[offsets[v]:offsets[v+1]] {
+			var d uint64
+			if prev < 0 {
+				d = uint64(u)
+			} else {
+				d = uint64(int64(u) - prev)
+			}
+			blob = append(blob, tmp[:binary.PutUvarint(tmp[:], d)]...)
+			prev = int64(u)
+		}
+		packOff[v+1] = int64(len(blob))
+	}
+	return packOff, blob
+}
+
+// v2section is one parsed section-table entry.
+type v2section struct {
+	id   uint32
+	off  int64
+	size int64
+}
+
+// parseV2Table parses and validates the v2 header and section table from the
+// file's leading bytes. fileSize is the total file size (trailer included);
+// head must hold at least the header and table. The validation is O(table),
+// not O(file) — it is the entirety of what a mapped open checks.
+func parseV2Table(head []byte, fileSize int64) (flags uint32, secs []v2section, err error) {
+	if len(head) < v2HeaderLen {
+		return 0, nil, fmt.Errorf("%w: section %q truncated: %d bytes is shorter than a v2 header",
+			cserr.ErrSnapshotCorrupt, "header", len(head))
+	}
+	flags = binary.LittleEndian.Uint32(head[12:])
+	if flags&^uint32(flagIndex|flagCompressed) != 0 {
+		return 0, nil, fmt.Errorf("%w: unknown flags %#x", cserr.ErrSnapshotVersion, flags)
+	}
+	nsec := int(binary.LittleEndian.Uint32(head[16:]))
+	if nsec <= 0 || nsec > v2MaxSections {
+		return 0, nil, fmt.Errorf("%w: section count %d outside [1,%d]", cserr.ErrSnapshotCorrupt, nsec, v2MaxSections)
+	}
+	tableEnd := v2HeaderLen + v2TableEntry*nsec
+	if len(head) < tableEnd {
+		return 0, nil, fmt.Errorf("%w: section %q truncated at %d bytes (table needs %d)",
+			cserr.ErrSnapshotCorrupt, "table", len(head), tableEnd)
+	}
+	secs = make([]v2section, nsec)
+	prevEnd := int64(tableEnd)
+	for i := range secs {
+		e := head[v2HeaderLen+v2TableEntry*i:]
+		s := v2section{
+			id:   binary.LittleEndian.Uint32(e),
+			off:  int64(binary.LittleEndian.Uint64(e[8:])),
+			size: int64(binary.LittleEndian.Uint64(e[16:])),
+		}
+		name := sectionName(s.id)
+		if s.off%8 != 0 {
+			return 0, nil, fmt.Errorf("%w: section %q at unaligned offset %d", cserr.ErrSnapshotCorrupt, name, s.off)
+		}
+		if s.off < prevEnd || s.size < 0 || s.off > fileSize || s.size > fileSize-s.off {
+			return 0, nil, fmt.Errorf("%w: section %q truncated: spans [%d,%d) of a %d-byte snapshot",
+				cserr.ErrSnapshotCorrupt, name, s.off, s.off+s.size, fileSize)
+		}
+		if s.off+s.size > fileSize-4 {
+			return 0, nil, fmt.Errorf("%w: section %q truncated: overlaps the checksum trailer",
+				cserr.ErrSnapshotCorrupt, name)
+		}
+		prevEnd = s.off + s.size
+		secs[i] = s
+	}
+	return flags, secs, nil
+}
+
+func findSection(secs []v2section, id uint32) (v2section, bool) {
+	for _, s := range secs {
+		if s.id == id {
+			return s, true
+		}
+	}
+	return v2section{}, false
+}
+
+// v2Meta is the decoded meta section.
+type v2Meta struct {
+	n       int
+	edges   int
+	textLen int
+	numDim  int
+	dictLen int
+}
+
+func parseV2Meta(data []byte, secs []v2section) (v2Meta, error) {
+	s, ok := findSection(secs, secMeta)
+	if !ok || s.size < v2MetaLen {
+		return v2Meta{}, fmt.Errorf("%w: section %q missing or short", cserr.ErrSnapshotCorrupt, "meta")
+	}
+	b := data[s.off : s.off+v2MetaLen]
+	m := v2Meta{
+		n:       int(binary.LittleEndian.Uint64(b[0:])),
+		edges:   int(binary.LittleEndian.Uint64(b[8:])),
+		textLen: int(binary.LittleEndian.Uint64(b[16:])),
+		numDim:  int(binary.LittleEndian.Uint32(b[24:])),
+		dictLen: int(binary.LittleEndian.Uint32(b[28:])),
+	}
+	if m.n < 0 || m.edges < 0 || m.textLen < 0 || m.numDim < 0 || m.dictLen < 0 {
+		return v2Meta{}, fmt.Errorf("%w: section %q holds negative counts", cserr.ErrSnapshotCorrupt, "meta")
+	}
+	if m.numDim > 0 && m.n > math.MaxInt/m.numDim {
+		return v2Meta{}, fmt.Errorf("%w: section %q: numDim %d overflows", cserr.ErrSnapshotCorrupt, "meta", m.numDim)
+	}
+	return m, nil
+}
+
+// sectionBytes returns the payload of section id, checking its exact size.
+func sectionBytes(data []byte, secs []v2section, id uint32, want int64) ([]byte, error) {
+	s, ok := findSection(secs, id)
+	if !ok {
+		return nil, fmt.Errorf("%w: section %q missing", cserr.ErrSnapshotCorrupt, sectionName(id))
+	}
+	if s.size != want {
+		return nil, fmt.Errorf("%w: section %q is %d bytes, want %d",
+			cserr.ErrSnapshotCorrupt, sectionName(id), s.size, want)
+	}
+	return data[s.off : s.off+s.size], nil
+}
+
+// decodeV2 is the heap open of a v2 snapshot: full checksum verification,
+// every section decoded into fresh heap slices, structural validation.
+func decodeV2(data []byte) (*Snapshot, error) {
+	flags, secs, err := parseV2Table(data, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, stored %08x)", cserr.ErrSnapshotCorrupt, got, want)
+	}
+	meta, err := parseV2Meta(data, secs)
+	if err != nil {
+		return nil, err
+	}
+	compressed := flags&flagCompressed != 0
+
+	i32sec := func(id uint32, n int) ([]int32, error) {
+		b, err := sectionBytes(data, secs, id, 4*int64(n))
+		if err != nil {
+			return nil, err
+		}
+		return decodeI32s(b), nil
+	}
+	f64sec := func(id uint32, n int) ([]float64, error) {
+		b, err := sectionBytes(data, secs, id, 8*int64(n))
+		if err != nil {
+			return nil, err
+		}
+		return decodeF64s(b), nil
+	}
+
+	offsets, err := i32sec(secOffsets, meta.n+1)
+	if err != nil {
+		return nil, err
+	}
+	textOff, err := i32sec(secTextOff, meta.n+1)
+	if err != nil {
+		return nil, err
+	}
+	text, err := i32sec(secText, meta.textLen)
+	if err != nil {
+		return nil, err
+	}
+	num, err := f64sec(secNum, meta.n*meta.numDim)
+	if err != nil {
+		return nil, err
+	}
+	dsec, ok := findSection(secs, secDict)
+	if !ok {
+		return nil, fmt.Errorf("%w: section %q missing", cserr.ErrSnapshotCorrupt, "dict")
+	}
+	names, err := decodeDict(data[dsec.off:dsec.off+dsec.size], meta.dictLen)
+	if err != nil {
+		return nil, err
+	}
+
+	var idx *Index
+	if flags&flagIndex != 0 {
+		idx = &Index{}
+		if idx.Coreness, err = i32sec(secCoreness, meta.n); err != nil {
+			return nil, err
+		}
+		if _, ok := findSection(secs, secNodeTruss); ok {
+			if idx.NodeTruss, err = i32sec(secNodeTruss, meta.n); err != nil {
+				return nil, err
+			}
+		}
+		if idx.NormMin, err = f64sec(secNormMin, meta.numDim); err != nil {
+			return nil, err
+		}
+		if idx.NormMax, err = f64sec(secNormMax, meta.numDim); err != nil {
+			return nil, err
+		}
+	}
+
+	info := SnapshotInfo{
+		Version:    Version2,
+		Sections:   sectionList(secs),
+		Aligned:    true,
+		Compressed: compressed,
+		Index:      idx != nil,
+		Bytes:      int64(len(data)),
+	}
+
+	if compressed {
+		packOff, err := func() ([]int64, error) {
+			b, err := sectionBytes(data, secs, secPackOff, 8*int64(meta.n+1))
+			if err != nil {
+				return nil, err
+			}
+			return decodeI64s(b), nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		bsec, ok := findSection(secs, secPackBlob)
+		if !ok {
+			return nil, fmt.Errorf("%w: section %q missing", cserr.ErrSnapshotCorrupt, "packblob")
+		}
+		blob := append([]byte(nil), data[bsec.off:bsec.off+bsec.size]...)
+		pg, err := newPackedGraph(meta, offsets, packOff, blob, textOff, text, num, names)
+		if err != nil {
+			return nil, err
+		}
+		if err := pg.validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", cserr.ErrSnapshotCorrupt, err)
+		}
+		return &Snapshot{Store: pg, Index: idx, Info: info}, nil
+	}
+
+	adj, err := i32sec(secAdj, 2*meta.edges)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.FromRaw(graph.Raw{
+		Offsets: offsets, Adj: adj,
+		TextOff: textOff, Text: text,
+		NumDim: meta.numDim, Num: num,
+		DictNames: names,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", cserr.ErrSnapshotCorrupt, err)
+	}
+	return &Snapshot{Graph: g, Store: g, Index: idx, Info: info}, nil
+}
+
+func sectionList(secs []v2section) []string {
+	out := make([]string, len(secs))
+	for i, s := range secs {
+		out[i] = sectionName(s.id)
+	}
+	return out
+}
+
+func decodeI32s(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func decodeI64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func decodeF64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func decodeDict(b []byte, count int) ([]string, error) {
+	names := make([]string, 0, min(count, 1<<20))
+	off := 0
+	for i := 0; i < count; i++ {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("%w: section %q truncated at name %d", cserr.ErrSnapshotCorrupt, "dict", i)
+		}
+		l := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if l < 0 || off+l > len(b) {
+			return nil, fmt.Errorf("%w: section %q truncated at name %d", cserr.ErrSnapshotCorrupt, "dict", i)
+		}
+		names = append(names, string(b[off:off+l]))
+		off += l
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: section %q has %d trailing bytes", cserr.ErrSnapshotCorrupt, "dict", len(b)-off)
+	}
+	return names, nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Platforms without the unix mmap syscall surface serve snapshots from the
+// heap; OpenMapped falls back transparently.
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmap(b []byte) error { return nil }

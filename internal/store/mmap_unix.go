@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared: the pages stay backed
+// by the page cache, so concurrently serving the same snapshot from several
+// processes shares one physical copy.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, errMmapUnsupported
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

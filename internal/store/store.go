@@ -7,6 +7,13 @@
 // text exchange format of internal/dataset is the interchange form, the
 // snapshot is the serving form.
 //
+// Two on-disk layouts exist: the legacy version-1 stream below, and the
+// version-2 aligned section-table layout (format2.go) that OpenMapped can
+// serve zero-copy from the page cache and that optionally stores the
+// adjacency delta+varint compressed (PackedGraph). Write emits v1;
+// WriteSnapshot with PackOptions selects the layout. Every open path reads
+// both versions.
+//
 // # Format (version 1)
 //
 // All integers are little-endian and fixed-width; arrays are stored raw with
@@ -89,11 +96,32 @@ type Index struct {
 	NormMin, NormMax []float64
 }
 
-// Snapshot is the reopened serving state: the graph and, when the snapshot
-// carried one, the precomputed index.
+// Snapshot is the reopened serving state: the graph backing and, when the
+// snapshot carried one, the precomputed index.
 type Snapshot struct {
+	// Graph is the heap CSR graph, or nil when the backing is not a
+	// materialized *graph.Graph (a compressed open serves a PackedGraph —
+	// use Store, or graph.CopyStore to materialize).
 	Graph *graph.Graph
+	// Store is the serving backing every open path fills: identical to
+	// Graph for heap CSR opens, a *PackedGraph for compressed ones.
+	Store graph.Store
 	Index *Index // nil when the snapshot has no index section
+	// Info describes the on-disk form the snapshot came from (zero value
+	// for text-format opens).
+	Info SnapshotInfo
+}
+
+// Backing returns the serving store of the snapshot, tolerating
+// hand-assembled Snapshots that only set Graph.
+func (s *Snapshot) Backing() graph.Store {
+	if s.Store != nil {
+		return s.Store
+	}
+	if s.Graph != nil {
+		return s.Graph
+	}
+	return nil
 }
 
 // Write serializes g and idx to w in the snapshot format. idx may be nil to
@@ -195,12 +223,13 @@ func OpenFile(path string) (*Snapshot, error) {
 // snapshot magic to pick the decoder: a packed snapshot opens with its
 // index, anything else parses as the text exchange format (Index nil). It
 // is the one open-either-format path shared by the catalog and the CLI.
+// (MountGraphFile is the zero-copy sibling.)
 func OpenGraphFile(path string) (*Snapshot, error) {
-	isSnap, err := DetectFile(path)
+	info, err := DetectFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if isSnap {
+	if info.IsSnapshot() {
 		return OpenFile(path)
 	}
 	f, err := os.Open(path)
@@ -212,25 +241,12 @@ func OpenGraphFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &Snapshot{Graph: g}, nil
+	return &Snapshot{Graph: g, Store: g}, nil
 }
 
-// DetectFile reports whether the file at path begins with the snapshot
-// magic, distinguishing packed snapshots from text-format graph files.
-func DetectFile(path string) (bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return false, err
-	}
-	defer f.Close()
-	var head [8]byte
-	if _, err := io.ReadFull(f, head[:]); err != nil {
-		return false, nil // shorter than the magic: not a snapshot
-	}
-	return head == magic, nil
-}
-
-// Decode is Open over bytes already in memory.
+// Decode is Open over bytes already in memory. It dispatches on the format
+// version: 1 is the legacy stream below, 2 the aligned section-table layout
+// (see format2.go).
 func Decode(data []byte) (*Snapshot, error) {
 	if len(data) < len(magic)+8+4 {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than any snapshot", cserr.ErrSnapshotCorrupt, len(data))
@@ -240,33 +256,50 @@ func Decode(data []byte) (*Snapshot, error) {
 	if head != magic {
 		return nil, fmt.Errorf("%w: bad magic (not a snapshot file)", cserr.ErrSnapshotVersion)
 	}
-	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", cserr.ErrSnapshotVersion, v, Version)
+	switch v := binary.LittleEndian.Uint32(data[8:]); v {
+	case Version:
+		return decodeV1(data)
+	case Version2:
+		return decodeV2(data)
+	default:
+		return nil, fmt.Errorf("%w: version %d, this build reads %d and %d", cserr.ErrSnapshotVersion, v, Version, Version2)
 	}
+}
+
+// decodeV1 decodes the legacy v1 stream. The structural parse runs before
+// the checksum so a truncated file reports the section the bytes ran out in
+// (not a bare checksum mismatch); a file whose lengths parse but whose bytes
+// are damaged still fails the checksum before any array is trusted.
+func decodeV1(data []byte) (*Snapshot, error) {
 	body, tail := data[:len(data)-4], data[len(data)-4:]
-	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, stored %08x)", cserr.ErrSnapshotCorrupt, got, want)
-	}
-	d := &decoder{data: body, off: 12}
+	d := &decoder{data: body, off: 12, sec: "header"}
 	flags := d.u32()
-	if flags&^uint32(flagIndex) != 0 {
+	if d.err == nil && flags&^uint32(flagIndex) != 0 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", cserr.ErrSnapshotVersion, flags)
 	}
 
+	d.sec = "meta"
 	n := d.count("nodes")
 	a := d.count("adjacency")
-	raw := graph.Raw{
-		Offsets: d.i32s(n + 1),
-		Adj:     d.i32s(a),
-	}
+	raw := graph.Raw{}
+	d.sec = "offsets"
+	raw.Offsets = d.i32s(n + 1)
+	d.sec = "adj"
+	raw.Adj = d.i32s(a)
+	d.sec = "meta"
 	t := d.count("text tokens")
+	d.sec = "textoff"
 	raw.TextOff = d.i32s(n + 1)
+	d.sec = "text"
 	raw.Text = d.i32s(t)
+	d.sec = "meta"
 	raw.NumDim = int(d.u32())
 	if d.err == nil && (raw.NumDim < 0 || (raw.NumDim > 0 && n > math.MaxInt/raw.NumDim)) {
 		d.fail(fmt.Errorf("numDim %d overflows", raw.NumDim))
 	}
+	d.sec = "num"
 	raw.Num = d.f64s(n * raw.NumDim)
+	d.sec = "dict"
 	dictLen := int(d.u32())
 	if d.err == nil {
 		raw.DictNames = make([]string, 0, min(dictLen, 1<<20))
@@ -277,11 +310,15 @@ func Decode(data []byte) (*Snapshot, error) {
 
 	var idx *Index
 	if flags&flagIndex != 0 {
+		d.sec = "coreness"
 		idx = &Index{Coreness: d.i32s(n)}
 		if d.u8() != 0 {
+			d.sec = "nodetruss"
 			idx.NodeTruss = d.i32s(n)
 		}
+		d.sec = "normmin"
 		idx.NormMin = d.f64s(raw.NumDim)
+		d.sec = "normmax"
 		idx.NormMax = d.f64s(raw.NumDim)
 	}
 	if d.err != nil {
@@ -290,11 +327,15 @@ func Decode(data []byte) (*Snapshot, error) {
 	if d.off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", cserr.ErrSnapshotCorrupt, len(body)-d.off)
 	}
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, stored %08x)", cserr.ErrSnapshotCorrupt, got, want)
+	}
 	g, err := graph.FromRaw(raw)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", cserr.ErrSnapshotCorrupt, err)
 	}
-	return &Snapshot{Graph: g, Index: idx}, nil
+	info := SnapshotInfo{Version: Version, Index: idx != nil, Bytes: int64(len(data))}
+	return &Snapshot{Graph: g, Store: g, Index: idx, Info: info}, nil
 }
 
 // encoder writes fixed-width little-endian values, latching the first error.
@@ -352,12 +393,29 @@ func (e *encoder) f64s(xs []float64) {
 	}
 }
 
+// i64s is i32s for int64 values.
+func (e *encoder) i64s(xs []int64) {
+	const chunk = 8 * 1024
+	buf := make([]byte, 0, 8*min(len(xs), chunk))
+	for len(xs) > 0 && e.err == nil {
+		nn := min(len(xs), chunk)
+		buf = buf[:8*nn]
+		for i, x := range xs[:nn] {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+		}
+		e.bytes(buf)
+		xs = xs[nn:]
+	}
+}
+
 // decoder reads fixed-width values from a byte slice with bounds checking,
-// latching the first error.
+// latching the first error. sec names the logical section being decoded so
+// a truncated snapshot reports where the bytes ran out.
 type decoder struct {
 	data []byte
 	off  int
 	err  error
+	sec  string
 }
 
 func (d *decoder) fail(err error) {
@@ -371,7 +429,7 @@ func (d *decoder) take(n int) []byte {
 		return nil
 	}
 	if n < 0 || d.off+n > len(d.data) || d.off+n < d.off {
-		d.fail(fmt.Errorf("truncated at offset %d (need %d bytes)", d.off, n))
+		d.fail(fmt.Errorf("section %q truncated at offset %d (need %d bytes)", d.sec, d.off, n))
 		return nil
 	}
 	b := d.data[d.off : d.off+n]

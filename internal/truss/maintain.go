@@ -16,7 +16,7 @@ var _ cohesive.Maintainer = (*Sub)(nil)
 // alive incident edge. RemoveCascade(v) deletes v's edges, cascades support
 // violations, and restricts the alive edges to the query's component.
 type Sub struct {
-	g  *graph.Graph
+	g  graph.CSR
 	ix *EdgeIndex
 	k  int
 	q  graph.NodeID
@@ -34,6 +34,7 @@ type Sub struct {
 
 	stack []int32 // cascade stack of edge IDs
 	mark  []bool
+	nbr   []graph.NodeID // neighbor-decode scratch for non-aliasing backings
 }
 
 // removalLog pairs the edges removed by one RemoveCascade with the number of
@@ -45,7 +46,7 @@ type removalLog struct {
 
 // NewSub builds a maintenance structure over members, which must form a
 // connected k-truss containing q.
-func NewSub(g *graph.Graph, q graph.NodeID, k int, members []graph.NodeID) (*Sub, error) {
+func NewSub(g graph.CSR, q graph.NodeID, k int, members []graph.NodeID) (*Sub, error) {
 	ix := NewEdgeIndex(g)
 	s := &Sub{
 		g:         g,
@@ -67,7 +68,7 @@ func NewSub(g *graph.Graph, q graph.NodeID, k int, members []graph.NodeID) (*Sub
 	}
 	// Activate induced edges.
 	for _, v := range members {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&s.nbr, v) {
 			if u > v && in[u] {
 				e, _ := ix.EdgeID(v, u)
 				s.edgeAlive[e] = true
@@ -108,14 +109,14 @@ func NewSub(g *graph.Graph, q graph.NodeID, k int, members []graph.NodeID) (*Sub
 
 // restrictToQueryComponent kills every alive edge outside q's component.
 func (s *Sub) restrictToQueryComponent(nodes *[]graph.NodeID, elog *[]int32) {
-	base := s.g.Offsets()
 	comp := []graph.NodeID{s.q}
 	s.mark[s.q] = true
 	compSize := 1
 	for i := 0; i < len(comp); i++ {
 		x := comp[i]
-		for j, u := range s.g.Neighbors(x) {
-			e := s.ix.eid[int(base[x])+j]
+		baseX := int(s.g.ListOffset(x))
+		for j, u := range s.g.NeighborsInto(&s.nbr, x) {
+			e := s.ix.eid[baseX+j]
 			if s.edgeAlive[e] && !s.mark[u] {
 				s.mark[u] = true
 				comp = append(comp, u)
@@ -140,14 +141,15 @@ func (s *Sub) restrictToQueryComponent(nodes *[]graph.NodeID, elog *[]int32) {
 func (s *Sub) forAliveTriangles(e int32, fn func(e1, e2 int32)) {
 	u, v := s.ix.U[e], s.ix.V[e]
 	g := s.g
-	base := g.Offsets()
-	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	nu := g.NeighborsInto(&s.ix.nbu, u)
+	nv := g.NeighborsInto(&s.ix.nbv, v)
+	baseU, baseV := int(g.ListOffset(u)), int(g.ListOffset(v))
 	i, j := 0, 0
 	for i < len(nu) && j < len(nv) {
 		switch {
 		case nu[i] == nv[j]:
-			e1 := s.ix.eid[int(base[u])+i]
-			e2 := s.ix.eid[int(base[v])+j]
+			e1 := s.ix.eid[baseU+i]
+			e2 := s.ix.eid[baseV+j]
 			if s.edgeAlive[e1] && s.edgeAlive[e2] {
 				fn(e1, e2)
 			}
@@ -219,9 +221,9 @@ func (s *Sub) RemoveCascade(v graph.NodeID) (removed []graph.NodeID, qAlive bool
 	}
 	var elog []int32
 	s.stack = s.stack[:0]
-	base := s.g.Offsets()
-	for i := range s.g.Neighbors(v) {
-		e := s.ix.eid[int(base[v])+i]
+	baseV := int(s.g.ListOffset(v))
+	for i, d := 0, s.g.Degree(v); i < d; i++ {
+		e := s.ix.eid[baseV+i]
 		s.killEdge(e, &removed, &elog)
 	}
 	for len(s.stack) > 0 {

@@ -16,15 +16,18 @@ import (
 // EdgeIndex assigns a dense ID to every undirected edge of a graph and maps
 // adjacency positions to edge IDs so supports can be stored per edge.
 type EdgeIndex struct {
-	g *graph.Graph
+	g graph.CSR
 	// eid[p] is the edge ID of the directed adjacency entry at CSR position p.
 	eid []int32
 	// U, V are the endpoints of each edge, U[i] < V[i].
 	U, V []graph.NodeID
+	// nbu, nbv are neighbor-decode scratch for backings that cannot alias.
+	// EdgeIndex methods are single-goroutine; build one index per worker.
+	nbu, nbv []graph.NodeID
 }
 
 // NewEdgeIndex builds the edge index for g.
-func NewEdgeIndex(g *graph.Graph) *EdgeIndex {
+func NewEdgeIndex(g graph.CSR) *EdgeIndex {
 	n := g.NumNodes()
 	idx := &EdgeIndex{g: g, eid: make([]int32, 2*g.NumEdges())}
 	pos := 0
@@ -33,7 +36,7 @@ func NewEdgeIndex(g *graph.Graph) *EdgeIndex {
 	starts := make([]int, n)
 	for u := 0; u < n; u++ {
 		starts[u] = pos
-		for _, v := range g.Neighbors(graph.NodeID(u)) {
+		for _, v := range g.NeighborsInto(&idx.nbu, graph.NodeID(u)) {
 			if graph.NodeID(u) < v {
 				idx.eid[pos] = next
 				idx.U = append(idx.U, graph.NodeID(u))
@@ -46,7 +49,7 @@ func NewEdgeIndex(g *graph.Graph) *EdgeIndex {
 	// Second pass: fill in the reverse directions by lookup.
 	pos = 0
 	for u := 0; u < n; u++ {
-		for _, v := range g.Neighbors(graph.NodeID(u)) {
+		for _, v := range g.NeighborsInto(&idx.nbu, graph.NodeID(u)) {
 			if graph.NodeID(u) > v {
 				idx.eid[pos] = idx.eid[starts[v]+idx.findPos(v, graph.NodeID(u))]
 			}
@@ -58,7 +61,7 @@ func NewEdgeIndex(g *graph.Graph) *EdgeIndex {
 
 // findPos returns the index of u within v's sorted neighbor list.
 func (ix *EdgeIndex) findPos(v, u graph.NodeID) int {
-	ns := ix.g.Neighbors(v)
+	ns := ix.g.NeighborsInto(&ix.nbv, v)
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= u })
 	return i
 }
@@ -68,13 +71,12 @@ func (ix *EdgeIndex) NumEdges() int { return len(ix.U) }
 
 // EdgeID returns the edge ID of (u,v) and whether the edge exists.
 func (ix *EdgeIndex) EdgeID(u, v graph.NodeID) (int32, bool) {
-	ns := ix.g.Neighbors(u)
+	ns := ix.g.NeighborsInto(&ix.nbu, u)
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
 	if i >= len(ns) || ns[i] != v {
 		return 0, false
 	}
-	base := ix.g.Offsets()
-	return ix.eid[int(base[u])+i], true
+	return ix.eid[int(ix.g.ListOffset(u))+i], true
 }
 
 // Supports counts, for every edge, the number of triangles it closes.
@@ -83,7 +85,8 @@ func (ix *EdgeIndex) Supports() []int32 {
 	g := ix.g
 	for e := range ix.U {
 		u, v := ix.U[e], ix.V[e]
-		nu, nv := g.Neighbors(u), g.Neighbors(v)
+		nu := g.NeighborsInto(&ix.nbu, u)
+		nv := g.NeighborsInto(&ix.nbv, v)
 		i, j := 0, 0
 		for i < len(nu) && j < len(nv) {
 			switch {
@@ -103,7 +106,7 @@ func (ix *EdgeIndex) Supports() []int32 {
 
 // Decompose computes the trussness of every edge by support peeling: the
 // trussness of e is the largest k such that e belongs to a k-truss.
-func Decompose(g *graph.Graph) (*EdgeIndex, []int32) {
+func Decompose(g graph.CSR) (*EdgeIndex, []int32) {
 	ix := NewEdgeIndex(g)
 	m := ix.NumEdges()
 	sup := ix.Supports()
@@ -168,14 +171,15 @@ func Decompose(g *graph.Graph) (*EdgeIndex, []int32) {
 // that edges e1=(u,w) and e2=(v,w) are not removed.
 func forEachTriangle(ix *EdgeIndex, removed []bool, u, v graph.NodeID, fn func(e1, e2 int32)) {
 	g := ix.g
-	nu, nv := g.Neighbors(u), g.Neighbors(v)
-	base := g.Offsets()
+	nu := g.NeighborsInto(&ix.nbu, u)
+	nv := g.NeighborsInto(&ix.nbv, v)
+	baseU, baseV := int(g.ListOffset(u)), int(g.ListOffset(v))
 	i, j := 0, 0
 	for i < len(nu) && j < len(nv) {
 		switch {
 		case nu[i] == nv[j]:
-			e1 := ix.eid[int(base[u])+i]
-			e2 := ix.eid[int(base[v])+j]
+			e1 := ix.eid[baseU+i]
+			e2 := ix.eid[baseV+j]
 			if !removed[e1] && !removed[e2] {
 				fn(e1, e2)
 			}
@@ -192,7 +196,7 @@ func forEachTriangle(ix *EdgeIndex, removed []bool, u, v graph.NodeID, fn func(e
 // MaximalConnectedKTruss returns the node set of the maximal connected
 // k-truss containing q, or nil if none exists. Connectivity is over edges of
 // trussness ≥ k.
-func MaximalConnectedKTruss(g *graph.Graph, q graph.NodeID, k int) []graph.NodeID {
+func MaximalConnectedKTruss(g graph.CSR, q graph.NodeID, k int) []graph.NodeID {
 	w := ws.Get()
 	defer w.Release()
 	return MaximalConnectedKTrussInto(nil, g, q, k, w)
@@ -203,7 +207,7 @@ func MaximalConnectedKTruss(g *graph.Graph, q graph.NodeID, k int) []graph.NodeI
 // peeling still allocate (trussness is an index-building computation); the
 // workspace removes the per-call visited array. Returns nil when q has no
 // qualifying edge.
-func MaximalConnectedKTrussInto(dst []graph.NodeID, g *graph.Graph, q graph.NodeID, k int, w *ws.Workspace) []graph.NodeID {
+func MaximalConnectedKTrussInto(dst []graph.NodeID, g graph.CSR, q graph.NodeID, k int, w *ws.Workspace) []graph.NodeID {
 	ix, truss := Decompose(g)
 	inTruss := func(u, v graph.NodeID) bool {
 		e, ok := ix.EdgeID(u, v)
@@ -211,7 +215,7 @@ func MaximalConnectedKTrussInto(dst []graph.NodeID, g *graph.Graph, q graph.Node
 	}
 	// q qualifies only if it has at least one qualifying edge.
 	hasEdge := false
-	for _, u := range g.Neighbors(q) {
+	for _, u := range g.NeighborsInto(&w.NbrA, q) {
 		if inTruss(q, u) {
 			hasEdge = true
 			break
@@ -227,7 +231,7 @@ func MaximalConnectedKTrussInto(dst []graph.NodeID, g *graph.Graph, q graph.Node
 	dst = append(dst, q)
 	for i := start; i < len(dst); i++ {
 		v := dst[i]
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&w.NbrA, v) {
 			if !w.Visited.Has(u) && inTruss(v, u) {
 				w.Visited.Add(u)
 				dst = append(dst, u)
@@ -243,7 +247,7 @@ func MaximalConnectedKTrussInto(dst []graph.NodeID, g *graph.Graph, q graph.Node
 // connect all members. A k-truss is an edge subgraph, so the node-induced
 // graph may legitimately contain extra low-support edges; they are peeled,
 // not rejected. Used by tests and validators.
-func InKTrussSet(g *graph.Graph, members []graph.NodeID, k int) bool {
+func InKTrussSet(g graph.Adjacency, members []graph.NodeID, k int) bool {
 	if len(members) == 0 {
 		return false
 	}
@@ -259,7 +263,7 @@ func InKTrussSet(g *graph.Graph, members []graph.NodeID, k int) bool {
 	}
 	alive := map[[2]graph.NodeID]bool{}
 	for _, v := range members {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsInto(&wsp.NbrA, v) {
 			if u > v && in.Has(u) {
 				alive[[2]graph.NodeID{v, u}] = true
 			}
@@ -276,7 +280,7 @@ func InKTrussSet(g *graph.Graph, members []graph.NodeID, k int) bool {
 		for e := range alive {
 			u, v := e[0], e[1]
 			sup := 0
-			for _, w := range g.Neighbors(u) {
+			for _, w := range g.NeighborsInto(&wsp.NbrA, u) {
 				if in.Has(w) && w != v && has(u, w) && has(v, w) {
 					sup++
 				}

@@ -70,6 +70,12 @@ type Workspace struct {
 	Gq, Sample, Members, Best []graph.NodeID
 	Probs, Vals               []float64
 
+	// NbrA and NbrB are neighbor-decode scratch for graph.Adjacency
+	// backings that cannot return aliased neighbor lists (compressed
+	// adjacency, overlays). Heap CSR backings never touch them. Two buffers
+	// because triangle-style loops hold two lists at once.
+	NbrA, NbrB []graph.NodeID
+
 	// Sub builds induced CSR subgraphs into preallocated arrays.
 	Sub graph.SubScratch
 }
