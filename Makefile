@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke ci
 
 build:
 	$(GO) build ./...
@@ -91,4 +91,16 @@ mmap-smoke:
 	$(GO) build -o /tmp/sea-mmap-smoke/ ./cmd/...
 	SMOKE_DIR=/tmp/sea-mmap-smoke sh scripts/mmap-smoke.sh
 
-ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke
+# End-to-end distributed-serving smoke, mirroring the CI router-smoke job:
+# boot a journaled primary, two -follow replicas, and a searouter; mutate
+# through the router, check followers catch up and serve /batch shards,
+# kill -9 the primary, and check the router promotes a follower and keeps
+# serving reads and writes.
+router-smoke:
+	@rm -rf /tmp/sea-router-smoke && mkdir -p /tmp/sea-router-smoke
+	$(GO) build -o /tmp/sea-router-smoke/ ./cmd/...
+	/tmp/sea-router-smoke/datagen -dataset facebook -scale 0.3 -out /tmp/sea-router-smoke/fb.txt
+	/tmp/sea-router-smoke/seacli pack -load /tmp/sea-router-smoke/fb.txt -out /tmp/sea-router-smoke/fb.snap
+	SMOKE_DIR=/tmp/sea-router-smoke sh scripts/router-smoke.sh
+
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke

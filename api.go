@@ -4,11 +4,13 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/baselines"
 	"repro/internal/catalog"
 	"repro/internal/clique"
+	"repro/internal/cluster"
 	"repro/internal/cserr"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -501,6 +503,61 @@ func LoadCatalogManifest(path string) (*CatalogManifest, error) { return catalog
 // "graph" field, plus /graphs (list + stats) and /admin/reload (hot-swap).
 func NewCatalogHTTPHandler(c *Catalog, base EngineConfig) http.Handler {
 	return catalog.NewHTTPHandler(c, base)
+}
+
+// ErrReplicaResync reports a replication cursor the primary cannot serve a
+// journal tail for (compacted past, new lineage, primary restart); the
+// follower must bootstrap a fresh snapshot. The HTTP surface maps it to 410
+// Gone.
+var ErrReplicaResync = catalog.ErrResync
+
+// ReplicationInfo is the replication-relevant state of one mounted dataset:
+// the cursor a snapshot fetched now would carry and the journal window a
+// tail can be served from (Catalog.ReplicationInfo).
+type ReplicationInfo = catalog.ReplicationInfo
+
+// ClusterNodeStatus is one cluster node's role and per-dataset replication
+// state — the GET /admin/replication body.
+type ClusterNodeStatus = cluster.NodeStatus
+
+// ClusterReplicaStatus is the replication state of one dataset on one
+// cluster node.
+type ClusterReplicaStatus = cluster.ReplicaStatus
+
+// ClusterFollower replicates every dataset of a primary seaserve into a
+// local Catalog by snapshot bootstrap plus journal tailing, and can be
+// promoted into a writable primary. Create one with NewClusterFollower.
+type ClusterFollower = cluster.Follower
+
+// NewClusterFollower returns a follower replicating from the primary at
+// primaryURL into cat, keeping replica snapshots and journals under dir.
+// Call Bootstrap once, then Run; pollEvery ≤ 0 uses the default.
+func NewClusterFollower(cat *Catalog, primaryURL, dir string, cfg EngineConfig, pollEvery time.Duration) *ClusterFollower {
+	return cluster.NewFollower(cat, primaryURL, dir, cfg, pollEvery)
+}
+
+// NewClusterNodeHandler returns the HTTP surface of one cluster node: the
+// catalog handler plus the replication-control endpoints and, for
+// followers (fol non-nil), the write fence. This is what cmd/seaserve
+// serves.
+func NewClusterNodeHandler(c *Catalog, base EngineConfig, fol *ClusterFollower) http.Handler {
+	return cluster.NewNodeHandler(c, base, fol)
+}
+
+// ClusterRouterConfig configures a ClusterRouter.
+type ClusterRouterConfig = cluster.RouterConfig
+
+// ClusterRouter is the scatter-gather front tier over a replicated
+// cluster — consistent-hash read placement, per-shard deadlines with
+// partial-result degradation, write forwarding, and follower promotion on
+// primary death. cmd/searouter wires it to flags and a listener. Create one
+// with NewClusterRouter and release it with Close.
+type ClusterRouter = cluster.Router
+
+// NewClusterRouter builds a router over cfg.Members and starts its health
+// prober.
+func NewClusterRouter(cfg ClusterRouterConfig) (*ClusterRouter, error) {
+	return cluster.NewRouter(cfg)
 }
 
 // QueryMetrics is the flat, CSV-friendly per-request stage timing record

@@ -1,0 +1,112 @@
+// Command searouter fronts a replicated seaserve cluster with a
+// scatter-gather router: one address clients talk to, many replicas doing
+// the work.
+//
+// Reads spread over the replica set chosen by consistent hashing on the
+// dataset name — /batch splits its queries and /compare its methods across
+// the in-sync members, each shard under its own deadline, and a failed
+// shard degrades to per-item errors instead of failing the request.
+// /search proxies to one in-sync replica round-robin. Writes (/admin/*)
+// and everything else forward to the primary. A health prober drops dead
+// and lagging members from the read set, and when the primary dies the
+// router promotes the most-caught-up follower and re-points the rest.
+//
+// Every response carries an X-Request-ID (generated when the client sends
+// none), propagated to every upstream request it fans out into.
+//
+// Usage:
+//
+//	searouter -members http://n1:8080,http://n2:8081,http://n3:8082
+//	searouter -members ... -primary http://n1:8080 -rf 2 -max-lag 8
+//
+// Endpoints:
+//
+//	POST /search /batch /compare    scatter-gather reads over the replica set
+//	POST /admin/mutate ...          forwarded to the current primary
+//	GET  /healthz                   the router's member-health view
+//	GET  /metrics                   router counters, Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8070", "listen address")
+		members    = flag.String("members", "", "comma-separated base URLs of every cluster node (required)")
+		primary    = flag.String("primary", "", "member writes forward to (default: first member)")
+		rf         = flag.Int("rf", 2, "replication factor: read-set size per dataset")
+		shardTO    = flag.Duration("shard-timeout", 2*time.Second, "per-shard deadline for scatter-gather reads and probes")
+		probeEvery = flag.Duration("probe-every", time.Second, "member health-probe interval")
+		failAfter  = flag.Int("fail-after", 3, "consecutive probe failures that mark a member dead")
+		maxLag     = flag.Uint64("max-lag", 8, "max batches a follower may lag and still serve reads")
+		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+	if *members == "" {
+		fail(errors.New("need -members"))
+	}
+	var urls []string
+	for _, m := range strings.Split(*members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			urls = append(urls, m)
+		}
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Members:           urls,
+		Primary:           *primary,
+		ReplicationFactor: *rf,
+		ShardTimeout:      *shardTO,
+		ProbeEvery:        *probeEvery,
+		FailAfter:         *failAfter,
+		MaxLag:            *maxLag,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer router.Close()
+
+	fmt.Printf("searouter: fronting %d member(s), primary %s; listening on %s\n",
+		len(urls), router.Primary(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           router,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Printf("searouter: signal received, draining for up to %v\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	fmt.Println("searouter: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "searouter:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,11 @@
 // journal into a fresh snapshot. SIGINT/SIGTERM drain in-flight queries
 // (bounded by -drain) before the process exits cleanly.
 //
+// A journaled seaserve is also a replication primary: followers started
+// with -follow bootstrap every dataset from its /admin/replicate snapshots,
+// tail its journal, and serve the same answers read-only until promoted
+// (POST /admin/promote, typically by cmd/searouter on primary death).
+//
 // Usage:
 //
 //	seaserve -snapshot facebook.snap -addr :8080
@@ -21,6 +26,7 @@
 //	seaserve -manifest catalog.json
 //	seaserve -dataset facebook -scale 0.5
 //	seaserve -load graph.txt -gamma 0.5 -timeout 2s
+//	seaserve -follow http://primary:8080 -replica-dir /var/lib/sea -addr :8081
 //
 // Endpoints:
 //
@@ -34,7 +40,13 @@
 //	POST /admin/mutate {"graph":"fb","deltas":[...]}        live mutation batch
 //	POST /admin/compact {"graph":"fb"}                      fold journal → snapshot
 //	GET  /healthz[?graph=fb]                                liveness, shape, version
-//	GET  /stats[?graph=fb]                                  engine counters and caches
+//	GET  /stats[?graph=fb]                                  engine counters, caches, journal cursor
+//	GET  /metrics                                           the same, Prometheus text format
+//	GET  /admin/replicate?graph=fb                          snapshot bootstrap for a follower
+//	GET  /admin/journal?graph=fb&lineage=L&from=V           journal tail past cursor V
+//	GET  /admin/replication                                 role + per-dataset replication state
+//	POST /admin/promote                                     follower → writable primary
+//	POST /admin/follow {"primary":"http://..."}             re-point a follower
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 
 	sealib "repro"
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 )
 
 func main() {
@@ -73,6 +86,9 @@ func main() {
 		drain        = flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight queries")
 		eagerTruss   = flag.Bool("eager-truss", false, "build the truss index at startup when absent from the source")
 		mmap         = flag.Bool("mmap", true, "serve aligned snapshots zero-copy from a read-only memory mapping")
+		follow       = flag.String("follow", "", "run as a read-only follower replicating from this primary URL")
+		replicaDir   = flag.String("replica-dir", "", "directory for follower replica snapshots and journals (default: a temp dir)")
+		pollEvery    = flag.Duration("poll-every", cluster.DefaultPollEvery, "follower journal poll interval")
 	)
 	flag.Parse()
 
@@ -105,7 +121,29 @@ func main() {
 			fmt.Printf("seaserve: replayed %d journaled mutation batch(es) onto %q\n", replayed, dname)
 		}
 	}
+	var fol *cluster.Follower
 	switch {
+	case *follow != "":
+		// Follower mode: nothing mounts locally — every dataset bootstraps
+		// from the primary's replication snapshots into the replica dir and
+		// stays caught up by tailing its journal.
+		dir := *replicaDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "seaserve-replica-")
+			if err != nil {
+				fail(err)
+			}
+			dir = tmp
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			fail(err)
+		}
+		fol = cluster.NewFollower(cat, *follow, dir, cfg, *pollEvery)
+		bctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err := fol.Bootstrap(bctx)
+		cancel()
+		if err != nil {
+			fail(err)
+		}
 	case *manifest != "":
 		m, err := catalog.LoadManifest(*manifest)
 		if err != nil {
@@ -133,8 +171,12 @@ func main() {
 	}
 
 	boot := time.Since(t0).Round(time.Millisecond)
-	fmt.Printf("seaserve: %d dataset(s) mounted in %v (default %q); listening on %s\n",
-		cat.Len(), boot, cat.Default(), *addr)
+	role := ""
+	if fol != nil {
+		role = fmt.Sprintf(" as follower of %s", *follow)
+	}
+	fmt.Printf("seaserve: %d dataset(s) mounted in %v (default %q)%s; listening on %s\n",
+		cat.Len(), boot, cat.Default(), role, *addr)
 	for _, info := range cat.Infos() {
 		serving := "heap"
 		if info.Mapped {
@@ -145,7 +187,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           sealib.NewCatalogHTTPHandler(cat, cfg),
+		Handler:           cluster.NewNodeHandler(cat, cfg, fol),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 	}
@@ -156,6 +198,9 @@ func main() {
 	// drain.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if fol != nil {
+		go fol.Run(ctx)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

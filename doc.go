@@ -157,6 +157,23 @@
 // compactor (Catalog.Compact, POST /admin/compact, or automatically every
 // -compact-every batches), which then truncates the journal.
 //
+// # Distributed serving
+//
+// The journal doubles as a replication stream. A follower (seaserve
+// -follow, internal/cluster.Follower) bootstraps from GET /admin/replicate
+// — a streamed snapshot whose headers carry the exact (version, lineage)
+// replication cursor — then tails GET /admin/journal?from= and folds each
+// batch through its own catalog mutation path, so replicas are cache-warm,
+// journaled, and promotable. Cursors the primary can no longer serve
+// (compaction passed them by, or a hot-swap started a new lineage) answer
+// 410 Gone and the follower re-bootstraps transparently. cmd/searouter
+// fronts a primary plus its followers: consistent-hash read placement,
+// scatter-gather /batch and /compare with per-shard deadlines and
+// partial-result degradation, write forwarding to the primary, and
+// automatic promotion of the most-caught-up follower when the primary
+// dies. Every response carries an X-Request-ID for end-to-end correlation,
+// and every node serves its counters in Prometheus text form on /metrics.
+//
 // # Performance
 //
 // The hot paths run on a pooled per-search workspace (internal/ws):

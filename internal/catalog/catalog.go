@@ -67,8 +67,12 @@ type Info struct {
 	// since the engine was built).
 	Version uint64 `json:"version"`
 	// Journal is the write-ahead journal path ("" when unjournaled);
-	// JournalBatches counts batches awaiting compaction.
+	// JournalSeq is its last written sequence number and JournalBatches the
+	// batches awaiting compaction. Version − JournalSeq is the oldest
+	// replication cursor a journal tail can serve, so comparing a replica's
+	// cursor against these two fields reads off its catch-up lag.
 	Journal        string `json:"journal,omitempty"`
+	JournalSeq     uint64 `json:"journal_seq,omitempty"`
 	JournalBatches int    `json:"journal_batches,omitempty"`
 	CompactError   string `json:"compact_error,omitempty"`
 	// Mapped reports that the dataset's base snapshot serves zero-copy from
@@ -303,41 +307,59 @@ func (c *Catalog) Infos() []Info {
 	sort.Slice(ds, func(i, j int) bool { return ds[i].name < ds[j].name })
 	out := make([]Info, len(ds))
 	for i, d := range ds {
-		eng := d.Engine()
-		g := eng.Graph()
-		d.mu.Lock()
-		source, swaps := d.source, d.swaps
-		var journal string
-		var batches int
-		var compactErr string
-		if d.live != nil {
-			journal = d.live.journal.Path()
-			batches = d.live.journal.Batches()
-			if d.live.compactErr != nil {
-				compactErr = d.live.compactErr.Error()
-			}
-		}
-		mapped := d.mounted.Mapped()
-		mappedBytes := d.mounted.MappedBytes()
-		d.mu.Unlock()
-		out[i] = Info{
-			Name:           d.name,
-			Default:        d.name == def,
-			Nodes:          g.NumNodes(),
-			Edges:          g.NumEdges(),
-			NumDim:         g.NumDim(),
-			Source:         source,
-			Swaps:          swaps,
-			Version:        eng.Version(),
-			Journal:        journal,
-			JournalBatches: batches,
-			CompactError:   compactErr,
-			Mapped:         mapped,
-			MappedBytes:    mappedBytes,
-			Stats:          eng.Stats(),
-		}
+		out[i] = d.info(def)
 	}
 	return out
+}
+
+// InfoFor describes the named dataset ("" resolves to the default).
+func (c *Catalog) InfoFor(name string) (Info, error) {
+	d, err := c.dataset(name)
+	if err != nil {
+		return Info{}, err
+	}
+	return d.info(c.Default()), nil
+}
+
+// info builds the dataset's Info snapshot; def is the catalog's current
+// default name.
+func (d *Dataset) info(def string) Info {
+	eng := d.Engine()
+	g := eng.Graph()
+	d.mu.Lock()
+	source, swaps := d.source, d.swaps
+	var journal string
+	var seq uint64
+	var batches int
+	var compactErr string
+	if d.live != nil {
+		journal = d.live.journal.Path()
+		seq = d.live.journal.Seq()
+		batches = d.live.journal.Batches()
+		if d.live.compactErr != nil {
+			compactErr = d.live.compactErr.Error()
+		}
+	}
+	mapped := d.mounted.Mapped()
+	mappedBytes := d.mounted.MappedBytes()
+	d.mu.Unlock()
+	return Info{
+		Name:           d.name,
+		Default:        d.name == def,
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		NumDim:         g.NumDim(),
+		Source:         source,
+		Swaps:          swaps,
+		Version:        eng.Version(),
+		Journal:        journal,
+		JournalSeq:     seq,
+		JournalBatches: batches,
+		CompactError:   compactErr,
+		Mapped:         mapped,
+		MappedBytes:    mappedBytes,
+		Stats:          eng.Stats(),
+	}
 }
 
 // openPath builds an engine from the file at path: a packed snapshot opens

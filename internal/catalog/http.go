@@ -4,14 +4,29 @@ package catalog
 // /batch, /compare, /healthz, /stats) routed per dataset through the wire
 // request's "graph" field, plus the catalog's own endpoints:
 //
-//	GET  /graphs        → mounted datasets with shape, source and stats
-//	POST /admin/reload  → {"graph":"fb","path":"fb2.snap"}: load the file
-//	                      off to the side, hot-swap it in (mount when new)
-//	POST /admin/mutate  → {"graph":"fb","deltas":[{"op":"add_edge","u":1,"v":2}]}:
-//	                      apply a live mutation batch (journaled when the
-//	                      dataset mounted with a journal); no hot-swap
-//	POST /admin/compact → {"graph":"fb"}: fold the journal into a fresh
-//	                      snapshot and truncate it
+//	GET  /graphs          → mounted datasets with shape, source and stats
+//	GET  /stats           → engine counters enriched with the dataset's
+//	                        journal seq/batches and lineage
+//	GET  /metrics         → the same counters in Prometheus text format,
+//	                        one sample per dataset (label graph="...")
+//	POST /admin/reload    → {"graph":"fb","path":"fb2.snap"}: load the file
+//	                        off to the side, hot-swap it in (mount when new)
+//	POST /admin/mutate    → {"graph":"fb","deltas":[{"op":"add_edge","u":1,"v":2}]}:
+//	                        apply a live mutation batch (journaled when the
+//	                        dataset mounted with a journal); no hot-swap
+//	POST /admin/compact   → {"graph":"fb"}: fold the journal into a fresh
+//	                        snapshot and truncate it
+//	GET  /admin/replicate → ?graph=fb: stream a snapshot of the dataset's
+//	                        current serving state; X-Sea-Version and
+//	                        X-Sea-Lineage carry the replication cursor
+//	GET  /admin/journal   → ?graph=fb&lineage=L&from=V: the journal batches
+//	                        past cursor V, rebased onto graph versions;
+//	                        410 Gone when only a fresh snapshot can serve
+//	                        the cursor (compacted past, new lineage)
+//
+// /admin/replicate and /admin/journal make any journaled seaserve a
+// replication primary: internal/cluster's follower bootstraps from the
+// first and tails the second, folding batches through Engine.Apply.
 //
 // Reload never disturbs the running engine on failure: a corrupt or
 // missing file reports 422/500 and the old engine keeps serving. Mutate is
@@ -19,17 +34,59 @@ package catalog
 // changes.
 
 import (
+	"errors"
+	"io"
 	"net/http"
+	"os"
+	"strconv"
 
 	"repro/internal/cserr"
 	"repro/internal/engine"
 	"repro/internal/mutate"
 )
 
+// Replication wire protocol: endpoint paths and the headers carrying the
+// snapshot cursor. internal/cluster's client speaks exactly these.
+const (
+	ReplicatePath = "/admin/replicate"
+	JournalPath   = "/admin/journal"
+
+	// HeaderGraph names the dataset a replication response describes (the
+	// resolved name, even when the request named the default by omission).
+	HeaderGraph = "X-Sea-Graph"
+	// HeaderVersion is the graph generation the response captured — the
+	// replication cursor a follower resumes tailing from.
+	HeaderVersion = "X-Sea-Version"
+	// HeaderLineage is the dataset's lineage token (swap count); journal
+	// tails are only valid within one lineage.
+	HeaderLineage = "X-Sea-Lineage"
+)
+
 // graphsResponse is the GET /graphs body.
 type graphsResponse struct {
 	Default string `json:"default,omitempty"`
 	Graphs  []Info `json:"graphs"`
+}
+
+// statsResponse is the GET /stats body: the engine counters plus the
+// catalog-level journal and lineage state replication lag is read from.
+type statsResponse struct {
+	Graph string `json:"graph"`
+	engine.Stats
+	Lineage        uint64 `json:"lineage"`
+	JournalSeq     uint64 `json:"journal_seq"`
+	JournalBatches int    `json:"journal_batches"`
+}
+
+// journalResponse is the GET /admin/journal body.
+type journalResponse struct {
+	Graph   string `json:"graph"`
+	Lineage uint64 `json:"lineage"`
+	From    uint64 `json:"from"`
+	// Version is the dataset's current graph generation; Version − From is
+	// the lag the returned batches close.
+	Version uint64           `json:"version"`
+	Batches []VersionedBatch `json:"batches"`
 }
 
 // reloadRequest is the POST /admin/reload body.
@@ -69,6 +126,14 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 			return
 		}
 		engine.WriteJSON(w, http.StatusOK, graphsResponse{Default: c.Default(), Graphs: c.Infos()})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use GET"))
+			return
+		}
+		w.Header().Set("Content-Type", metricsContentType)
+		WriteMetrics(w, c.Infos())
 	})
 	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -142,5 +207,123 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 		}
 		engine.WriteJSON(w, http.StatusOK, res)
 	})
-	return mux
+	mux.HandleFunc(ReplicatePath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use GET"))
+			return
+		}
+		c.serveReplicate(w, r)
+	})
+	mux.HandleFunc(JournalPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use GET"))
+			return
+		}
+		c.serveJournal(w, r)
+	})
+	// The resolver handler registered a plain engine /stats; the catalog
+	// enriches it with journal/lineage state, so the wrapper owns the path.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			info, err := c.InfoFor(r.URL.Query().Get("graph"))
+			if err != nil {
+				engine.WriteError(w, engine.StatusFor(err), err)
+				return
+			}
+			engine.WriteJSON(w, http.StatusOK, statsResponse{
+				Graph: info.Name, Stats: info.Stats, Lineage: info.Swaps,
+				JournalSeq: info.JournalSeq, JournalBatches: info.JournalBatches,
+			})
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// serveReplicate streams a snapshot of the dataset's current serving state.
+// The snapshot spools through a temp file first: the cursor headers must be
+// written before the body, and the cursor is only known once the engine
+// state has been captured — and a slow client must not hold the dataset
+// lock or pin the engine any longer than the capture itself.
+func (c *Catalog) serveReplicate(w http.ResponseWriter, r *http.Request) {
+	f, err := os.CreateTemp("", "sea-replicate-*.snap")
+	if err != nil {
+		engine.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer func() {
+		f.Close()
+		os.Remove(f.Name())
+	}()
+	name := r.URL.Query().Get("graph")
+	info, err := c.InfoFor(name)
+	if err != nil {
+		engine.WriteError(w, engine.StatusFor(err), err)
+		return
+	}
+	version, lineage, err := c.ReplicateSnapshot(name, f)
+	if err != nil {
+		engine.WriteError(w, engine.StatusFor(err), err)
+		return
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err == nil {
+		_, err = f.Seek(0, io.SeekStart)
+	}
+	if err != nil {
+		engine.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set(HeaderGraph, info.Name)
+	w.Header().Set(HeaderVersion, strconv.FormatUint(version, 10))
+	w.Header().Set(HeaderLineage, strconv.FormatUint(lineage, 10))
+	io.Copy(w, f)
+}
+
+// serveJournal answers a follower's tail poll. A cursor no journal tail can
+// serve maps to 410 Gone — the follower's signal to bootstrap a fresh
+// snapshot.
+func (c *Catalog) serveJournal(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("graph")
+	lineage, err := parseUint(q.Get("lineage"))
+	if err != nil {
+		engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf("bad lineage=%q", q.Get("lineage")))
+		return
+	}
+	from, err := parseUint(q.Get("from"))
+	if err != nil {
+		engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf("bad from=%q", q.Get("from")))
+		return
+	}
+	info, err := c.InfoFor(name)
+	if err != nil {
+		engine.WriteError(w, engine.StatusFor(err), err)
+		return
+	}
+	batches, cur, err := c.JournalSince(name, lineage, from)
+	if err != nil {
+		status := engine.StatusFor(err)
+		if errors.Is(err, ErrResync) {
+			status = http.StatusGone
+		}
+		engine.WriteError(w, status, err)
+		return
+	}
+	if batches == nil {
+		batches = []VersionedBatch{} // a caught-up tail is [], not null
+	}
+	engine.WriteJSON(w, http.StatusOK, journalResponse{
+		Graph: info.Name, Lineage: lineage, From: from, Version: cur, Batches: batches,
+	})
+}
+
+// parseUint parses a decimal uint64 query parameter, "" meaning 0.
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
 }

@@ -1,0 +1,96 @@
+package catalog
+
+// Prometheus text-format exposition of the catalog's serving state: the
+// existing engine.Stats counters and cache occupancy per dataset, plus the
+// shape/journal/replication gauges of Info. No new instrumentation — this is
+// purely an exposition format over counters the engine already maintains,
+// labelled by dataset so one scrape covers the whole catalog.
+
+import (
+	"fmt"
+	"io"
+)
+
+// metricsContentType is the Content-Type of the /metrics exposition.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promFamily is one metric family: name, type, help, and a value per
+// dataset.
+type promFamily struct {
+	name  string
+	typ   string // "counter" or "gauge"
+	help  string
+	value func(Info) float64
+}
+
+var promFamilies = []promFamily{
+	{"sea_queries_total", "counter", "Search/batch requests accepted.",
+		func(i Info) float64 { return float64(i.Stats.Queries) }},
+	{"sea_search_runs_total", "counter", "Searches actually executed (cache and admission misses).",
+		func(i Info) float64 { return float64(i.Stats.SearchRuns) }},
+	{"sea_coalesced_total", "counter", "Requests that joined an identical in-flight query.",
+		func(i Info) float64 { return float64(i.Stats.Coalesced) }},
+	{"sea_index_rejects_total", "counter", "Requests rejected by the shared admission index without a search.",
+		func(i Info) float64 { return float64(i.Stats.IndexRejects) }},
+	{"sea_errors_total", "counter", "Requests that returned an error.",
+		func(i Info) float64 { return float64(i.Stats.Errors) }},
+	{"sea_result_cache_hits_total", "counter", "Result cache hits.",
+		func(i Info) float64 { return float64(i.Stats.ResultHits) }},
+	{"sea_result_cache_misses_total", "counter", "Result cache misses.",
+		func(i Info) float64 { return float64(i.Stats.ResultMisses) }},
+	{"sea_result_cache_evictions_total", "counter", "Result cache evictions.",
+		func(i Info) float64 { return float64(i.Stats.ResultEvictions) }},
+	{"sea_result_cache_entries", "gauge", "Result cache occupancy.",
+		func(i Info) float64 { return float64(i.Stats.ResultEntries) }},
+	{"sea_dist_cache_hits_total", "counter", "Distance-vector cache hits.",
+		func(i Info) float64 { return float64(i.Stats.DistHits) }},
+	{"sea_dist_cache_misses_total", "counter", "Distance-vector cache misses.",
+		func(i Info) float64 { return float64(i.Stats.DistMisses) }},
+	{"sea_dist_cache_evictions_total", "counter", "Distance-vector cache evictions.",
+		func(i Info) float64 { return float64(i.Stats.DistEvictions) }},
+	{"sea_dist_cache_entries", "gauge", "Distance-vector cache occupancy.",
+		func(i Info) float64 { return float64(i.Stats.DistEntries) }},
+	{"sea_mutations_total", "counter", "Applied mutation batches.",
+		func(i Info) float64 { return float64(i.Stats.Mutations) }},
+	{"sea_deltas_applied_total", "counter", "Applied mutation deltas.",
+		func(i Info) float64 { return float64(i.Stats.DeltasApplied) }},
+	{"sea_result_invalidations_total", "counter", "Result cache entries dropped by scoped invalidation.",
+		func(i Info) float64 { return float64(i.Stats.ResultInvalidations) }},
+	{"sea_dist_invalidations_total", "counter", "Distance vectors dropped by scoped invalidation.",
+		func(i Info) float64 { return float64(i.Stats.DistInvalidations) }},
+	{"sea_dist_extensions_total", "counter", "Distance vectors extended in place for appended nodes.",
+		func(i Info) float64 { return float64(i.Stats.DistExtensions) }},
+	{"sea_graph_version", "gauge", "Graph generation (mutation batches applied since mount); the replication cursor.",
+		func(i Info) float64 { return float64(i.Version) }},
+	{"sea_graph_nodes", "gauge", "Nodes in the served graph.",
+		func(i Info) float64 { return float64(i.Nodes) }},
+	{"sea_graph_edges", "gauge", "Edges in the served graph.",
+		func(i Info) float64 { return float64(i.Edges) }},
+	{"sea_swaps_total", "counter", "Hot-swaps (lineage changes) since mount.",
+		func(i Info) float64 { return float64(i.Swaps) }},
+	{"sea_journal_seq", "gauge", "Last written journal sequence number (0 when unjournaled or freshly compacted).",
+		func(i Info) float64 { return float64(i.JournalSeq) }},
+	{"sea_journal_batches", "gauge", "Journal batches awaiting compaction.",
+		func(i Info) float64 { return float64(i.JournalBatches) }},
+	{"sea_mapped_bytes", "gauge", "Size of the zero-copy snapshot mapping backing the dataset (0 for heap mounts).",
+		func(i Info) float64 { return float64(i.MappedBytes) }},
+}
+
+// WriteMetrics renders the datasets' serving counters in the Prometheus
+// text exposition format (version 0.0.4), one sample per dataset per family
+// with the dataset name as the graph label.
+func WriteMetrics(w io.Writer, infos []Info) error {
+	for _, f := range promFamilies {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, info := range infos {
+			// %q escapes backslash, quote and newline exactly as the
+			// exposition format requires for label values.
+			if _, err := fmt.Fprintf(w, "%s{graph=%q} %g\n", f.name, info.Name, f.value(info)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package cluster
+
+// NewNodeHandler: the HTTP surface of one cluster node. It wraps the
+// catalog's full serving surface (queries, admin, replication source
+// endpoints) with the cluster-control endpoints and, on followers, a write
+// fence — replicated state must only change through the replication
+// stream, or the follower's cursor would lie.
+
+import (
+	"net/http"
+
+	"repro/internal/catalog"
+	"repro/internal/cserr"
+	"repro/internal/engine"
+)
+
+// writeFenced are the admin paths a non-promoted follower refuses: each
+// would fork the replica away from the primary's history.
+var writeFenced = map[string]bool{
+	"/admin/mutate":  true,
+	"/admin/reload":  true,
+	"/admin/compact": true,
+}
+
+// NewNodeHandler returns the serving surface of a cluster node over cat:
+// the catalog handler plus /admin/replication, /admin/promote and
+// /admin/follow. fol is nil on a node born primary; on a follower it
+// supplies the replication status, the write fence, and the promotion
+// switch. Every response echoes the request's X-Request-ID.
+func NewNodeHandler(cat *catalog.Catalog, base engine.Config, fol *Follower) http.Handler {
+	inner := catalog.NewHTTPHandler(cat, base)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case ReplicationPath:
+			if r.Method != http.MethodGet {
+				engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use GET"))
+				return
+			}
+			engine.WriteJSON(w, http.StatusOK, nodeStatus(cat, fol))
+		case PromotePath:
+			if r.Method != http.MethodPost {
+				engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use POST"))
+				return
+			}
+			if fol != nil {
+				fol.Promote()
+			}
+			engine.WriteJSON(w, http.StatusOK, nodeStatus(cat, fol))
+		case FollowPath:
+			if r.Method != http.MethodPost {
+				engine.WriteError(w, http.StatusMethodNotAllowed, cserr.Invalidf("use POST"))
+				return
+			}
+			if fol == nil || fol.Promoted() {
+				engine.WriteError(w, http.StatusConflict,
+					cserr.Invalidf("node is a primary; it cannot follow"))
+				return
+			}
+			var req followRequest
+			if err := engine.DecodeJSONBody(w, r, &req); err != nil {
+				engine.WriteError(w, engine.StatusFor(err), err)
+				return
+			}
+			if req.Primary == "" {
+				engine.WriteError(w, http.StatusBadRequest, cserr.Invalidf(`need "primary"`))
+				return
+			}
+			fol.SetPrimary(req.Primary)
+			engine.WriteJSON(w, http.StatusOK, nodeStatus(cat, fol))
+		default:
+			if fol != nil && !fol.Promoted() && writeFenced[r.URL.Path] {
+				engine.WriteError(w, http.StatusForbidden,
+					cserr.Invalidf("node is a follower of %s; write through the primary", fol.Primary()))
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}
+	})
+	return engine.WithRequestID(h)
+}
+
+// nodeStatus builds the node's NodeStatus: the follower's cursor view when
+// replicating, the catalog's own replication info when primary.
+func nodeStatus(cat *catalog.Catalog, fol *Follower) NodeStatus {
+	if fol != nil && !fol.Promoted() {
+		return NodeStatus{Role: RoleFollower, Primary: fol.Primary(), Datasets: fol.Status()}
+	}
+	infos := cat.ReplicationInfos()
+	datasets := make([]ReplicaStatus, len(infos))
+	for i, info := range infos {
+		datasets[i] = ReplicaStatus{
+			Graph:      info.Graph,
+			Version:    info.Version,
+			Lineage:    info.Lineage,
+			JournalSeq: info.JournalSeq,
+		}
+		if info.Broken {
+			datasets[i].LastError = "journal has a durability hole; compact to heal it"
+		}
+	}
+	return NodeStatus{Role: RolePrimary, Datasets: datasets}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+// Consistent-hash placement: datasets map onto replica-set members through
+// a ring of virtual nodes, so adding or removing a member only moves the
+// datasets that hashed next to it — the rest of the placement is stable.
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerMember is how many ring points each member contributes. 64
+// points per member keeps the placement spread within a few percent of even
+// for the single-digit member counts a searouter fronts.
+const vnodesPerMember = 64
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into ring.members
+}
+
+// ring is an immutable consistent-hash ring over member URLs.
+type ring struct {
+	members []string
+	points  []ringPoint
+}
+
+func newRing(members []string) *ring {
+	r := &ring{
+		members: members,
+		points:  make([]ringPoint, 0, len(members)*vnodesPerMember),
+	}
+	var buf [8]byte
+	for m, url := range members {
+		for v := 0; v < vnodesPerMember; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(url))
+			buf[0], buf[1] = byte(v), byte(v>>8)
+			h.Write(buf[:2])
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// lookup returns the first n distinct members clockwise from key's hash —
+// the dataset's replica set, primary-for-placement first. n is clamped to
+// the member count.
+func (r *ring) lookup(key string, n int) []string {
+	if len(r.members) == 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	target := h.Sum64()
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= target })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupProperties(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := newRing(members)
+	for _, key := range []string{"", "facebook", "github", "orkut", "a-very-long-dataset-name"} {
+		set := r.lookup(key, 2)
+		if len(set) != 2 {
+			t.Fatalf("lookup(%q, 2) = %v", key, set)
+		}
+		if set[0] == set[1] {
+			t.Fatalf("lookup(%q) repeats a member: %v", key, set)
+		}
+		// Deterministic: the same key always lands on the same set.
+		again := r.lookup(key, 2)
+		if set[0] != again[0] || set[1] != again[1] {
+			t.Fatalf("lookup(%q) unstable: %v then %v", key, set, again)
+		}
+	}
+	// n clamps to the member count and covers everyone.
+	all := r.lookup("x", 99)
+	if len(all) != len(members) {
+		t.Fatalf("lookup(99) = %d members, want %d", len(all), len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		seen[m] = true
+	}
+	if len(seen) != len(members) {
+		t.Fatalf("lookup(99) repeats members: %v", all)
+	}
+}
+
+// TestRingStability checks the consistent part of consistent hashing:
+// removing one member only moves the keys that mapped to it.
+func TestRingStability(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	full := newRing(members)
+	reduced := newRing(members[:3]) // drop d
+	moved := 0
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		before := full.lookup(key, 1)[0]
+		after := reduced.lookup(key, 1)[0]
+		if before == "http://d:4" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d keys moved despite their member surviving", moved, keys)
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := newRing(members)
+	counts := map[string]int{}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		counts[r.lookup(fmt.Sprintf("g%d", i), 1)[0]]++
+	}
+	for m, n := range counts {
+		if n < keys/len(members)/3 {
+			t.Fatalf("member %s starves: %d of %d keys (%v)", m, n, keys, counts)
+		}
+	}
+}

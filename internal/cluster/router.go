@@ -1,0 +1,697 @@
+package cluster
+
+// Router is the scatter-gather front tier (cmd/searouter): a stateless HTTP
+// proxy that spreads read load over a replicated seaserve cluster and
+// survives the primary's death.
+//
+//   - Placement: each dataset maps onto a ReplicationFactor-sized replica
+//     set by consistent hashing on the dataset name. Followers outside the
+//     set still replicate everything (replication is whole-catalog); the
+//     ring only decides who serves reads, so it stays stable when members
+//     come and go.
+//   - Scatter-gather: /batch splits its queries and /compare its methods
+//     across the in-sync replica set, each shard under its own deadline. A
+//     failed shard degrades its own items to per-item errors instead of
+//     failing the request; every item is annotated with the member that
+//     served it.
+//   - Health: a prober polls every member's /admin/replication. A member
+//     that misses FailAfter consecutive probes is dead; followers lagging
+//     more than MaxLag batches leave the read set until they catch up.
+//   - Failover: when the primary dies the router promotes the alive
+//     follower with the highest summed cursor and re-points the rest at it.
+//     Writes (/admin/*) always forward to the current primary.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// ServedByHeader names the cluster member that actually served a proxied
+// request.
+const ServedByHeader = "X-Sea-Served-By"
+
+// RouterConfig configures a Router. Members is required; everything else
+// has serviceable defaults.
+type RouterConfig struct {
+	// Members are the base URLs of every cluster node, primary included.
+	Members []string
+	// Primary is the member writes forward to; defaults to Members[0]. The
+	// router moves it on failover.
+	Primary string
+	// ReplicationFactor is the read-set size per dataset (default 2,
+	// clamped to len(Members)).
+	ReplicationFactor int
+	// ShardTimeout bounds each scatter shard and health probe (default 2s).
+	ShardTimeout time.Duration
+	// ProbeEvery is the health-probe interval (default 1s).
+	ProbeEvery time.Duration
+	// FailAfter is how many consecutive probe failures mark a member dead
+	// (default 3).
+	FailAfter int
+	// MaxLag is the most batches a follower may trail the primary and still
+	// serve reads (default 8).
+	MaxLag uint64
+	// HTTP optionally overrides the outbound client (nil builds one; shard
+	// deadlines come from per-request contexts, not a client timeout).
+	HTTP *http.Client
+}
+
+func (cfg RouterConfig) withDefaults() RouterConfig {
+	if cfg.Primary == "" && len(cfg.Members) > 0 {
+		cfg.Primary = cfg.Members[0]
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 2
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 2 * time.Second
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.MaxLag == 0 {
+		cfg.MaxLag = 8
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	return cfg
+}
+
+// memberState is the router's health view of one member.
+type memberState struct {
+	url    string
+	alive  bool
+	fails  int
+	status *NodeStatus // last successful probe, nil until one lands
+}
+
+// Router is an http.Handler implementing the front tier. Create with
+// NewRouter, release with Close.
+type Router struct {
+	cfg  RouterConfig
+	ring *ring
+	hc   *http.Client
+
+	mu      sync.Mutex
+	primary string
+	members map[string]*memberState
+
+	rr         atomic.Uint64 // round-robin cursor for single-target reads
+	promotions atomic.Uint64
+	shardErrs  atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewRouter builds a router over cfg.Members, runs one synchronous probe
+// round so the first request already sees member health, and starts the
+// background prober.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one member")
+	}
+	members := make([]string, len(cfg.Members))
+	for i, m := range cfg.Members {
+		members[i] = strings.TrimRight(m, "/")
+	}
+	cfg.Members = members
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	r := &Router{
+		cfg:     cfg,
+		ring:    newRing(members),
+		hc:      cfg.HTTP,
+		primary: cfg.Primary,
+		members: make(map[string]*memberState, len(members)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, m := range members {
+		// Members start alive: death is an observation (FailAfter missed
+		// probes), not a default — a router booted moments before its
+		// cluster must not instantly promote over a primary that is still
+		// starting up.
+		r.members[m] = &memberState{url: m, alive: true}
+	}
+	r.probeOnce(context.Background(), false)
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the prober. In-flight requests finish on their own contexts.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func (r *Router) probeLoop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.cfg.ProbeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.probeOnce(context.Background(), true)
+		}
+	}
+}
+
+// probeOnce polls every member's replication status and, when allowed to
+// failover, promotes a follower over a dead primary.
+func (r *Router) probeOnce(ctx context.Context, failover bool) {
+	var wg sync.WaitGroup
+	for _, url := range r.cfg.Members {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			st, err := NewClient(url, r.hc).Status(cctx)
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			m := r.members[url]
+			if err != nil {
+				m.fails++
+				if m.fails >= r.cfg.FailAfter {
+					m.alive = false
+				}
+				return
+			}
+			m.fails = 0
+			m.alive = true
+			m.status = st
+		}(url)
+	}
+	wg.Wait()
+	if failover {
+		r.maybeFailover(ctx)
+	}
+}
+
+// maybeFailover promotes the most-caught-up alive follower when the
+// primary is dead, then re-points the surviving followers at it.
+func (r *Router) maybeFailover(ctx context.Context) {
+	r.mu.Lock()
+	if p := r.members[r.primary]; p != nil && p.alive {
+		r.mu.Unlock()
+		return
+	}
+	// Pick the alive member with the highest summed replication cursor —
+	// the one that loses the fewest acknowledged batches.
+	var candidate string
+	var best uint64
+	var survivors []string
+	for _, m := range r.members {
+		if !m.alive || m.url == r.primary {
+			continue
+		}
+		survivors = append(survivors, m.url)
+		var total uint64
+		if m.status != nil {
+			for _, ds := range m.status.Datasets {
+				total += ds.Version
+			}
+		}
+		if candidate == "" || total > best {
+			candidate, best = m.url, total
+		}
+	}
+	r.mu.Unlock()
+	if candidate == "" {
+		return // nobody left to promote; keep probing
+	}
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	err := NewClient(candidate, r.hc).Promote(cctx)
+	cancel()
+	if err != nil {
+		return // next probe round retries
+	}
+	r.promotions.Add(1)
+	r.mu.Lock()
+	r.primary = candidate
+	r.mu.Unlock()
+	for _, url := range survivors {
+		if url == candidate {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		// Best effort: a follower that misses the re-point keeps erroring
+		// against the dead primary until the next failover pass notices.
+		NewClient(url, r.hc).Follow(cctx, candidate)
+		cancel()
+	}
+}
+
+// Primary is the member writes currently forward to.
+func (r *Router) Primary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary
+}
+
+// readSet is the ordered list of members that may serve reads for graph
+// right now: the ring placement filtered down to alive, in-sync members,
+// falling back to any alive member (and last to the primary URL itself, so
+// the caller always has a target and surfaces a connection error rather
+// than an empty split).
+func (r *Router) readSet(graph string) []string {
+	placement := r.ring.lookup(graph, r.cfg.ReplicationFactor)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, url := range placement {
+		if r.inSyncLocked(url, graph) {
+			out = append(out, url)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for _, url := range r.cfg.Members {
+		if r.inSyncLocked(url, graph) {
+			out = append(out, url)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	return []string{r.primary}
+}
+
+// inSyncLocked reports whether url may serve reads for graph; r.mu held.
+func (r *Router) inSyncLocked(url, graph string) bool {
+	m := r.members[url]
+	if m == nil || !m.alive {
+		return false
+	}
+	if url == r.primary {
+		return true // the primary is definitionally in sync with itself
+	}
+	if m.status == nil {
+		return false // never successfully probed; sync state unknown
+	}
+	if m.status.Role == RolePrimary {
+		return true
+	}
+	for _, ds := range m.status.Datasets {
+		if graph != "" && ds.Graph != graph {
+			continue
+		}
+		if ds.LastError != "" || ds.Lag > r.cfg.MaxLag {
+			return false
+		}
+		if graph != "" {
+			return true
+		}
+	}
+	// graph == "": the empty name resolves to the node's default dataset;
+	// reaching here means no dataset disqualified the member. A named graph
+	// the member has not bootstrapped yet falls through to false.
+	return graph == "" && m.status != nil && len(m.status.Datasets) > 0
+}
+
+// ServeHTTP routes: scatter-gather for /batch and /compare, single in-sync
+// replica for /search, the primary for everything else (writes, admin,
+// stats). Every response carries an X-Request-ID, generated here when the
+// client did not send one.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	id := req.Header.Get(engine.RequestIDHeader)
+	if id == "" {
+		id = newRequestID()
+		req.Header.Set(engine.RequestIDHeader, id)
+	}
+	w.Header().Set(engine.RequestIDHeader, id)
+	switch req.URL.Path {
+	case "/healthz":
+		r.serveHealth(w)
+	case "/metrics":
+		r.serveMetrics(w)
+	case "/batch":
+		r.serveScatter(w, req, id, scatterBatch)
+	case "/compare":
+		r.serveScatter(w, req, id, scatterCompare)
+	case "/search":
+		r.serveSearch(w, req, id)
+	default:
+		r.forward(w, req, r.Primary(), id)
+	}
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "searouter-unrandom"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// routerError is an error originated by the router itself (as opposed to
+// one proxied through from a member); it always names the request.
+func routerError(w http.ResponseWriter, id string, status int, format string, args ...any) {
+	engine.WriteJSON(w, status, map[string]string{
+		"error":      fmt.Sprintf(format, args...),
+		"request_id": id,
+	})
+}
+
+// forward proxies req verbatim to target, tagging the response with the
+// member that served it.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, target, id string) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		target+req.URL.Path+queryString(req), req.Body)
+	if err != nil {
+		routerError(w, id, http.StatusInternalServerError, "building upstream request: %v", err)
+		return
+	}
+	out.Header = req.Header.Clone()
+	resp, err := r.hc.Do(out)
+	if err != nil {
+		routerError(w, id, http.StatusBadGateway, "member %s: %v", target, err)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set(engine.RequestIDHeader, id)
+	w.Header().Set(ServedByHeader, target)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func queryString(req *http.Request) string {
+	if req.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + req.URL.RawQuery
+}
+
+// serveSearch proxies a single query to one in-sync replica, round-robin
+// across the dataset's read set.
+func (r *Router) serveSearch(w http.ResponseWriter, req *http.Request, id string) {
+	graph := req.URL.Query().Get("graph")
+	if req.Method != http.MethodGet {
+		body, err := io.ReadAll(io.LimitReader(req.Body, engine.MaxBodyBytes))
+		if err != nil {
+			routerError(w, id, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		var peek struct {
+			Graph string `json:"graph"`
+		}
+		json.Unmarshal(body, &peek)
+		graph = peek.Graph
+	}
+	set := r.readSet(graph)
+	target := set[int(r.rr.Add(1)-1)%len(set)]
+	r.forward(w, req, target, id)
+}
+
+// scatterPlan describes how one endpoint splits and reassembles: which
+// field fans out and how shard responses merge back together.
+type scatterPlan struct {
+	field string // the wire field that splits across shards
+	path  string
+	// merge builds the client response from the per-item results (in
+	// original order) and the shard responses keyed by member.
+	merge func(req map[string]any, items []map[string]any, degraded bool) map[string]any
+}
+
+var scatterBatch = scatterPlan{
+	field: "queries",
+	path:  "/batch",
+	merge: func(req map[string]any, items []map[string]any, degraded bool) map[string]any {
+		out := map[string]any{"items": items}
+		if degraded {
+			out["degraded"] = true
+		}
+		return out
+	},
+}
+
+var scatterCompare = scatterPlan{
+	field: "methods",
+	path:  "/compare",
+	merge: func(req map[string]any, items []map[string]any, degraded bool) map[string]any {
+		out := map[string]any{"items": items}
+		if q, ok := req["q"]; ok {
+			out["query"] = q
+		}
+		// Recompute Best across the merged set exactly as the engine does
+		// per shard: among items that succeeded (or exhausted their budget
+		// with a best-so-far community), smallest δ wins.
+		best := -1
+		for i, it := range items {
+			errStr, _ := it["err"].(string)
+			trunc, _ := it["truncated"].(bool)
+			if errStr != "" && !trunc {
+				continue
+			}
+			delta, ok := it["delta"].(float64)
+			if !ok {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			prev, _ := items[best]["delta"].(float64)
+			if delta < prev {
+				best = i
+			}
+		}
+		if best >= 0 {
+			if m, ok := items[best]["method"].(string); ok {
+				out["best"] = m
+			}
+		}
+		if degraded {
+			out["degraded"] = true
+		}
+		return out
+	},
+}
+
+// serveScatter splits the request's fan-out field across the dataset's read
+// set, runs the shards concurrently under per-shard deadlines, and
+// reassembles the items in their original order. A failed shard degrades to
+// per-item errors; only a total wipeout fails the request.
+func (r *Router) serveScatter(w http.ResponseWriter, req *http.Request, id string, plan scatterPlan) {
+	if req.Method != http.MethodPost {
+		routerError(w, id, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, engine.MaxBodyBytes))
+	if err != nil {
+		routerError(w, id, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(body, &wire); err != nil {
+		routerError(w, id, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	fan, _ := wire[plan.field].([]any)
+	if len(fan) == 0 {
+		routerError(w, id, http.StatusBadRequest, "missing %q", plan.field)
+		return
+	}
+	graph, _ := wire["graph"].(string)
+	set := r.readSet(graph)
+
+	// Shard i takes the fan-out entries at positions i, i+len(set),
+	// i+2len(set)… — round-robin keeps the shards within one item of even.
+	assign := make(map[string][]int, len(set))
+	for i := range fan {
+		url := set[i%len(set)]
+		assign[url] = append(assign[url], i)
+	}
+
+	items := make([]map[string]any, len(fan))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures int
+	)
+	for url, idxs := range assign {
+		wg.Add(1)
+		go func(url string, idxs []int) {
+			defer wg.Done()
+			got, err := r.runShard(req.Context(), url, id, plan, wire, fan, idxs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				r.shardErrs.Add(1)
+				failures++
+				for _, i := range idxs {
+					items[i] = shardErrorItem(plan, fan[i], url, err)
+				}
+				return
+			}
+			for k, i := range idxs {
+				got[k][ServedByKey] = url
+				items[i] = got[k]
+			}
+		}(url, idxs)
+	}
+	wg.Wait()
+	if failures == len(assign) {
+		routerError(w, id, http.StatusBadGateway, "all %d shards failed; first target %s", len(assign), set[0])
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, plan.merge(wire, items, failures > 0))
+}
+
+// ServedByKey annotates each scatter-gather item with the member that
+// served it.
+const ServedByKey = "served_by"
+
+// runShard sends one shard's slice of the fan-out field to url and returns
+// its items, which must match the slice one-to-one.
+func (r *Router) runShard(ctx context.Context, url, id string, plan scatterPlan,
+	wire map[string]any, fan []any, idxs []int) ([]map[string]any, error) {
+	sub := make(map[string]any, len(wire))
+	for k, v := range wire {
+		sub[k] = v
+	}
+	slice := make([]any, len(idxs))
+	for k, i := range idxs {
+		slice[k] = fan[i]
+	}
+	sub[plan.field] = slice
+	payload, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, url+plan.path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(engine.RequestIDHeader, id)
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFrom(resp)
+	}
+	var out struct {
+		Items []map[string]any `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding shard response: %w", err)
+	}
+	if len(out.Items) != len(idxs) {
+		return nil, fmt.Errorf("shard returned %d items for %d inputs", len(out.Items), len(idxs))
+	}
+	return out.Items, nil
+}
+
+// shardErrorItem is the degraded placeholder for one item of a failed
+// shard, shaped like the engine's own per-item error responses.
+func shardErrorItem(plan scatterPlan, entry any, url string, err error) map[string]any {
+	item := map[string]any{
+		"err":       fmt.Sprintf("shard %s: %v", url, err),
+		ServedByKey: url,
+	}
+	switch plan.field {
+	case "queries":
+		item["query"] = entry
+	case "methods":
+		item["method"] = entry
+	}
+	return item
+}
+
+// healthMember is one member's row in the router's /healthz body.
+type healthMember struct {
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	Role  string `json:"role,omitempty"`
+	Fails int    `json:"fails,omitempty"`
+}
+
+// serveHealth reports the router's member view: 200 while the primary is
+// alive, 503 once it is not (failover may still be in flight).
+func (r *Router) serveHealth(w http.ResponseWriter) {
+	r.mu.Lock()
+	primary := r.primary
+	members := make([]healthMember, 0, len(r.cfg.Members))
+	primaryAlive := false
+	for _, url := range r.cfg.Members {
+		m := r.members[url]
+		hm := healthMember{URL: url, Alive: m.alive, Fails: m.fails}
+		if m.status != nil {
+			hm.Role = m.status.Role
+		}
+		if url == primary && m.alive {
+			primaryAlive = true
+		}
+		members = append(members, hm)
+	}
+	r.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if !primaryAlive {
+		status = http.StatusServiceUnavailable
+		state = "no-primary"
+	}
+	engine.WriteJSON(w, status, map[string]any{
+		"status":  state,
+		"primary": primary,
+		"members": members,
+	})
+}
+
+// serveMetrics exposes the router's own counters in the Prometheus text
+// format (the members' serving metrics live on their own /metrics).
+func (r *Router) serveMetrics(w http.ResponseWriter) {
+	r.mu.Lock()
+	type row struct {
+		url string
+		up  int
+	}
+	rows := make([]row, 0, len(r.cfg.Members))
+	for _, url := range r.cfg.Members {
+		up := 0
+		if r.members[url].alive {
+			up = 1
+		}
+		rows = append(rows, row{url, up})
+	}
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP searouter_member_up Member answers health probes (1) or is considered dead (0).\n# TYPE searouter_member_up gauge\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "searouter_member_up{member=%q} %d\n", row.url, row.up)
+	}
+	fmt.Fprintf(w, "# HELP searouter_promotions_total Follower promotions performed by this router.\n# TYPE searouter_promotions_total counter\nsearouter_promotions_total %d\n", r.promotions.Load())
+	fmt.Fprintf(w, "# HELP searouter_shard_errors_total Scatter shards that failed and degraded to per-item errors.\n# TYPE searouter_shard_errors_total counter\nsearouter_shard_errors_total %d\n", r.shardErrs.Load())
+}

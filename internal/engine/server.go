@@ -163,6 +163,27 @@ func WriteError(w http.ResponseWriter, status int, err error) {
 	WriteJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// RequestIDHeader is the correlation header propagated end-to-end through
+// the distributed serving stack: the router generates an ID when the client
+// sent none, stamps it on every scatter-gather shard request, and each
+// seaserve echoes it back — so one failing shard of one fan-out is traceable
+// across processes by a single ID.
+const RequestIDHeader = "X-Request-ID"
+
+// WithRequestID wraps h to echo the request's X-Request-ID header on the
+// response (error responses included — the header is set before the handler
+// can write a status). It never generates IDs: origination is the router's
+// job, and a directly-addressed seaserve stays byte-stable for clients that
+// sent no ID.
+func WithRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get(RequestIDHeader); id != "" {
+			w.Header().Set(RequestIDHeader, id)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Resolver maps a dataset name from the wire ("graph" field or ?graph=
 // parameter; empty = the default dataset) to the Engine serving it. Errors
 // should wrap cserr.ErrUnknownGraph so they map to 404.

@@ -40,11 +40,21 @@ func (e *Engine) ExportIndex() *store.Index {
 // state is captured atomically: a concurrent mutation lands either entirely
 // before or entirely after the written snapshot.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	_, err := e.WriteSnapshotAt(w)
+	return err
+}
+
+// WriteSnapshotAt is WriteSnapshot also reporting the graph generation the
+// written snapshot captured. Callers that need the (snapshot, version) pair
+// to cohere under concurrent mutation — replication bootstrap serving
+// /admin/replicate — use this instead of pairing WriteSnapshot with a
+// separate Version call, which a mutation could land between.
+func (e *Engine) WriteSnapshotAt(w io.Writer) (uint64, error) {
 	st := e.st.Load()
 	// Snapshot writing needs the materialized CSR arrays; a mapped or
 	// compressed backing is copied to the heap first (a *Graph passes
 	// through unchanged).
-	return store.Write(w, graph.CopyStore(st.g), exportIndex(st))
+	return st.version, store.Write(w, graph.CopyStore(st.g), exportIndex(st))
 }
 
 // WriteSnapshotOpts is WriteSnapshot with an explicit on-disk layout: the

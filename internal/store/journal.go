@@ -87,26 +87,39 @@ func OpenJournal(path string) (*Journal, []JournalBatch, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	if len(data) < journalHeaderLen {
+	if err := checkJournalHeader(data, path); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("%w: %s: %d bytes is shorter than a journal header",
-			cserr.ErrSnapshotCorrupt, path, len(data))
-	}
-	var head [8]byte
-	copy(head[:], data)
-	if head != journalMagic {
-		f.Close()
-		return nil, nil, fmt.Errorf("%w: %s is not a mutation journal", cserr.ErrSnapshotVersion, path)
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != JournalVersion {
-		f.Close()
-		return nil, nil, fmt.Errorf("%w: %s: journal version %d, this build reads %d",
-			cserr.ErrSnapshotVersion, path, v, JournalVersion)
+		return nil, nil, err
 	}
 
-	var batches []JournalBatch
+	batches, good := scanJournal(data)
+	if n := len(batches); n > 0 {
+		j.seq = batches[n-1].Seq
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j.batches = len(batches)
+	j.off = int64(good)
+	return j, batches, nil
+}
+
+// scanJournal walks the records of a journal image (header already
+// validated), returning the replayable prefix and the byte offset of its
+// end. The scan stops — without error — at the first torn, corrupted,
+// undecodable or out-of-sequence record: everything from there on is tail
+// residue for the caller to truncate (OpenJournal) or ignore (TailJournal).
+func scanJournal(data []byte) (batches []JournalBatch, good int) {
 	off := journalHeaderLen
-	good := off
+	good = off
+	var last uint64
 	for off < len(data) {
 		rest := data[off:]
 		if len(rest) < 12 {
@@ -125,27 +138,58 @@ func OpenJournal(path string) (*Journal, []JournalBatch, error) {
 		if err := json.Unmarshal(rest[12:12+plen], &deltas); err != nil {
 			break // undecodable payload despite the checksum: treat as tail
 		}
-		if seq != j.seq+1 {
+		if seq != last+1 {
 			break // sequence gap: a truncated-then-reused file; stop
 		}
-		j.seq = seq
+		last = seq
 		batches = append(batches, JournalBatch{Seq: seq, Deltas: deltas})
 		off += 12 + plen + 4
 		good = off
 	}
-	if good < len(data) {
-		if err := f.Truncate(int64(good)); err != nil {
-			f.Close()
-			return nil, nil, err
+	return batches, good
+}
+
+// checkJournalHeader validates a journal image's magic and version.
+func checkJournalHeader(data []byte, path string) error {
+	if len(data) < journalHeaderLen {
+		return fmt.Errorf("%w: %s: %d bytes is shorter than a journal header",
+			cserr.ErrSnapshotCorrupt, path, len(data))
+	}
+	var head [8]byte
+	copy(head[:], data)
+	if head != journalMagic {
+		return fmt.Errorf("%w: %s is not a mutation journal", cserr.ErrSnapshotVersion, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != JournalVersion {
+		return fmt.Errorf("%w: %s: journal version %d, this build reads %d",
+			cserr.ErrSnapshotVersion, path, v, JournalVersion)
+	}
+	return nil
+}
+
+// TailJournal reads the journal at path without taking ownership of it and
+// returns the batches with sequence numbers strictly greater than after, in
+// order. It is the replication-serving read path: the journal's writer keeps
+// appending through its own handle while tails are served from independent
+// read-only opens. A torn or not-yet-durable tail record is simply not
+// returned (never truncated — the file belongs to the writer); the caller
+// re-polls and sees it once the append completes. after at or beyond the
+// last durable record yields an empty tail and no error.
+func TailJournal(path string, after uint64) ([]JournalBatch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkJournalHeader(data, path); err != nil {
+		return nil, err
+	}
+	batches, _ := scanJournal(data)
+	for i, b := range batches {
+		if b.Seq > after {
+			return batches[i:], nil
 		}
 	}
-	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	j.batches = len(batches)
-	j.off = int64(good)
-	return j, batches, nil
+	return nil, nil
 }
 
 func (j *Journal) writeHeader() error {
