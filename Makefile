@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,20 @@ bench-substrate:
 
 # The canonical perf-trajectory record. Each performance-relevant PR runs
 # this and commits the output as BENCH_<pr>.json (see README "Performance").
+# Alongside the seabench wall-clock experiments it runs the canonical
+# seaload SLO scenarios (open-loop, self-served loopback server, fixed
+# seed), so the trajectory also tracks serving-latency percentiles.
 BENCH_OUT ?= BENCH_new.json
 bench-json:
 	$(GO) run ./cmd/seabench -scale 0.25 -queries 4 -out $(BENCH_OUT)
+	$(GO) run ./cmd/seaload -selfserve -scale 0.25 -scenario read-heavy \
+		-qps 150 -duration 5s -warmup 1s -out $(BENCH_OUT)
+	$(GO) run ./cmd/seaload -selfserve -scale 0.25 -scenario mixed \
+		-qps 150 -duration 5s -warmup 1s -out $(BENCH_OUT)
 
 # Re-run the canonical configuration and print per-experiment wall-clock
 # ratios against the latest committed trajectory record.
-BENCH_BASE ?= BENCH_6.json
+BENCH_BASE ?= BENCH_8.json
 bench-compare:
 	$(GO) run ./cmd/seabench -scale 0.25 -queries 4 -compare $(BENCH_BASE)
 
@@ -103,4 +110,15 @@ router-smoke:
 	/tmp/sea-router-smoke/seacli pack -load /tmp/sea-router-smoke/fb.txt -out /tmp/sea-router-smoke/fb.snap
 	SMOKE_DIR=/tmp/sea-router-smoke sh scripts/router-smoke.sh
 
-ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke
+# End-to-end observability smoke, mirroring the CI load-smoke job: boot
+# seaserve on a packed snapshot, run seaload open-loop for 5s, assert the
+# record carries p50/p99/p999 with zero errors, and assert /metrics exposes
+# the per-stage latency histograms with populated counts.
+load-smoke:
+	@rm -rf /tmp/sea-load-smoke && mkdir -p /tmp/sea-load-smoke
+	$(GO) build -o /tmp/sea-load-smoke/ ./cmd/...
+	/tmp/sea-load-smoke/datagen -dataset facebook -scale 0.3 -out /tmp/sea-load-smoke/fb.txt
+	/tmp/sea-load-smoke/seacli pack -load /tmp/sea-load-smoke/fb.txt -out /tmp/sea-load-smoke/fb.snap
+	SMOKE_DIR=/tmp/sea-load-smoke sh scripts/load-smoke.sh
+
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke load-smoke

@@ -571,6 +571,25 @@ func QueryMetricsHeader() []string { return engine.QueryMetricsHeader() }
 // and cache occupancy (Engine.Stats).
 type EngineStats = engine.Stats
 
+// LatencyStats is a point-in-time snapshot of every stage-latency histogram
+// an Engine records (Engine.Latency): full bucket resolution, mergeable
+// across engines, digestible to percentiles via Summary.
+type LatencyStats = engine.LatencyStats
+
+// LatencySummary is the flat JSON percentile digest of LatencyStats
+// (count/mean/p50/p90/p99/p999/max in microseconds per stage) served under
+// "latency" by GET /stats.
+type LatencySummary = engine.LatencySummary
+
+// EngineSpan is one request's trace record (correlation id, dataset, start
+// timestamp, per-stage metrics) as kept in the engine's trace ring and
+// served by GET /debug/trace.
+type EngineSpan = engine.Span
+
+// RouterSpan is one request's trace record at the cluster router: route,
+// scatter width, failed shards and served-by attribution.
+type RouterSpan = cluster.RouterSpan
+
 // EngineBatchItem pairs one Request of Engine.Batch with its Outcome and
 // per-stage metrics.
 type EngineBatchItem = engine.BatchItem

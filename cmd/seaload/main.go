@@ -1,0 +1,467 @@
+// Command seaload is the SLO harness: an open-loop load generator that
+// drives a running seaserve (or searouter) at a fixed request rate and
+// reports client-side latency percentiles that include queueing delay.
+//
+// Open-loop means every request fires at its scheduled instant whether or
+// not earlier ones have returned, and latency is measured from that
+// scheduled instant — so a server that stalls accumulates queueing delay in
+// the percentiles instead of silently slowing the generator down
+// (coordinated omission). A closed-loop generator (fire, wait, fire) can
+// report a healthy p99 from a server that is drowning; this one cannot.
+//
+// Scenarios are weighted operation mixes over zipf-distributed query nodes
+// (hot nodes get most of the traffic, like real workloads):
+//
+//	read-heavy    80% /search, 15% /batch, 5% /compare
+//	mixed         55% /search, 20% /batch, 10% /compare, 15% /admin/mutate
+//	write-heavy   30% /search, 10% /batch, 60% /admin/mutate
+//
+// Mutations are set_attr deltas on zipf nodes: always valid (unlike random
+// edge inserts, which collide), durable when the target journals, and they
+// exercise the scoped-invalidation write path the read mix then observes.
+//
+// Usage:
+//
+//	seaload -url http://localhost:8080 -scenario read-heavy -qps 200 -duration 10s
+//	seaload -selfserve -scenario mixed -qps 500 -out BENCH_8.json
+//
+// -selfserve boots an in-process server on a loopback port (generated
+// dataset, full catalog HTTP surface) and drives it over real HTTP — the
+// reproducible no-setup mode `make bench-json` uses.
+//
+// -out appends one machine-readable record per run, seabench-compatible:
+//
+//	{"experiment": "seaload/<scenario>",
+//	 "wall_seconds": <measured window>,
+//	 "result": {"scenario":..., "url":..., "graph":...,
+//	            "qps_target":..., "qps_achieved":...,
+//	            "requests":..., "errors":...,
+//	            "p50_us":..., "p90_us":..., "p99_us":..., "p999_us":...,
+//	            "mean_us":..., "max_us":...,
+//	            "ops": {"search": {"count":..., "errors":..., "p99_us":...}, ...}}}
+//
+// Records land in a JSON array; re-running a scenario replaces its record
+// in place, so one BENCH_<pr>.json accumulates every scenario of a PR.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	sealib "repro"
+	"repro/internal/obs"
+)
+
+// opWeight is one operation's share of a scenario mix, in percent.
+type opWeight struct {
+	op     string
+	weight int
+}
+
+var scenarios = map[string][]opWeight{
+	"read-heavy":  {{"search", 80}, {"batch", 15}, {"compare", 5}},
+	"mixed":       {{"search", 55}, {"batch", 20}, {"compare", 10}, {"mutate", 15}},
+	"write-heavy": {{"search", 30}, {"batch", 10}, {"mutate", 60}},
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "", "target base URL (seaserve or searouter)")
+		selfserve = flag.Bool("selfserve", false, "boot an in-process server on a loopback port and drive that")
+		dsName    = flag.String("dataset", "facebook", "generated dataset for -selfserve")
+		scale     = flag.Float64("scale", 0.5, "dataset scale for -selfserve")
+		graphName = flag.String("graph", "", "dataset name in requests (default: the target's default dataset)")
+		scenario  = flag.String("scenario", "read-heavy", "operation mix: read-heavy, mixed or write-heavy")
+		qps       = flag.Float64("qps", 200, "target request rate (open loop: fires on schedule regardless of responses)")
+		duration  = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup    = flag.Duration("warmup", time.Second, "requests fired but not measured before the window")
+		k         = flag.Int("k", 6, "structural parameter k")
+		zipfS     = flag.Float64("zipf", 1.3, "zipf skew for query-node choice (>1; higher = hotter hot set)")
+		batchSize = flag.Int("batch-size", 8, "queries per /batch request")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
+		seed      = flag.Int64("seed", 42, "random seed for node choice and op mix")
+		outFile   = flag.String("out", "", "merge the run's record into this JSON array (convention: BENCH_<pr>.json)")
+	)
+	flag.Parse()
+
+	mix, ok := scenarios[*scenario]
+	if !ok {
+		fail(fmt.Errorf("unknown scenario %q (want read-heavy, mixed or write-heavy)", *scenario))
+	}
+	if *qps <= 0 {
+		fail(errors.New("-qps must be positive"))
+	}
+	if *url == "" && !*selfserve {
+		fail(errors.New("need -url or -selfserve"))
+	}
+
+	if *selfserve {
+		target, shutdown, err := bootSelfServe(*dsName, *scale)
+		if err != nil {
+			fail(err)
+		}
+		defer shutdown()
+		*url = target
+		if *graphName == "" {
+			*graphName = *dsName
+		}
+	}
+
+	nodes, graph, err := discover(*url, *graphName, *timeout)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("seaload: %s scenario against %s (graph %q, %d nodes): %g qps for %v after %v warmup\n",
+		*scenario, *url, graph, nodes, *qps, *duration, *warmup)
+
+	res := run(runConfig{
+		url: *url, graph: graph, nodes: nodes,
+		mix: mix, qps: *qps, duration: *duration, warmup: *warmup,
+		k: *k, zipfS: *zipfS, batchSize: *batchSize,
+		timeout: *timeout, seed: *seed,
+	})
+	res.Scenario = *scenario
+
+	fmt.Printf("seaload: %d requests (%d errors), %.1f qps achieved of %g target\n",
+		res.Requests, res.Errors, res.QPSAchieved, res.QPSTarget)
+	fmt.Printf("seaload: p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  max %.0fµs\n",
+		res.P50US, res.P90US, res.P99US, res.P999US, res.MaxUS)
+	for _, w := range mix {
+		if s, ok := res.Ops[w.op]; ok {
+			fmt.Printf("seaload:   %-8s %7d requests, %d errors, p99 %.0fµs\n", w.op, s.Count, s.Errors, s.P99US)
+		}
+	}
+
+	if *outFile != "" {
+		if err := mergeRecord(*outFile, loadRecord{
+			Experiment:  "seaload/" + *scenario,
+			WallSeconds: res.wall.Seconds(),
+			Result:      res,
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("seaload: merged record %q into %s\n", "seaload/"+*scenario, *outFile)
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// bootSelfServe mounts a generated dataset behind the full catalog HTTP
+// surface on a loopback port and returns its base URL.
+func bootSelfServe(name string, scale float64) (string, func(), error) {
+	d, err := sealib.GenerateDataset(name, scale)
+	if err != nil {
+		return "", nil, err
+	}
+	cfg := sealib.DefaultEngineConfig()
+	eng, err := sealib.NewEngine(d.Graph, cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	cat := sealib.NewCatalog()
+	if _, err := cat.Mount(name, eng, cfg, fmt.Sprintf("generated %s@%g", name, scale)); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: sealib.NewCatalogHTTPHandler(cat, cfg)}
+	go srv.Serve(ln)
+	shutdown := func() {
+		srv.Close()
+		cat.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// discover asks the target's /graphs for the dataset to drive: its node
+// count bounds the zipf draw, and an empty -graph resolves to the target's
+// default dataset.
+func discover(url, graph string, timeout time.Duration) (nodes int, name string, err error) {
+	hc := &http.Client{Timeout: timeout}
+	resp, err := hc.Get(url + "/graphs")
+	if err != nil {
+		return 0, "", fmt.Errorf("discovering datasets: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("discovering datasets: %s returned %s", url+"/graphs", resp.Status)
+	}
+	var body struct {
+		Default string `json:"default"`
+		Graphs  []struct {
+			Name  string `json:"name"`
+			Nodes int    `json:"nodes"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, "", fmt.Errorf("decoding /graphs: %w", err)
+	}
+	if graph == "" {
+		graph = body.Default
+	}
+	for _, g := range body.Graphs {
+		if g.Name == graph || (graph == "" && len(body.Graphs) == 1) {
+			if g.Nodes < 2 {
+				return 0, "", fmt.Errorf("dataset %q has %d nodes; need at least 2", g.Name, g.Nodes)
+			}
+			return g.Nodes, g.Name, nil
+		}
+	}
+	return 0, "", fmt.Errorf("target serves no dataset %q", graph)
+}
+
+type runConfig struct {
+	url, graph string
+	nodes      int
+	mix        []opWeight
+	qps        float64
+	duration   time.Duration
+	warmup     time.Duration
+	k          int
+	zipfS      float64
+	batchSize  int
+	timeout    time.Duration
+	seed       int64
+}
+
+// opStats is one operation's slice of the run.
+type opStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// loadResult is the machine-readable outcome of one run — the "result"
+// field of the committed record.
+type loadResult struct {
+	Scenario    string             `json:"scenario"`
+	URL         string             `json:"url"`
+	Graph       string             `json:"graph"`
+	QPSTarget   float64            `json:"qps_target"`
+	QPSAchieved float64            `json:"qps_achieved"`
+	Requests    uint64             `json:"requests"`
+	Errors      uint64             `json:"errors"`
+	P50US       float64            `json:"p50_us"`
+	P90US       float64            `json:"p90_us"`
+	P99US       float64            `json:"p99_us"`
+	P999US      float64            `json:"p999_us"`
+	MeanUS      float64            `json:"mean_us"`
+	MaxUS       float64            `json:"max_us"`
+	Ops         map[string]opStats `json:"ops"`
+
+	wall time.Duration
+}
+
+// loadRecord matches seabench's benchRecord field for field, so seaload and
+// seabench runs share one BENCH_<pr>.json — mergeRecord re-marshals every
+// record it keeps, and a narrower struct would silently strip seabench's
+// fields from the file.
+type loadRecord struct {
+	Experiment  string   `json:"experiment"`
+	WallSeconds float64  `json:"wall_seconds"`
+	MeanDelta   *float64 `json:"mean_delta,omitempty"`
+	Result      any      `json:"result,omitempty"`
+}
+
+// perOp aggregates one operation's latency during a run.
+type perOp struct {
+	hist   obs.Histogram
+	errors obs.Histogram // error latencies, kept separate from the percentiles
+}
+
+// run fires the mix at cfg.qps from a fixed schedule. Request i's send time
+// is start + i·interval whatever the server is doing; its latency is
+// measured from that scheduled instant, so response-time stalls surface as
+// queueing delay instead of quietly stretching the schedule.
+func run(cfg runConfig) loadResult {
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	hc := &http.Client{
+		Timeout: cfg.timeout,
+		// The open loop can hold many requests in flight against one host;
+		// the default 2 idle conns per host would throttle it at the client.
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+	}
+
+	// The draw (op + query node) is precomputed per tick under one rand so
+	// runs are reproducible; the firing goroutines then touch only atomics.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.nodes-1))
+	var drawMu sync.Mutex
+	draw := func() (string, []int) {
+		drawMu.Lock()
+		defer drawMu.Unlock()
+		roll, acc := rng.Intn(100), 0
+		op := cfg.mix[len(cfg.mix)-1].op
+		for _, w := range cfg.mix {
+			if acc += w.weight; roll < acc {
+				op = w.op
+				break
+			}
+		}
+		n := 1
+		if op == "batch" {
+			n = cfg.batchSize
+		}
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = int(zipf.Uint64())
+		}
+		return op, nodes
+	}
+
+	var (
+		total  obs.Histogram
+		ops    = make(map[string]*perOp, len(cfg.mix))
+		wg     sync.WaitGroup
+		mutSeq int
+		mutMu  sync.Mutex
+	)
+	for _, w := range cfg.mix {
+		ops[w.op] = &perOp{}
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.warmup)
+	end := measureFrom.Add(cfg.duration)
+	for sched := start; sched.Before(end); sched = sched.Add(interval) {
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		op, nodes := draw()
+		var body []byte
+		path := ""
+		switch op {
+		case "search":
+			path = "/search"
+			body, _ = json.Marshal(map[string]any{"q": nodes[0], "method": "sea", "k": cfg.k, "graph": cfg.graph})
+		case "batch":
+			path = "/batch"
+			body, _ = json.Marshal(map[string]any{"queries": nodes, "method": "sea", "k": cfg.k, "graph": cfg.graph})
+		case "compare":
+			path = "/compare"
+			body, _ = json.Marshal(map[string]any{"q": nodes[0], "methods": []string{"sea", "structural"}, "k": cfg.k, "graph": cfg.graph})
+		case "mutate":
+			mutMu.Lock()
+			mutSeq++
+			tag := fmt.Sprintf("seaload-%d", mutSeq%64)
+			mutMu.Unlock()
+			path = "/admin/mutate"
+			body, _ = json.Marshal(map[string]any{"graph": cfg.graph, "deltas": []map[string]any{
+				{"op": "set_attr", "u": nodes[0], "text": []string{"seaload", tag}},
+			}})
+		}
+		wg.Add(1)
+		go func(sched time.Time, op, path string, body []byte) {
+			defer wg.Done()
+			ok := fire(hc, cfg.url+path, body)
+			lat := time.Since(sched)
+			if sched.Before(measureFrom) {
+				return // warmup: fired for server state, not measured
+			}
+			st := ops[op]
+			if ok {
+				total.Observe(lat.Nanoseconds())
+				st.hist.Observe(lat.Nanoseconds())
+			} else {
+				st.errors.Observe(lat.Nanoseconds())
+			}
+		}(sched, op, path, body)
+	}
+	wg.Wait()
+	wall := time.Since(measureFrom)
+	if wall > cfg.duration {
+		wall = cfg.duration // responses landing after the window don't stretch the rate
+	}
+
+	snap := total.Snapshot()
+	res := loadResult{
+		URL: cfg.url, Graph: cfg.graph,
+		QPSTarget: cfg.qps,
+		MeanUS:    snap.Mean() / 1e3,
+		P50US:     snap.Quantile(0.50) / 1e3,
+		P90US:     snap.Quantile(0.90) / 1e3,
+		P99US:     snap.Quantile(0.99) / 1e3,
+		P999US:    snap.Quantile(0.999) / 1e3,
+		MaxUS:     float64(snap.Max()) / 1e3,
+		Ops:       make(map[string]opStats, len(ops)),
+		wall:      wall,
+	}
+	for op, st := range ops {
+		s := st.hist.Snapshot()
+		e := st.errors.Snapshot()
+		res.Requests += s.Count + e.Count
+		res.Errors += e.Count
+		res.Ops[op] = opStats{Count: s.Count + e.Count, Errors: e.Count, P99US: s.Quantile(0.99) / 1e3}
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		res.QPSAchieved = float64(res.Requests) / secs
+	}
+	return res
+}
+
+// fire sends one request and reports success. 404 counts as success: "no
+// community satisfies the constraints" is a correct answer for a hard query
+// node, not a serving failure.
+func fire(hc *http.Client, url string, body []byte) bool {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+	return resp.StatusCode < 300 || resp.StatusCode == http.StatusNotFound
+}
+
+// mergeRecord folds one run's record into the JSON array at path, replacing
+// any record with the same experiment name (a re-run supersedes, never
+// duplicates) and creating the file when absent.
+func mergeRecord(path string, rec loadRecord) error {
+	var records []loadRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	replaced := false
+	for i := range records {
+		if records[i].Experiment == rec.Experiment {
+			records[i] = rec
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		records = append(records, rec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "seaload:", err)
+	os.Exit(1)
+}

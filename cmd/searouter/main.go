@@ -18,6 +18,8 @@
 //
 //	searouter -members http://n1:8080,http://n2:8081,http://n3:8082
 //	searouter -members ... -primary http://n1:8080 -rf 2 -max-lag 8
+//	searouter -members ... -pprof 127.0.0.1:6061
+//	  then: go tool pprof http://127.0.0.1:6061/debug/pprof/profile?seconds=10
 //
 // Endpoints:
 //
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -53,10 +56,18 @@ func main() {
 		failAfter  = flag.Int("fail-after", 3, "consecutive probe failures that mark a member dead")
 		maxLag     = flag.Uint64("max-lag", 8, "max batches a follower may lag and still serve reads")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6061 (off when empty)")
 	)
 	flag.Parse()
 	if *members == "" {
 		fail(errors.New("need -members"))
+	}
+	if *pprofAddr != "" {
+		bound, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("searouter: pprof on http://%s/debug/pprof/ (try: go tool pprof http://%s/debug/pprof/profile?seconds=10)\n", bound, bound)
 	}
 	var urls []string
 	for _, m := range strings.Split(*members, ",") {

@@ -27,6 +27,8 @@
 //	seaserve -dataset facebook -scale 0.5
 //	seaserve -load graph.txt -gamma 0.5 -timeout 2s
 //	seaserve -follow http://primary:8080 -replica-dir /var/lib/sea -addr :8081
+//	seaserve -snapshot facebook.snap -pprof 127.0.0.1:6060
+//	  then: go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // Endpoints:
 //
@@ -64,6 +66,7 @@ import (
 	sealib "repro"
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -89,8 +92,18 @@ func main() {
 		follow       = flag.String("follow", "", "run as a read-only follower replicating from this primary URL")
 		replicaDir   = flag.String("replica-dir", "", "directory for follower replica snapshots and journals (default: a temp dir)")
 		pollEvery    = flag.Duration("poll-every", cluster.DefaultPollEvery, "follower journal poll interval")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (off when empty)")
+		slowQuery    = flag.Duration("slow-query", 0, "log one structured JSON line to stderr per request at least this slow (0 = off)")
+		traceRing    = flag.Int("trace-ring", 0, "request spans kept for GET /debug/trace (0 = default 256, negative = off)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		bound, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("seaserve: pprof on http://%s/debug/pprof/ (try: go tool pprof http://%s/debug/pprof/profile?seconds=10)\n", bound, bound)
+	}
 
 	cfg := sealib.DefaultEngineConfig()
 	cfg.Gamma = *gamma
@@ -100,6 +113,12 @@ func main() {
 	cfg.MaxConcurrent = *maxConc
 	cfg.RequestTimeout = *timeout
 	cfg.EagerTruss = *eagerTruss
+	cfg.SlowQuery = *slowQuery
+	if *traceRing < 0 {
+		cfg.TraceOff = true
+	} else {
+		cfg.TraceRing = *traceRing
+	}
 
 	t0 := time.Now()
 	cat := sealib.NewCatalog()

@@ -174,6 +174,32 @@
 // dies. Every response carries an X-Request-ID for end-to-end correlation,
 // and every node serves its counters in Prometheus text form on /metrics.
 //
+// # Observability
+//
+// internal/obs is the measurement substrate: a lock-free, allocation-free
+// latency histogram (atomic log-bucketed counters, ≤25% bucket width,
+// exact count and sum) whose record path is three atomic adds, recorded
+// unconditionally on every stage of every request. Snapshots are immutable
+// and mergeable — one shared bucket layout, so per-engine, per-dataset and
+// client-side measurements aggregate identically — and estimate
+// percentiles by interpolation. The engine keeps a histogram per read
+// stage (admission, distance, search; whole-request split by
+// hit/miss/coalesced outcome) and per mutation stage (apply, journal
+// append, scoped invalidation); the router measures per-shard scatter
+// latency and fan-out width. GET /metrics renders them as Prometheus
+// histogram families (cumulative le buckets, _sum, _count — validated by
+// the strict parser obs.CheckExposition), GET /stats digests them to JSON
+// percentiles, and GET /debug/trace?n= returns the newest spans from a
+// fixed-size trace ring (request id, stage timings, cache provenance;
+// served-by and scatter width at the router). A slow-query log
+// (Config.SlowQuery, seaserve -slow-query) emits one structured line per
+// offender, and -pprof mounts net/http/pprof on a separate loopback
+// listener. cmd/seaload closes the loop: an open-loop generator (fixed
+// schedule, so coordinated omission cannot hide queueing) that drives
+// weighted search/batch/compare/mutate mixes over zipf-distributed query
+// nodes and merges {scenario, qps, p50/p90/p99/p999} records into the
+// committed BENCH_<pr>.json trajectory (make bench-json, make load-smoke).
+//
 // # Performance
 //
 // The hot paths run on a pooled per-search workspace (internal/ws):

@@ -81,6 +81,10 @@ type Info struct {
 	Mapped      bool         `json:"mapped"`
 	MappedBytes int64        `json:"mapped_bytes,omitempty"`
 	Stats       engine.Stats `json:"stats"`
+	// Latency carries the engine's full-resolution stage histograms for the
+	// /metrics exposition; it is deliberately excluded from the /graphs JSON
+	// (use /stats for the flat percentile summary).
+	Latency engine.LatencyStats `json:"-"`
 }
 
 // Catalog is a concurrency-safe named registry of datasets. The zero value
@@ -134,6 +138,7 @@ func (c *Catalog) Mount(name string, eng *engine.Engine, cfg engine.Config, sour
 		return nil, cserr.Invalidf("catalog: dataset %q already mounted", name)
 	}
 	d := &Dataset{name: name, cfg: cfg, source: source}
+	eng.SetName(name) // attribute spans, slow-query lines and metrics
 	d.eng.Store(eng)
 	c.datasets[name] = d
 	if c.def == "" {
@@ -165,6 +170,7 @@ func (c *Catalog) swapMounted(name string, eng *engine.Engine, source string, m 
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	eng.SetName(name)
 	old := d.eng.Swap(eng)
 	d.source = source
 	d.swaps++
@@ -359,6 +365,7 @@ func (d *Dataset) info(def string) Info {
 		Mapped:         mapped,
 		MappedBytes:    mappedBytes,
 		Stats:          eng.Stats(),
+		Latency:        eng.Latency(),
 	}
 }
 

@@ -69,13 +69,15 @@ type graphsResponse struct {
 }
 
 // statsResponse is the GET /stats body: the engine counters plus the
-// catalog-level journal and lineage state replication lag is read from.
+// catalog-level journal and lineage state replication lag is read from, and
+// the per-stage latency percentile summary (µs; see engine.LatencySummary).
 type statsResponse struct {
 	Graph string `json:"graph"`
 	engine.Stats
-	Lineage        uint64 `json:"lineage"`
-	JournalSeq     uint64 `json:"journal_seq"`
-	JournalBatches int    `json:"journal_batches"`
+	Lineage        uint64                `json:"lineage"`
+	JournalSeq     uint64                `json:"journal_seq"`
+	JournalBatches int                   `json:"journal_batches"`
+	Latency        engine.LatencySummary `json:"latency"`
 }
 
 // journalResponse is the GET /admin/journal body.
@@ -223,7 +225,7 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 	})
 	// The resolver handler registered a plain engine /stats; the catalog
 	// enriches it with journal/lineage state, so the wrapper owns the path.
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return engine.WithRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/stats" {
 			info, err := c.InfoFor(r.URL.Query().Get("graph"))
 			if err != nil {
@@ -233,11 +235,12 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 			engine.WriteJSON(w, http.StatusOK, statsResponse{
 				Graph: info.Name, Stats: info.Stats, Lineage: info.Swaps,
 				JournalSeq: info.JournalSeq, JournalBatches: info.JournalBatches,
+				Latency: info.Latency.Summary(),
 			})
 			return
 		}
 		mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // serveReplicate streams a snapshot of the dataset's current serving state.

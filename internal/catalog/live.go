@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cserr"
 	"repro/internal/engine"
@@ -124,6 +125,13 @@ type MutateResult struct {
 	// Compacting reports that this batch tipped the journal over its
 	// threshold and a background compaction started.
 	Compacting bool `json:"compacting,omitempty"`
+	// JournalNS is the durability stage: the whole journal append (marshal,
+	// write, fsync). JournalFsyncNS is the fsync alone — the storage-latency
+	// component. Both are 0 on an unjournaled dataset. Together with
+	// ApplyNS/InvalidateNS from the embedded ApplyResult, the write path's
+	// latency decomposes stage by stage.
+	JournalNS      int64 `json:"journal_ns,omitempty"`
+	JournalFsyncNS int64 `json:"journal_fsync_ns,omitempty"`
 }
 
 // Mutate applies one delta batch to the named dataset's engine and journals
@@ -145,13 +153,20 @@ func (c *Catalog) Mutate(name string, deltas []mutate.Delta) (*MutateResult, err
 		return nil, fmt.Errorf("%w: journal for %q is missing an applied batch; compact to restore durability",
 			cserr.ErrSnapshotCorrupt, d.name)
 	}
-	res, err := d.eng.Load().Apply(deltas)
+	eng := d.eng.Load()
+	res, err := eng.Apply(deltas)
 	if err != nil {
 		return nil, err
 	}
 	out := &MutateResult{Graph: d.name, ApplyResult: *res}
 	if d.live != nil {
+		tJournal := time.Now()
 		seq, err := d.live.journal.Append(deltas)
+		out.JournalNS = time.Since(tJournal).Nanoseconds()
+		if err == nil {
+			out.JournalFsyncNS = d.live.journal.LastSyncNS()
+			eng.ObserveJournalAppend(out.JournalNS)
+		}
 		if err != nil {
 			// The mutation is live but not durable. Fail this dataset's
 			// mutations closed and return the result WITH the error

@@ -1,14 +1,18 @@
 package catalog
 
 // Prometheus text-format exposition of the catalog's serving state: the
-// existing engine.Stats counters and cache occupancy per dataset, plus the
-// shape/journal/replication gauges of Info. No new instrumentation — this is
-// purely an exposition format over counters the engine already maintains,
-// labelled by dataset so one scrape covers the whole catalog.
+// engine.Stats counters and cache occupancy per dataset, the
+// shape/journal/replication gauges of Info, and the per-stage latency
+// histograms the engines record (internal/obs) — queries by stage and
+// outcome, mutations by stage — labelled by dataset so one scrape covers
+// the whole catalog.
 
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // metricsContentType is the Content-Type of the /metrics exposition.
@@ -76,19 +80,77 @@ var promFamilies = []promFamily{
 		func(i Info) float64 { return float64(i.MappedBytes) }},
 }
 
-// WriteMetrics renders the datasets' serving counters in the Prometheus
-// text exposition format (version 0.0.4), one sample per dataset per family
-// with the dataset name as the graph label.
+// histFamily is one histogram metric family: name, help, and the labelled
+// stage snapshots it exposes per dataset. Observations are nanoseconds;
+// exposition scales them to the conventional seconds.
+type histFamily struct {
+	name   string
+	help   string
+	series func(engine.LatencyStats) []histSeries
+}
+
+type histSeries struct {
+	label string // the value of the family's discriminating label
+	snap  obs.Snapshot
+}
+
+var histFamilies = []struct {
+	histFamily
+	label string // discriminating label name ("stage" or "outcome")
+}{
+	{histFamily{"sea_query_stage_latency_seconds",
+		"Per-stage read-path latency: shared-index admission, distance-vector fetch/compute, search execution.",
+		func(l engine.LatencyStats) []histSeries {
+			return []histSeries{
+				{"admission", l.Admission},
+				{"distance", l.Distance},
+				{"search", l.Search},
+			}
+		}}, "stage"},
+	{histFamily{"sea_query_latency_seconds",
+		"Whole-request latency by outcome: result-cache hit, computed miss, coalesced join.",
+		func(l engine.LatencyStats) []histSeries {
+			return []histSeries{
+				{"hit", l.TotalHit},
+				{"miss", l.TotalMiss},
+				{"coalesced", l.TotalCoalesced},
+			}
+		}}, "outcome"},
+	{histFamily{"sea_mutation_stage_latency_seconds",
+		"Per-stage write-path latency: delta apply (fold+materialize+index), journal append (fsync included), scoped cache invalidation.",
+		func(l engine.LatencyStats) []histSeries {
+			return []histSeries{
+				{"apply", l.MutateApply},
+				{"journal_append", l.MutateJournal},
+				{"invalidate", l.MutateInvalidate},
+			}
+		}}, "stage"},
+}
+
+// WriteMetrics renders the datasets' serving counters and latency
+// histograms in the Prometheus text exposition format (version 0.0.4), one
+// sample (or histogram labelset) per dataset per family with the dataset
+// name as the graph label.
 func WriteMetrics(w io.Writer, infos []Info) error {
 	for _, f := range promFamilies {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
 			return err
 		}
 		for _, info := range infos {
-			// %q escapes backslash, quote and newline exactly as the
-			// exposition format requires for label values.
-			if _, err := fmt.Fprintf(w, "%s{graph=%q} %g\n", f.name, info.Name, f.value(info)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{graph=\"%s\"} %g\n",
+				f.name, obs.EscapeLabel(info.Name), f.value(info)); err != nil {
 				return err
+			}
+		}
+	}
+	for _, f := range histFamilies {
+		obs.WriteHistogramHeader(w, f.name, f.help)
+		for _, info := range infos {
+			for _, s := range f.series(info.Latency) {
+				obs.WriteHistogram(w, f.name, []obs.Label{
+					{Name: "graph", Value: info.Name},
+					{Name: f.label, Value: s.label},
+				}, s.snap, 1e-9)
 			}
 		}
 	}

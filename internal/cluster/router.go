@@ -30,17 +30,23 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ServedByHeader names the cluster member that actually served a proxied
 // request.
 const ServedByHeader = "X-Sea-Served-By"
+
+// FanoutHeader carries the number of shards a scatter-gather request fanned
+// out to.
+const FanoutHeader = "X-Sea-Fanout"
 
 // RouterConfig configures a Router. Members is required; everything else
 // has serviceable defaults.
@@ -116,10 +122,39 @@ type Router struct {
 	promotions atomic.Uint64
 	shardErrs  atomic.Uint64
 
+	// shardLat records the latency of each upstream call by path ("/batch",
+	// "/compare" per shard; "/search" and "forward" per proxied request).
+	// fanWidth records the per-request scatter width (shards per fan-out).
+	shardLat map[string]*obs.Histogram
+	fanWidth map[string]*obs.Histogram
+	// trace keeps the most recent router spans for GET /debug/trace.
+	trace *obs.Ring[RouterSpan]
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
 }
+
+// routerPaths are the shardLat/fanWidth histogram keys. "forward" covers
+// every primary-forwarded request (writes, admin, stats), whatever its path.
+var routerPaths = []string{"/search", "/batch", "/compare", "forward"}
+
+// RouterSpan is one request's trace record at the router: correlation id,
+// route, scatter width, failed shards and the member(s) that served it.
+type RouterSpan struct {
+	RequestID string `json:"request_id"`
+	Path      string `json:"path"`
+	Graph     string `json:"graph,omitempty"`
+	StartNS   int64  `json:"start_unix_ns"`
+	TotalNS   int64  `json:"total_ns"`
+	Fanout    int    `json:"fanout,omitempty"`
+	Failures  int    `json:"failures,omitempty"`
+	ServedBy  string `json:"served_by,omitempty"`
+}
+
+// Trace returns up to n router spans, newest first (n ≤ 0 returns everything
+// the ring holds).
+func (r *Router) Trace(n int) []RouterSpan { return r.trace.Last(n) }
 
 // NewRouter builds a router over cfg.Members, runs one synchronous probe
 // round so the first request already sees member health, and starts the
@@ -136,14 +171,22 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	cfg.Members = members
 	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
 	r := &Router{
-		cfg:     cfg,
-		ring:    newRing(members),
-		hc:      cfg.HTTP,
-		primary: cfg.Primary,
-		members: make(map[string]*memberState, len(members)),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		ring:     newRing(members),
+		hc:       cfg.HTTP,
+		primary:  cfg.Primary,
+		members:  make(map[string]*memberState, len(members)),
+		shardLat: make(map[string]*obs.Histogram, len(routerPaths)),
+		fanWidth: make(map[string]*obs.Histogram, 2),
+		trace:    obs.NewRing[RouterSpan](256),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
+	for _, p := range routerPaths {
+		r.shardLat[p] = &obs.Histogram{}
+	}
+	r.fanWidth["/batch"] = &obs.Histogram{}
+	r.fanWidth["/compare"] = &obs.Histogram{}
 	for _, m := range members {
 		// Members start alive: death is an observation (FailAfter missed
 		// probes), not a default — a router booted moments before its
@@ -346,6 +389,8 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		r.serveHealth(w)
 	case "/metrics":
 		r.serveMetrics(w)
+	case "/debug/trace":
+		r.serveTrace(w, req)
 	case "/batch":
 		r.serveScatter(w, req, id, scatterBatch)
 	case "/compare":
@@ -353,8 +398,32 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	case "/search":
 		r.serveSearch(w, req, id)
 	default:
-		r.forward(w, req, r.Primary(), id)
+		start := time.Now()
+		target := r.Primary()
+		r.forward(w, req, target, id)
+		ns := time.Since(start).Nanoseconds()
+		r.shardLat["forward"].Observe(ns)
+		r.trace.Add(RouterSpan{RequestID: id, Path: req.URL.Path,
+			StartNS: start.UnixNano(), TotalNS: ns, ServedBy: target})
 	}
+}
+
+// serveTrace answers GET /debug/trace?n= with the newest router spans.
+func (r *Router) serveTrace(w http.ResponseWriter, req *http.Request) {
+	n := 0
+	if s := req.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			engine.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad n=%q", s)})
+			return
+		}
+		n = v
+	}
+	spans := r.Trace(n)
+	if spans == nil {
+		spans = []RouterSpan{}
+	}
+	engine.WriteJSON(w, http.StatusOK, map[string]any{"spans": spans})
 }
 
 func newRequestID() string {
@@ -427,7 +496,12 @@ func (r *Router) serveSearch(w http.ResponseWriter, req *http.Request, id string
 	}
 	set := r.readSet(graph)
 	target := set[int(r.rr.Add(1)-1)%len(set)]
+	start := time.Now()
 	r.forward(w, req, target, id)
+	ns := time.Since(start).Nanoseconds()
+	r.shardLat["/search"].Observe(ns)
+	r.trace.Add(RouterSpan{RequestID: id, Path: "/search", Graph: graph,
+		StartNS: start.UnixNano(), TotalNS: ns, ServedBy: target})
 }
 
 // scatterPlan describes how one endpoint splits and reassembles: which
@@ -529,6 +603,9 @@ func (r *Router) serveScatter(w http.ResponseWriter, req *http.Request, id strin
 		url := set[i%len(set)]
 		assign[url] = append(assign[url], i)
 	}
+	start := time.Now()
+	r.fanWidth[plan.path].Observe(int64(len(assign)))
+	w.Header().Set(FanoutHeader, strconv.Itoa(len(assign)))
 
 	items := make([]map[string]any, len(fan))
 	var (
@@ -558,6 +635,9 @@ func (r *Router) serveScatter(w http.ResponseWriter, req *http.Request, id strin
 		}(url, idxs)
 	}
 	wg.Wait()
+	r.trace.Add(RouterSpan{RequestID: id, Path: plan.path, Graph: graph,
+		StartNS: start.UnixNano(), TotalNS: time.Since(start).Nanoseconds(),
+		Fanout: len(assign), Failures: failures})
 	if failures == len(assign) {
 		routerError(w, id, http.StatusBadGateway, "all %d shards failed; first target %s", len(assign), set[0])
 		return
@@ -586,6 +666,10 @@ func (r *Router) runShard(ctx context.Context, url, id string, plan scatterPlan,
 	if err != nil {
 		return nil, err
 	}
+	// Shard latency counts failures too: a timed-out shard is exactly the
+	// tail the histogram exists to expose.
+	start := time.Now()
+	defer r.shardLat[plan.path].ObserveSince(start)
 	cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(cctx, http.MethodPost, url+plan.path, bytes.NewReader(payload))
@@ -670,8 +754,9 @@ func (r *Router) serveHealth(w http.ResponseWriter) {
 	})
 }
 
-// serveMetrics exposes the router's own counters in the Prometheus text
-// format (the members' serving metrics live on their own /metrics).
+// serveMetrics exposes the router's own counters and latency histograms in
+// the Prometheus text format (the members' serving metrics live on their own
+// /metrics).
 func (r *Router) serveMetrics(w http.ResponseWriter) {
 	r.mu.Lock()
 	type row struct {
@@ -690,8 +775,20 @@ func (r *Router) serveMetrics(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP searouter_member_up Member answers health probes (1) or is considered dead (0).\n# TYPE searouter_member_up gauge\n")
 	for _, row := range rows {
-		fmt.Fprintf(w, "searouter_member_up{member=%q} %d\n", row.url, row.up)
+		fmt.Fprintf(w, "searouter_member_up{member=\"%s\"} %d\n", obs.EscapeLabel(row.url), row.up)
 	}
 	fmt.Fprintf(w, "# HELP searouter_promotions_total Follower promotions performed by this router.\n# TYPE searouter_promotions_total counter\nsearouter_promotions_total %d\n", r.promotions.Load())
 	fmt.Fprintf(w, "# HELP searouter_shard_errors_total Scatter shards that failed and degraded to per-item errors.\n# TYPE searouter_shard_errors_total counter\nsearouter_shard_errors_total %d\n", r.shardErrs.Load())
+	obs.WriteHistogramHeader(w, "searouter_shard_latency_seconds",
+		"Upstream call latency by route: per shard for /batch and /compare, per proxied request for /search, and every primary-forwarded request under \"forward\".")
+	for _, p := range routerPaths {
+		obs.WriteHistogram(w, "searouter_shard_latency_seconds",
+			[]obs.Label{{Name: "path", Value: p}}, r.shardLat[p].Snapshot(), 1e-9)
+	}
+	obs.WriteHistogramHeader(w, "searouter_fanout_width",
+		"Shards per scatter-gather request (unitless width, not seconds).")
+	for _, p := range []string{"/batch", "/compare"} {
+		obs.WriteHistogram(w, "searouter_fanout_width",
+			[]obs.Label{{Name: "path", Value: p}}, r.fanWidth[p].Snapshot(), 1)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 )
 
 // testCluster is a primary, two live followers (with running sync loops),
@@ -378,5 +379,95 @@ func TestRouterRequestID(t *testing.T) {
 	id := hdr.Get(engine.RequestIDHeader)
 	if id == "" || body["request_id"] != id {
 		t.Fatalf("error body request_id %v, header %q", body["request_id"], id)
+	}
+}
+
+// TestMetricsExpositionStrict runs the full /metrics output of the router
+// AND of a cluster node (primary, behind NewNodeHandler) through the
+// parser-strictness checker, with the latency histograms populated by real
+// scattered and forwarded traffic. PR 7's handlers emitted bare series
+// without HELP/TYPE and %q-escaped labels; this pins the repaired output.
+func TestMetricsExpositionStrict(t *testing.T) {
+	tc := newTestCluster(t, RouterConfig{
+		ReplicationFactor: 3,
+		ProbeEvery:        20 * time.Millisecond,
+		ShardTimeout:      5 * time.Second,
+	})
+
+	// Populate: one scatter (/batch), one single-replica read (/search),
+	// one primary forward (/stats).
+	if status, body, _ := postJSON(t, tc.rts.URL+"/batch",
+		`{"graph":"g","queries":[0,1,2],"method":"structural","k":2}`); status != http.StatusOK {
+		t.Fatalf("/batch: %d %v", status, body)
+	}
+	if status, body, _ := postJSON(t, tc.rts.URL+"/search",
+		`{"graph":"g","q":0,"method":"structural","k":2}`); status != http.StatusOK {
+		t.Fatalf("/search: %d %v", status, body)
+	}
+	scrape := func(base string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/metrics: %d", base, resp.StatusCode)
+		}
+		return body
+	}
+
+	router := scrape(tc.rts.URL)
+	if err := obs.CheckExposition(router); err != nil {
+		t.Fatalf("router /metrics fails strict parsing: %v\nbody:\n%s", err, router)
+	}
+	for _, want := range []string{
+		"# TYPE searouter_member_up gauge",
+		"# TYPE searouter_shard_latency_seconds histogram",
+		"# TYPE searouter_fanout_width histogram",
+		`searouter_shard_latency_seconds_bucket{path="/batch",le="+Inf"}`,
+		`searouter_shard_latency_seconds_count{path="/search"} 1`,
+		`searouter_fanout_width_sum{path="/batch"} 3`,
+	} {
+		if !strings.Contains(string(router), want) {
+			t.Fatalf("router /metrics lacks %q in:\n%s", want, router)
+		}
+	}
+
+	node := scrape(tc.pts.URL)
+	if err := obs.CheckExposition(node); err != nil {
+		t.Fatalf("node /metrics fails strict parsing: %v\nbody:\n%s", err, node)
+	}
+	for _, want := range []string{
+		"# TYPE sea_query_latency_seconds histogram",
+		`sea_query_stage_latency_seconds_count{graph="g",stage="search"}`,
+	} {
+		if !strings.Contains(string(node), want) {
+			t.Fatalf("node /metrics lacks %q in:\n%s", want, node)
+		}
+	}
+
+	// The router's trace ring saw the scatter and the search.
+	resp, err := http.Get(tc.rts.URL + "/debug/trace?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var trace struct {
+		Spans []RouterSpan `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, s := range trace.Spans {
+		paths[s.Path] = true
+		if s.RequestID == "" {
+			t.Fatalf("router span lacks request id: %+v", s)
+		}
+	}
+	if !paths["/batch"] || !paths["/search"] {
+		t.Fatalf("trace ring lacks /batch or /search spans: %v", paths)
 	}
 }

@@ -34,6 +34,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kcore"
 	"repro/internal/mutate"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sea"
 	"repro/internal/truss"
@@ -80,6 +82,18 @@ type Config struct {
 	// EagerTruss also builds the truss-level index at construction instead
 	// of on the first k-truss query.
 	EagerTruss bool
+	// TraceRing is the request-trace ring capacity (spans kept for
+	// GET /debug/trace). ≤0 selects the default (256); set TraceOff to
+	// disable tracing entirely.
+	TraceRing int
+	// TraceOff disables the span ring (histograms still record).
+	TraceOff bool
+	// SlowQuery, when positive, logs one structured JSON line (to
+	// SlowQueryLog, default stderr) for every request whose total latency
+	// meets or exceeds it.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query lines; nil means os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // DefaultConfig returns a serving configuration suitable for mid-size graphs.
@@ -199,6 +213,13 @@ type Engine struct {
 	sem chan struct{} // bounds concurrently executing searches
 
 	ctr counters
+	lat latency
+
+	// name attributes spans, slow-query lines and aggregated metrics to a
+	// dataset; the catalog sets it at mount time (see SetName).
+	name atomic.Pointer[string]
+	// trace holds the most recent request spans (nil when tracing is off).
+	trace *obs.Ring[Span]
 }
 
 // flightKey scopes result coalescing to one graph generation, so a request
@@ -256,9 +277,15 @@ func newEngine(g graph.Store, cfg Config, m *attr.Metric, core []int32) (*Engine
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 256
+	}
 	e := &Engine{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if !cfg.TraceOff {
+		e.trace = obs.NewRing[Span](cfg.TraceRing)
 	}
 	e.st.Store(&engState{g: g, metric: m, core: core})
 	e.dists = newShardedLRU[graph.NodeID, []float64](
@@ -307,6 +334,7 @@ func (e *Engine) QueryWithMetrics(ctx context.Context, req query.Request) (*quer
 		qm.Err = err.Error()
 		e.ctr.errors.Add(1)
 	}
+	e.recordQuery(RequestIDFromContext(ctx), t0, qm)
 	return out, qm, err
 }
 

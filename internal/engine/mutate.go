@@ -30,6 +30,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/attr"
 	"repro/internal/cserr"
@@ -58,6 +59,18 @@ type ApplyResult struct {
 	ResultsInvalidated int `json:"results_invalidated"`
 	DistsInvalidated   int `json:"dists_invalidated"`
 	DistsExtended      int `json:"dists_extended"`
+	// ApplyNS is the apply stage: session fold, materialization and index
+	// rebind. InvalidateNS is the scoped cache sweep. (Journal timing is the
+	// journal owner's — see catalog.MutateResult.JournalNS.)
+	ApplyNS      int64 `json:"apply_ns"`
+	InvalidateNS int64 `json:"invalidate_ns"`
+	// TouchedNodes is the size of the mutation's touched set (endpoints,
+	// index-changed and attribute-changed nodes). RegionNodes is the size of
+	// the union of affected regions the sweep actually expanded — regions
+	// are computed lazily per cached (model, k), so 0 means no cached entry
+	// required an expansion, not that the mutation touched nothing.
+	TouchedNodes int `json:"touched_nodes"`
+	RegionNodes  int `json:"region_nodes"`
 }
 
 // Apply folds one batch of deltas into the serving state, maintaining the
@@ -72,6 +85,9 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Stage clock starts after the lock: ApplyNS times the work, not the
+	// queueing behind other batches (the caller's wall clock covers that).
+	tApply := time.Now()
 	old := e.st.Load()
 
 	// Seed the per-edge trussness table the first time a mutation arrives
@@ -101,6 +117,7 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 	if nt := sess.NodeTruss(oldTruss); nt != nil {
 		st.adoptTruss(nt)
 	}
+	applyNS := time.Since(tApply).Nanoseconds()
 
 	// Fence: the write-locked bump waits out in-flight cache fills and
 	// makes every later fill observe the new epoch (and skip itself, since
@@ -115,8 +132,15 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 		Version:  st.version,
 		Nodes:    newG.NumNodes(),
 		Edges:    newG.NumEdges(),
+		ApplyNS:  applyNS,
 	}
-	res.ResultsInvalidated, res.DistsInvalidated, res.DistsExtended = e.invalidateScoped(old, st, sess)
+	tInv := time.Now()
+	sw := e.invalidateScoped(old, st, sess)
+	res.InvalidateNS = time.Since(tInv).Nanoseconds()
+	res.ResultsInvalidated, res.DistsInvalidated, res.DistsExtended = sw.results, sw.dists, sw.extended
+	res.TouchedNodes, res.RegionNodes = sw.touched, sw.region
+	e.lat.mutApply.Observe(res.ApplyNS)
+	e.lat.mutInvalidate.Observe(res.InvalidateNS)
 	e.st.Store(st)
 
 	e.ctr.mutations.Add(1)
@@ -138,14 +162,25 @@ func edgeTrussTable(g graph.CSR) map[mutate.Edge]int32 {
 	return out
 }
 
+// sweepResult reports what one scoped invalidation pass did: cache entries
+// dropped/extended plus the affected-region accounting surfaced in
+// ApplyResult.
+type sweepResult struct {
+	results, dists, extended int
+	touched                  int // structural + attribute touched nodes
+	region                   int // union of the regions actually expanded
+}
+
 // invalidateScoped sweeps both caches against the mutation's affected
 // region; see the file comment for the soundness argument.
-func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (results, dists, extended int) {
+func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) sweepResult {
+	var sw sweepResult
 	structural := sess.StructuralNodes()
 	attrNodes := sess.AttrNodes()
 	touched := make([]graph.NodeID, 0, len(structural)+len(attrNodes))
 	touched = append(touched, structural...)
 	touched = append(touched, attrNodes...)
+	sw.touched = len(touched)
 	oldN, newN := old.g.NumNodes(), new.g.NumNodes()
 	oldTruss, newTruss := old.trussPeek(), new.trussPeek()
 
@@ -221,7 +256,7 @@ func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (res
 		return r
 	}
 
-	results, _ = e.results.sweep(func(req query.Request, _ *query.Outcome) (*query.Outcome, sweepAction) {
+	sw.results, _ = e.results.sweep(func(req query.Request, _ *query.Outcome) (*query.Outcome, sweepAction) {
 		if req.Model == sea.KTruss && (oldTruss == nil || newTruss == nil) {
 			// No truss index on one side means no scoped region can be
 			// proven for the entry; drop it conservatively. (Reachable only
@@ -251,7 +286,7 @@ func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (res
 	if len(attrSeeds) > 0 {
 		attrRegion = expandRegion(attrSeeds, func(graph.NodeID) int32 { return 1 }, 0)
 	}
-	dists, extended = e.dists.sweep(func(q graph.NodeID, vec []float64) ([]float64, sweepAction) {
+	sw.dists, sw.extended = e.dists.sweep(func(q graph.NodeID, vec []float64) ([]float64, sweepAction) {
 		if attrRegion[q] {
 			return nil, sweepDrop
 		}
@@ -265,5 +300,19 @@ func (e *Engine) invalidateScoped(old, new *engState, sess *mutate.Session) (res
 		}
 		return nil, sweepKeep
 	})
-	return results, dists, extended
+
+	// Affected-region accounting: the union of every region the sweep
+	// expanded. Regions are built lazily per cached (model, k), so this
+	// reflects the expansion work done, not a hypothetical full region.
+	union := make(map[graph.NodeID]bool)
+	for _, r := range regions {
+		for v := range r {
+			union[v] = true
+		}
+	}
+	for v := range attrRegion {
+		union[v] = true
+	}
+	sw.region = len(union)
+	return sw
 }

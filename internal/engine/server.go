@@ -172,16 +172,33 @@ const RequestIDHeader = "X-Request-ID"
 
 // WithRequestID wraps h to echo the request's X-Request-ID header on the
 // response (error responses included — the header is set before the handler
-// can write a status). It never generates IDs: origination is the router's
-// job, and a directly-addressed seaserve stays byte-stable for clients that
-// sent no ID.
+// can write a status) and to carry the ID down through the request context,
+// where QueryWithMetrics picks it up for span attribution. It never
+// generates IDs: origination is the router's job, and a directly-addressed
+// seaserve stays byte-stable for clients that sent no ID.
 func WithRequestID(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if id := r.Header.Get(RequestIDHeader); id != "" {
 			w.Header().Set(RequestIDHeader, id)
+			r = r.WithContext(ContextWithRequestID(r.Context(), id))
 		}
 		h.ServeHTTP(w, r)
 	})
+}
+
+type requestIDKey struct{}
+
+// ContextWithRequestID attaches a correlation ID to ctx; every query served
+// under it records the ID on its trace span.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the correlation ID attached by
+// ContextWithRequestID ("" when none).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 // Resolver maps a dataset name from the wire ("graph" field or ?graph=
@@ -193,12 +210,12 @@ type Resolver func(name string) (*Engine, error)
 // single-graph form of NewResolverHandler, where every request resolves to
 // e and naming any other graph is an error.
 func NewHTTPHandler(e *Engine) http.Handler {
-	return NewResolverHandler(func(name string) (*Engine, error) {
+	return WithRequestID(NewResolverHandler(func(name string) (*Engine, error) {
 		if name != "" {
 			return nil, fmt.Errorf("%w: %q (single-graph server)", cserr.ErrUnknownGraph, name)
 		}
 		return e, nil
-	})
+	}))
 }
 
 // NewResolverHandler returns the JSON serving surface over a Resolver:
@@ -373,7 +390,29 @@ func NewResolverHandler(resolve Resolver) *http.ServeMux {
 			WriteError(w, StatusFor(err), err)
 			return
 		}
-		WriteJSON(w, http.StatusOK, e.Stats())
+		WriteJSON(w, http.StatusOK, struct {
+			Stats
+			Latency LatencySummary `json:"latency"`
+		}{e.Stats(), e.Latency().Summary()})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		e, err := resolve(r.URL.Query().Get("graph"))
+		if err != nil {
+			WriteError(w, StatusFor(err), err)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err = strconv.Atoi(s); err != nil {
+				WriteError(w, http.StatusBadRequest, cserr.Invalidf("bad n=%q", s))
+				return
+			}
+		}
+		spans := e.Trace(n)
+		if spans == nil {
+			spans = []Span{}
+		}
+		WriteJSON(w, http.StatusOK, map[string]any{"spans": spans})
 	})
 	return mux
 }

@@ -1,0 +1,217 @@
+package engine
+
+// Per-request observability: stage-latency histograms, the span trace ring
+// and the slow-query log. Counters (metrics.go) say how often things happen;
+// the structures here say how long they take and which requests were the
+// outliers.
+//
+// Histograms are obs.Histogram — the record path is three atomic adds, so
+// every stage of every request is recorded unconditionally. The trace ring
+// keeps the last Config.TraceRing spans (request id, stage timings, cache
+// provenance) in fixed memory, readable at GET /debug/trace. The slow-query
+// log writes one JSON line per request slower than Config.SlowQuery.
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// latency is the engine's stage-histogram bundle. Read stages record
+// per-request in QueryWithMetrics; mutation stages record per-batch in Apply
+// (journal appends are recorded by the owner of the journal via
+// ObserveJournalAppend, since the engine itself does not journal).
+type latency struct {
+	admission      obs.Histogram // shared-index admission check
+	distance       obs.Histogram // f(·,q) vector fetch or compute
+	search         obs.Histogram // search execution proper
+	totalHit       obs.Histogram // whole request, served from the result cache
+	totalMiss      obs.Histogram // whole request, computed
+	totalCoalesced obs.Histogram // whole request, joined an in-flight twin
+
+	mutApply      obs.Histogram // session apply + materialize + index rebind
+	mutJournal    obs.Histogram // journal append (recorded by the catalog)
+	mutInvalidate obs.Histogram // scoped cache sweep
+}
+
+// LatencyStats is a point-in-time snapshot of every stage histogram. The
+// snapshots are mergeable across engines (catalog-level aggregation) and
+// carry full bucket resolution; Summary flattens them for JSON.
+type LatencyStats struct {
+	Admission        obs.Snapshot
+	Distance         obs.Snapshot
+	Search           obs.Snapshot
+	TotalHit         obs.Snapshot
+	TotalMiss        obs.Snapshot
+	TotalCoalesced   obs.Snapshot
+	MutateApply      obs.Snapshot
+	MutateJournal    obs.Snapshot
+	MutateInvalidate obs.Snapshot
+}
+
+// Merge aggregates two engines' stage snapshots field-wise.
+func (l LatencyStats) Merge(o LatencyStats) LatencyStats {
+	return LatencyStats{
+		Admission:        l.Admission.Merge(o.Admission),
+		Distance:         l.Distance.Merge(o.Distance),
+		Search:           l.Search.Merge(o.Search),
+		TotalHit:         l.TotalHit.Merge(o.TotalHit),
+		TotalMiss:        l.TotalMiss.Merge(o.TotalMiss),
+		TotalCoalesced:   l.TotalCoalesced.Merge(o.TotalCoalesced),
+		MutateApply:      l.MutateApply.Merge(o.MutateApply),
+		MutateJournal:    l.MutateJournal.Merge(o.MutateJournal),
+		MutateInvalidate: l.MutateInvalidate.Merge(o.MutateInvalidate),
+	}
+}
+
+// LatencySummary is the flat JSON digest of LatencyStats served by /stats:
+// count/mean/p50/p90/p99/p999/max in microseconds per stage.
+type LatencySummary struct {
+	Admission        obs.Summary `json:"admission"`
+	Distance         obs.Summary `json:"distance"`
+	Search           obs.Summary `json:"search"`
+	TotalHit         obs.Summary `json:"total_hit"`
+	TotalMiss        obs.Summary `json:"total_miss"`
+	TotalCoalesced   obs.Summary `json:"total_coalesced"`
+	MutateApply      obs.Summary `json:"mutate_apply"`
+	MutateJournal    obs.Summary `json:"mutate_journal"`
+	MutateInvalidate obs.Summary `json:"mutate_invalidate"`
+}
+
+// Summary flattens the snapshot bundle into the JSON form.
+func (l LatencyStats) Summary() LatencySummary {
+	return LatencySummary{
+		Admission:        l.Admission.Summary(),
+		Distance:         l.Distance.Summary(),
+		Search:           l.Search.Summary(),
+		TotalHit:         l.TotalHit.Summary(),
+		TotalMiss:        l.TotalMiss.Summary(),
+		TotalCoalesced:   l.TotalCoalesced.Summary(),
+		MutateApply:      l.MutateApply.Summary(),
+		MutateJournal:    l.MutateJournal.Summary(),
+		MutateInvalidate: l.MutateInvalidate.Summary(),
+	}
+}
+
+// Latency snapshots every stage histogram at once.
+func (e *Engine) Latency() LatencyStats {
+	return LatencyStats{
+		Admission:        e.lat.admission.Snapshot(),
+		Distance:         e.lat.distance.Snapshot(),
+		Search:           e.lat.search.Snapshot(),
+		TotalHit:         e.lat.totalHit.Snapshot(),
+		TotalMiss:        e.lat.totalMiss.Snapshot(),
+		TotalCoalesced:   e.lat.totalCoalesced.Snapshot(),
+		MutateApply:      e.lat.mutApply.Snapshot(),
+		MutateJournal:    e.lat.mutJournal.Snapshot(),
+		MutateInvalidate: e.lat.mutInvalidate.Snapshot(),
+	}
+}
+
+// ObserveJournalAppend records one durability-path journal append (ns) into
+// the mutation-stage histograms. The engine does not journal itself — the
+// catalog (or any other journal owner) reports the append it performed for a
+// batch this engine applied, so /metrics shows the full write path in one
+// place.
+func (e *Engine) ObserveJournalAppend(ns int64) { e.lat.mutJournal.Observe(ns) }
+
+// SetName attributes this engine's spans and slow-query lines to a dataset
+// name. The catalog calls it at mount/swap time; a bare engine stays
+// anonymous.
+func (e *Engine) SetName(name string) { e.name.Store(&name) }
+
+// Name returns the attribution set by SetName ("" when none).
+func (e *Engine) Name() string {
+	if p := e.name.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Span is one request's trace record: correlation id, dataset attribution,
+// start timestamp and the full per-stage metrics row. Spans live in a
+// fixed-size ring; GET /debug/trace?n= returns the newest n.
+type Span struct {
+	RequestID string `json:"request_id,omitempty"`
+	Graph     string `json:"graph,omitempty"`
+	StartNS   int64  `json:"start_unix_ns"`
+	QueryMetrics
+}
+
+// Trace returns up to n spans, newest first (n ≤ 0 returns everything the
+// ring holds).
+func (e *Engine) Trace(n int) []Span {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.Last(n)
+}
+
+// recordQuery is the per-request observability tail, called once per
+// QueryWithMetrics: stage histograms, the span ring, and the slow-query log.
+func (e *Engine) recordQuery(requestID string, start time.Time, qm QueryMetrics) {
+	switch {
+	case qm.Coalesced:
+		e.lat.totalCoalesced.Observe(qm.TotalNS)
+	case qm.ResultHit:
+		e.lat.totalHit.Observe(qm.TotalNS)
+	default:
+		e.lat.totalMiss.Observe(qm.TotalNS)
+	}
+	// Stage histograms only count requests where the stage actually ran:
+	// admission is skipped on a result-cache hit or a malformed request, and
+	// a coalesced joiner carries the shared execution's distance/search
+	// timings, which the executing request already recorded.
+	ranSearch := qm.SearchNS > 0 || qm.DistNS > 0
+	if !qm.ResultHit && (qm.IndexHit || ranSearch || qm.Err == "") {
+		e.lat.admission.Observe(qm.IndexNS)
+	}
+	if ranSearch && !qm.Coalesced {
+		e.lat.distance.Observe(qm.DistNS)
+		e.lat.search.Observe(qm.SearchNS)
+	}
+
+	if e.trace == nil && e.cfg.SlowQuery <= 0 {
+		return
+	}
+	span := Span{
+		RequestID:    requestID,
+		Graph:        e.Name(),
+		StartNS:      start.UnixNano(),
+		QueryMetrics: qm,
+	}
+	if e.trace != nil {
+		e.trace.Add(span)
+	}
+	if e.cfg.SlowQuery > 0 && qm.TotalNS >= e.cfg.SlowQuery.Nanoseconds() {
+		e.logSlow(span)
+	}
+}
+
+// logSlow writes one structured line for a threshold-crossing request. The
+// writer is shared and line-buffered under a mutex; a slow-query flood
+// serializes here, never on the request path's histograms.
+func (e *Engine) logSlow(span Span) {
+	w := e.cfg.SlowQueryLog
+	if w == nil {
+		w = os.Stderr
+	}
+	line, err := json.Marshal(struct {
+		Kind string `json:"kind"`
+		Span
+	}{Kind: "slow_query", Span: span})
+	if err != nil {
+		return
+	}
+	slowMu.Lock()
+	w.Write(append(line, '\n'))
+	slowMu.Unlock()
+}
+
+// slowMu serializes slow-query lines process-wide, so engines sharing a
+// writer (every dataset of one catalog logging to stderr) never interleave
+// partial lines.
+var slowMu sync.Mutex

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves net/http/pprof on its own listener and mux, so profiling
+// never shares a port (or a handler namespace) with the serving endpoints.
+// It returns the bound address — pass "127.0.0.1:0" to let the kernel pick a
+// loopback port. The listener runs until process exit; profiling is a
+// debugging surface, not a lifecycle-managed one.
+//
+// Recipe: seaserve -pprof 127.0.0.1:6060, then
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded, concurrency-safe ring buffer holding the most recent N
+// values — the storage behind the request-trace endpoints. Writes overwrite
+// the oldest entry once full; Last returns newest-first copies. The fixed
+// footprint means tracing can stay always-on: the ring never grows and never
+// blocks writers on readers for longer than a copy.
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next int    // next write position
+	n    int    // number of valid entries (≤ len(buf))
+	seq  uint64 // total writes ever, for loss-free "did I miss any" checks
+}
+
+// NewRing returns a ring holding the most recent size entries (size < 1 is
+// clamped to 1).
+func NewRing[T any](size int) *Ring[T] {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring[T]{buf: make([]T, size)}
+}
+
+// Add appends v, overwriting the oldest entry when full.
+func (r *Ring[T]) Add(v T) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.seq++
+	r.mu.Unlock()
+}
+
+// Last returns up to n entries, newest first. n < 1 or n > stored returns
+// everything stored. The result is a copy; callers may retain it.
+func (r *Ring[T]) Last(n int) []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 1 || n > r.n {
+		n = r.n
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		// next-1 is the newest entry; walk backwards.
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		out[i] = r.buf[idx]
+	}
+	return out
+}
+
+// Len returns the number of stored entries.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Seq returns the total number of Adds ever, including overwritten ones.
+func (r *Ring[T]) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/cserr"
 	"repro/internal/mutate"
@@ -57,6 +58,11 @@ type Journal struct {
 	seq     uint64 // last sequence number written or replayed
 	batches int    // batches appended since the last reset (replay included)
 	off     int64  // end offset of the last durable record
+
+	// lastSyncNS is the fsync duration of the most recent successful Append
+	// — the storage-latency component of the write path, surfaced through
+	// MutateResult so callers can tell queueing from disk time.
+	lastSyncNS int64
 }
 
 // OpenJournal opens (or creates) the journal at path and replays its
@@ -230,9 +236,11 @@ func (j *Journal) Append(deltas []mutate.Delta) (uint64, error) {
 	if _, err := j.f.Write(rec); err != nil {
 		return rewind(err)
 	}
+	tSync := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return rewind(err)
 	}
+	j.lastSyncNS = time.Since(tSync).Nanoseconds()
 	j.seq = seq
 	j.batches++
 	j.off += int64(len(rec))
@@ -244,6 +252,10 @@ func (j *Journal) Batches() int { return j.batches }
 
 // Seq returns the last written sequence number (0 for an empty journal).
 func (j *Journal) Seq() uint64 { return j.seq }
+
+// LastSyncNS returns the fsync duration of the most recent successful
+// Append in nanoseconds (0 before the first append).
+func (j *Journal) LastSyncNS() int64 { return j.lastSyncNS }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }

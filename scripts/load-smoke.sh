@@ -1,0 +1,68 @@
+#!/bin/sh
+# End-to-end observability smoke: boot seaserve on a packed snapshot, drive
+# it with seaload (open-loop, read-heavy, 5s) and verify the SLO harness and
+# the exposition agree that traffic happened — the seaload record carries a
+# p99 and zero errors, and /metrics serves the per-stage latency histograms
+# with populated counts.
+#
+# Expects: $SMOKE_DIR containing datagen/seacli/seaserve/seaload binaries
+# plus fb.snap (packed snapshot). Port: $SMOKE_PORT (default 8974).
+set -eu
+
+DIR=${SMOKE_DIR:?set SMOKE_DIR to the directory with binaries and fb.snap}
+PORT=${SMOKE_PORT:-8974}
+BASE="http://127.0.0.1:$PORT"
+QPS=${SMOKE_QPS:-100}
+
+wait_up() {
+  for _ in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "load-smoke: server did not come up" >&2
+  return 1
+}
+
+"$DIR/seaserve" -snapshot "$DIR/fb.snap" -name fb -addr "127.0.0.1:$PORT" &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+wait_up
+
+# 5s sustained open-loop run. seaload exits non-zero if any request errored,
+# so a clean exit IS the zero-error assertion.
+"$DIR/seaload" -url "$BASE" -scenario read-heavy -qps "$QPS" \
+  -duration 5s -warmup 1s -out "$DIR/load.json"
+
+# The record has percentiles: p50, p99 and p999 present and positive.
+for pct in p50_us p99_us p999_us; do
+  grep -q "\"$pct\": [0-9]" "$DIR/load.json" || {
+    echo "load-smoke: $pct missing from seaload record" >&2; exit 1; }
+done
+grep -q '"errors": 0' "$DIR/load.json" || {
+  echo "load-smoke: seaload record reports errors" >&2; exit 1; }
+
+# The server-side histograms saw the same traffic: every latency family is
+# exposed with le-bucketed series, and the whole-request family counted a
+# nonzero number of requests.
+curl -sf "$BASE/metrics" >"$DIR/metrics.txt"
+for fam in sea_query_latency_seconds sea_query_stage_latency_seconds sea_mutation_stage_latency_seconds; do
+  grep -q "# TYPE $fam histogram" "$DIR/metrics.txt" || {
+    echo "load-smoke: /metrics lacks TYPE for $fam" >&2; exit 1; }
+  grep -q "${fam}_bucket{graph=\"fb\".*le=" "$DIR/metrics.txt" || {
+    echo "load-smoke: /metrics lacks le buckets for $fam" >&2; exit 1; }
+  grep -q "${fam}_sum{graph=\"fb\"" "$DIR/metrics.txt" || {
+    echo "load-smoke: /metrics lacks _sum for $fam" >&2; exit 1; }
+done
+TOTAL=$(grep -o 'sea_query_latency_seconds_count{graph="fb",outcome="[a-z]*"} [0-9]*' "$DIR/metrics.txt" \
+  | awk '{s+=$2} END {print s}')
+[ "${TOTAL:-0}" -gt 0 ] || {
+  echo "load-smoke: /metrics histograms counted no requests" >&2; exit 1; }
+
+# The trace ring saw them too.
+curl -sf "$BASE/debug/trace?n=5" | grep -q '"total_ns"' || {
+  echo "load-smoke: /debug/trace returned no spans" >&2; exit 1; }
+
+kill -TERM $PID
+wait $PID || { echo "load-smoke: seaserve exited non-zero on SIGTERM" >&2; exit 1; }
+trap - EXIT
+echo "load-smoke OK ($TOTAL requests histogrammed)"
