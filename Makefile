@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke load-smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke load-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -121,4 +121,16 @@ load-smoke:
 	/tmp/sea-load-smoke/seacli pack -load /tmp/sea-load-smoke/fb.txt -out /tmp/sea-load-smoke/fb.snap
 	SMOKE_DIR=/tmp/sea-load-smoke sh scripts/load-smoke.sh
 
-ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke load-smoke
+# End-to-end fault-tolerance smoke, mirroring the CI chaos-smoke job: boot
+# primary + followers + a router with fault injection armed on its read
+# path, drive it with seaload while kill -9ing the primary, and assert
+# reads keep flowing within the error budget, overloaded nodes shed with
+# 429 + Retry-After, and post-chaos answers stay consistent.
+chaos-smoke:
+	@rm -rf /tmp/sea-chaos-smoke && mkdir -p /tmp/sea-chaos-smoke
+	$(GO) build -o /tmp/sea-chaos-smoke/ ./cmd/...
+	/tmp/sea-chaos-smoke/datagen -dataset facebook -scale 0.3 -out /tmp/sea-chaos-smoke/fb.txt
+	/tmp/sea-chaos-smoke/seacli pack -load /tmp/sea-chaos-smoke/fb.txt -out /tmp/sea-chaos-smoke/fb.snap
+	SMOKE_DIR=/tmp/sea-chaos-smoke sh scripts/chaos-smoke.sh
+
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke load-smoke chaos-smoke

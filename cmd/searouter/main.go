@@ -11,6 +11,11 @@
 // and lagging members from the read set, and when the primary dies the
 // router promotes the most-caught-up follower and re-points the rest.
 //
+// Failed reads retry against a different in-sync replica (bounded budget,
+// jittered exponential backoff); every member has a circuit breaker that
+// opens on consecutive failures so a struggling node stops absorbing
+// traffic before the prober notices. Writes are never retried.
+//
 // Every response carries an X-Request-ID (generated when the client sends
 // none), propagated to every upstream request it fans out into.
 //
@@ -42,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -55,12 +61,24 @@ func main() {
 		probeEvery = flag.Duration("probe-every", time.Second, "member health-probe interval")
 		failAfter  = flag.Int("fail-after", 3, "consecutive probe failures that mark a member dead")
 		maxLag     = flag.Uint64("max-lag", 8, "max batches a follower may lag and still serve reads")
+		retries    = flag.Int("retries", 2, "read retry budget per request, each against a different replica (-1 disables)")
+		retryBase  = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff; attempt n waits ~2^n times this, jittered")
+		brkThresh  = flag.Int("breaker-threshold", 5, "consecutive failures that open a member's circuit breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker refuses traffic before one half-open probe")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6061 (off when empty)")
+		faultSpec  = flag.String("faults", os.Getenv("SEAFAULTS"), "fault-injection spec, e.g. \"router.shard=prob:0.2,err:reset\" (default $SEAFAULTS; testing only)")
+		faultSeed  = flag.Int64("faults-seed", 1, "fault-injection PRNG seed (deterministic per site)")
 	)
 	flag.Parse()
 	if *members == "" {
 		fail(errors.New("need -members"))
+	}
+	if err := faults.Setup(*faultSpec, *faultSeed); err != nil {
+		fail(err)
+	}
+	if *faultSpec != "" {
+		fmt.Printf("searouter: FAULT INJECTION ARMED: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 	if *pprofAddr != "" {
 		bound, err := obs.StartPprof(*pprofAddr)
@@ -83,6 +101,10 @@ func main() {
 		ProbeEvery:        *probeEvery,
 		FailAfter:         *failAfter,
 		MaxLag:            *maxLag,
+		Retries:           *retries,
+		RetryBase:         *retryBase,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCool,
 	})
 	if err != nil {
 		fail(err)

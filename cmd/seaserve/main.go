@@ -66,6 +66,7 @@ import (
 	sealib "repro"
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -85,6 +86,7 @@ func main() {
 		resultCache  = flag.Int("result-cache", 0, "result cache entries (0 = default)")
 		workers      = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 		maxConc      = flag.Int("max-concurrent", 0, "max searches executing at once (0 = 2×GOMAXPROCS)")
+		maxInFlight  = flag.Int("max-inflight", 0, "max cache-miss computations admitted per dataset before shedding with 429 (0 = no shedding)")
 		timeout      = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
 		drain        = flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight queries")
 		eagerTruss   = flag.Bool("eager-truss", false, "build the truss index at startup when absent from the source")
@@ -95,8 +97,16 @@ func main() {
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (off when empty)")
 		slowQuery    = flag.Duration("slow-query", 0, "log one structured JSON line to stderr per request at least this slow (0 = off)")
 		traceRing    = flag.Int("trace-ring", 0, "request spans kept for GET /debug/trace (0 = default 256, negative = off)")
+		faultSpec    = flag.String("faults", os.Getenv("SEAFAULTS"), "fault-injection spec, e.g. \"journal.fsync=prob:0.1,err:eio\" (default $SEAFAULTS; testing only)")
+		faultSeed    = flag.Int64("faults-seed", 1, "fault-injection PRNG seed (deterministic per site)")
 	)
 	flag.Parse()
+	if err := faults.Setup(*faultSpec, *faultSeed); err != nil {
+		fail(err)
+	}
+	if *faultSpec != "" {
+		fmt.Printf("seaserve: FAULT INJECTION ARMED: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
 	if *pprofAddr != "" {
 		bound, err := obs.StartPprof(*pprofAddr)
 		if err != nil {
@@ -111,6 +121,7 @@ func main() {
 	cfg.ResultCacheSize = *resultCache
 	cfg.Workers = *workers
 	cfg.MaxConcurrent = *maxConc
+	cfg.MaxInFlight = *maxInFlight
 	cfg.RequestTimeout = *timeout
 	cfg.EagerTruss = *eagerTruss
 	cfg.SlowQuery = *slowQuery
@@ -157,12 +168,23 @@ func main() {
 			fail(err)
 		}
 		fol = cluster.NewFollower(cat, *follow, dir, cfg, *pollEvery)
+		// A severed stream or a briefly-unreachable primary must not kill
+		// the boot: retry the bootstrap with growing waits until the boot
+		// deadline. Bootstrap fails clean (nothing mounted, no partial
+		// files), so every retry starts fresh.
 		bctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 		err := fol.Bootstrap(bctx)
-		cancel()
-		if err != nil {
-			fail(err)
+		for wait := 500 * time.Millisecond; err != nil; wait *= 2 {
+			fmt.Fprintf(os.Stderr, "seaserve: bootstrap from %s failed: %v; retrying in %v\n", *follow, err, wait)
+			select {
+			case <-bctx.Done():
+				cancel()
+				fail(err)
+			case <-time.After(wait):
+			}
+			err = fol.Bootstrap(bctx)
 		}
+		cancel()
 	case *manifest != "":
 		m, err := catalog.LoadManifest(*manifest)
 		if err != nil {

@@ -174,6 +174,30 @@
 // dies. Every response carries an X-Request-ID for end-to-end correlation,
 // and every node serves its counters in Prometheus text form on /metrics.
 //
+// # Fault tolerance
+//
+// The failure paths are engineered and tested, not hoped about. The router
+// retries failed reads against a different in-sync replica under jittered
+// exponential backoff and keeps a circuit breaker per member (consecutive
+// failures open it; after a cooldown one half-open probe decides), so a
+// flaky or dead member is routed around instead of answered with its
+// errors; exhausted retries yield an honest terminal status (429 for a
+// shed, 503 when every breaker is open, else 502 — each with Retry-After
+// and the request id). Nodes bound their own load: -max-inflight caps
+// admitted cache-miss computations per dataset and sheds the excess
+// immediately with 429 + Retry-After, behind the result cache and request
+// coalescing so hits and coalesced joins always answer. Followers whose
+// sync fails back off exponentially (capped, jittered) and report it in
+// /admin/replication; a severed bootstrap stream fails clean and a failed
+// journal append rewinds, fails the dataset closed for writes while reads
+// keep serving, and heals by compaction. All of it is provable because the
+// failure points are injectable: internal/faults arms named sites
+// (journal.fsync, replicate.stream, router.shard, engine.search, ...)
+// with seed-deterministic specs (seaserve/searouter -faults, $SEAFAULTS)
+// at zero cost when disarmed, and make chaos-smoke replays the whole
+// story — injected faults plus a kill -9ed primary under load — against
+// real binaries.
+//
 // # Observability
 //
 // internal/obs is the measurement substrate: a lock-free, allocation-free

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/cserr"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/mutate"
 )
 
@@ -282,7 +283,10 @@ func (c *Catalog) serveReplicate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderGraph, info.Name)
 	w.Header().Set(HeaderVersion, strconv.FormatUint(version, 10))
 	w.Header().Set(HeaderLineage, strconv.FormatUint(lineage, 10))
-	io.Copy(w, f)
+	// "replicate.stream" severs the bootstrap transfer mid-body (headers and
+	// Content-Length already sent), the shape of a connection dropped during
+	// a long snapshot download.
+	io.Copy(faults.Wrap("replicate.stream", w), f)
 }
 
 // serveJournal answers a follower's tail poll. A cursor no journal tail can
@@ -307,6 +311,9 @@ func (c *Catalog) serveJournal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	batches, cur, err := c.JournalSince(name, lineage, from)
+	if err == nil {
+		err = faults.Check("journal.serve")
+	}
 	if err != nil {
 		status := engine.StatusFor(err)
 		if errors.Is(err, ErrResync) {

@@ -38,6 +38,8 @@ var promFamilies = []promFamily{
 		func(i Info) float64 { return float64(i.Stats.IndexRejects) }},
 	{"sea_errors_total", "counter", "Requests that returned an error.",
 		func(i Info) float64 { return float64(i.Stats.Errors) }},
+	{"sea_shed_total", "counter", "Requests shed by MaxInFlight admission control (429).",
+		func(i Info) float64 { return float64(i.Stats.Shed) }},
 	{"sea_result_cache_hits_total", "counter", "Result cache hits.",
 		func(i Info) float64 { return float64(i.Stats.ResultHits) }},
 	{"sea_result_cache_misses_total", "counter", "Result cache misses.",
@@ -108,12 +110,13 @@ var histFamilies = []struct {
 			}
 		}}, "stage"},
 	{histFamily{"sea_query_latency_seconds",
-		"Whole-request latency by outcome: result-cache hit, computed miss, coalesced join.",
+		"Whole-request latency by outcome: result-cache hit, computed miss, coalesced join, admission shed.",
 		func(l engine.LatencyStats) []histSeries {
 			return []histSeries{
 				{"hit", l.TotalHit},
 				{"miss", l.TotalMiss},
 				{"coalesced", l.TotalCoalesced},
+				{"shed", l.TotalShed},
 			}
 		}}, "outcome"},
 	{histFamily{"sea_mutation_stage_latency_seconds",

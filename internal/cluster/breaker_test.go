@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's notion of time by hand.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state after 2 failures: %s, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure: open
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures: %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success() // interleaved success: the count is *consecutive* failures
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatalf("state: %s, want closed (failures never ran consecutive to threshold)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state: %s, want open", b.State())
+	}
+	// Cooldown not yet elapsed: still refusing.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a call mid-cooldown")
+	}
+	// Cooldown elapsed: exactly one probe gets through, concurrent callers
+	// are refused while it is in flight.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state: %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second caller while the probe was in flight")
+	}
+	// Probe failure re-opens and restarts the cooldown.
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe: %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a call right after a failed probe")
+	}
+	// Next cooldown, successful probe closes it for good.
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe: %s, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}
+
+func TestBreakerStateValues(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	if got := b.stateValue(); got != 0 {
+		t.Fatalf("closed stateValue: %d, want 0", got)
+	}
+	b.Allow()
+	b.Failure()
+	if got := b.stateValue(); got != 1 {
+		t.Fatalf("open stateValue: %d, want 1", got)
+	}
+	clk.advance(2 * time.Second)
+	b.Allow()
+	if got := b.stateValue(); got != 2 {
+		t.Fatalf("half-open stateValue: %d, want 2", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/faults"
 	"repro/internal/store"
 )
 
@@ -30,10 +31,17 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// NewClient returns a Client for the node at base. hc may be nil.
+// NewClient returns a Client for the node at base. hc may be nil, which
+// builds a private client with a 30s overall timeout whose transport passes
+// the "cluster.client" fault-injection site — so follower bootstrap/tail
+// traffic (and anything else on the default client) can be failed, delayed
+// or severed by an armed faults spec. A caller-supplied hc is used as-is.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: faults.Transport("cluster.client", nil),
+		}
 	}
 	return &Client{Base: strings.TrimRight(base, "/"), HTTP: hc}
 }

@@ -76,6 +76,12 @@ type NodeStatus struct {
 	// primary).
 	Primary  string          `json:"primary,omitempty"`
 	Datasets []ReplicaStatus `json:"datasets"`
+	// SyncFailures is the follower's consecutive failed sync ticks (0 when
+	// healthy or primary); SyncBackoffMS is the delay before its next sync
+	// attempt — the poll interval while healthy, growing exponentially
+	// (jittered, capped) under failures.
+	SyncFailures  int   `json:"sync_failures,omitempty"`
+	SyncBackoffMS int64 `json:"sync_backoff_ms,omitempty"`
 }
 
 // followRequest is the POST /admin/follow body.

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -24,6 +25,11 @@ import (
 
 // DefaultPollEvery is the follower's journal poll interval.
 const DefaultPollEvery = 500 * time.Millisecond
+
+// maxBackoffPolls caps the sync-failure backoff at this many poll
+// intervals: a follower of a down primary settles at ~30× its poll rate
+// instead of hammering, but still notices recovery within seconds.
+const maxBackoffPolls = 30
 
 // replica is the follower-side cursor state of one dataset.
 type replica struct {
@@ -51,6 +57,10 @@ type Follower struct {
 	client   *Client
 	replicas map[string]*replica
 	promoted bool
+	// syncFails counts consecutive failed sync ticks; backoff is the delay
+	// Run is currently waiting (poll while healthy, growing under failures).
+	syncFails int
+	backoff   time.Duration
 }
 
 // NewFollower returns a follower that replicates from the primary at
@@ -133,30 +143,85 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 
 // Run polls the primary until ctx is cancelled or the follower is
 // promoted. Sync failures are recorded per dataset (visible in Status) and
-// retried on the next tick — a follower never gives up on a live primary.
+// retried — a follower never gives up on a live primary — but consecutive
+// failures back off exponentially with jitter (capped at maxBackoffPolls ×
+// the poll interval) instead of hammering a primary that is down or
+// drowning; one successful tick resets the cadence. The jitter spreads a
+// fleet of followers that all lost the same primary, so its recovery is not
+// met by a synchronized re-bootstrap storm.
 func (f *Follower) Run(ctx context.Context) {
-	ticker := time.NewTicker(f.poll)
-	defer ticker.Stop()
+	timer := time.NewTimer(f.poll)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 		if f.Promoted() {
 			return
 		}
-		f.syncOnce(ctx)
+		ok := f.syncOnce(ctx)
+		f.mu.Lock()
+		if ok {
+			f.syncFails = 0
+		} else {
+			f.syncFails++
+		}
+		delay := backoffDelay(f.poll, f.syncFails)
+		f.backoff = delay
+		f.mu.Unlock()
+		timer.Reset(delay)
 	}
+}
+
+// backoffDelay is the wait before the next sync tick after fails
+// consecutive failures: poll × 2^fails, capped at maxBackoffPolls × poll,
+// with ±25% jitter once backing off.
+func backoffDelay(poll time.Duration, fails int) time.Duration {
+	if fails <= 0 {
+		return poll
+	}
+	d := poll
+	for i := 0; i < fails && d < maxBackoffPolls*poll; i++ {
+		d *= 2
+	}
+	if d > maxBackoffPolls*poll {
+		d = maxBackoffPolls * poll
+	}
+	return jitter(d)
+}
+
+// jitter spreads d into [0.75d, 1.25d): enough to decorrelate a fleet of
+// clients retrying against the same node, small enough that caps stay
+// meaningful.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// SyncBackoff reports the follower's current retry cadence: the delay before
+// the next sync tick and the consecutive-failure count driving it.
+func (f *Follower) SyncBackoff() (time.Duration, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.backoff <= 0 {
+		return f.poll, f.syncFails
+	}
+	return f.backoff, f.syncFails
 }
 
 // syncOnce advances every dataset by one poll: ask the primary where it is,
 // bootstrap datasets this follower has never seen (or whose lineage
-// changed), and tail the journal for the ones that lag.
-func (f *Follower) syncOnce(ctx context.Context) {
+// changed), and tail the journal for the ones that lag. It reports whether
+// the whole tick succeeded; any failure (status poll, bootstrap, catch-up)
+// makes the tick a failure and feeds Run's backoff.
+func (f *Follower) syncOnce(ctx context.Context) bool {
 	client, replicas, promoted := f.state()
 	if promoted {
-		return
+		return true
 	}
 	status, err := client.Status(ctx)
 	if err != nil {
@@ -165,8 +230,9 @@ func (f *Follower) syncOnce(ctx context.Context) {
 			r.lastErr = fmt.Sprintf("polling primary: %v", err)
 		}
 		f.mu.Unlock()
-		return
+		return false
 	}
+	ok := true
 	for _, ds := range status.Datasets {
 		f.mu.Lock()
 		r := replicas[ds.Graph]
@@ -174,13 +240,16 @@ func (f *Follower) syncOnce(ctx context.Context) {
 		if r == nil || r.lineage != ds.Lineage {
 			if err := f.bootstrapDataset(ctx, client, ds.Graph); err != nil {
 				f.setErr(ds.Graph, fmt.Sprintf("bootstrap: %v", err))
+				ok = false
 			}
 			continue
 		}
 		if err := f.catchUp(ctx, client, ds.Graph, r, ds.Version); err != nil {
 			f.setErr(ds.Graph, err.Error())
+			ok = false
 		}
 	}
+	return ok
 }
 
 // catchUp tails the primary's journal for one dataset until the cursor

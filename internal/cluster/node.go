@@ -83,7 +83,11 @@ func NewNodeHandler(cat *catalog.Catalog, base engine.Config, fol *Follower) htt
 // replicating, the catalog's own replication info when primary.
 func nodeStatus(cat *catalog.Catalog, fol *Follower) NodeStatus {
 	if fol != nil && !fol.Promoted() {
-		return NodeStatus{Role: RoleFollower, Primary: fol.Primary(), Datasets: fol.Status()}
+		backoff, fails := fol.SyncBackoff()
+		return NodeStatus{
+			Role: RoleFollower, Primary: fol.Primary(), Datasets: fol.Status(),
+			SyncFailures: fails, SyncBackoffMS: backoff.Milliseconds(),
+		}
 	}
 	infos := cat.ReplicationInfos()
 	datasets := make([]ReplicaStatus, len(infos))

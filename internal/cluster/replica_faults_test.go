@@ -1,0 +1,115 @@
+package cluster
+
+// Fault-injection tests for replication: a snapshot stream severed
+// mid-transfer must fail the bootstrap cleanly — no partially-mounted
+// dataset, no stray snapshot file — and the next attempt must succeed.
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/mutate"
+)
+
+// TestBootstrapSeveredStreamFailsCleanThenSucceeds severs the replication
+// snapshot body halfway through the transfer (server side, after the
+// headers and Content-Length are already out — the nastiest spot).
+func TestBootstrapSeveredStreamFailsCleanThenSucceeds(t *testing.T) {
+	_, pts := newPrimary(t)
+	cat := catalog.New()
+	t.Cleanup(func() { cat.Close() })
+	dir := t.TempDir()
+	fol := NewFollower(cat, pts.URL, dir, engine.DefaultConfig(), 0)
+
+	faults.Enable(11, faults.Spec{Site: "replicate.stream", Count: 1, Partial: true, Err: "reset"})
+	defer faults.Disable()
+
+	if err := fol.Bootstrap(context.Background()); err == nil {
+		t.Fatal("bootstrap over a severed snapshot stream reported success")
+	}
+	// Clean failure: nothing mounted, and the atomic snapshot write left no
+	// partial file a later mount could trip over.
+	if n := len(cat.Names()); n != 0 {
+		t.Fatalf("severed bootstrap left %d dataset(s) mounted", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("severed bootstrap left a stray file: %s", e.Name())
+	}
+
+	// The fault is spent: the retry bootstraps for real and the follower
+	// serves the dataset.
+	if err := fol.Bootstrap(context.Background()); err != nil {
+		t.Fatalf("bootstrap after the severed attempt: %v", err)
+	}
+	if n := len(cat.Names()); n != 1 {
+		t.Fatalf("post-retry datasets: %d, want 1", n)
+	}
+	if _, err := cat.InfoFor("g"); err != nil {
+		t.Fatalf("replica dataset not serving: %v", err)
+	}
+}
+
+// TestFollowerTailFaultBacksOffAndRecovers injects a burst of journal-tail
+// failures and checks the follower's responses: the per-dataset LastError
+// surfaces while the fault holds, consecutive failures grow the sync
+// backoff, and the follower converges once the fault clears.
+func TestFollowerTailFaultBacksOffAndRecovers(t *testing.T) {
+	pcat, pts := newPrimary(t)
+	cat := catalog.New()
+	t.Cleanup(func() { cat.Close() })
+	fol := NewFollower(cat, pts.URL, t.TempDir(), engine.DefaultConfig(), 10*time.Millisecond)
+	if err := fol.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go fol.Run(ctx)
+
+	// Write on the primary, then break the journal-serve path: the follower
+	// sees the new version via status polls but cannot tail it.
+	faults.Enable(13, faults.Spec{Site: "journal.serve", Err: "eio"})
+	t.Cleanup(faults.Disable)
+	if _, err := pcat.Mutate("g", attrDeltaCluster("v1")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "sync failures to accumulate", func() bool {
+		_, fails := fol.SyncBackoff()
+		return fails >= 2
+	})
+	backoff, _ := fol.SyncBackoff()
+	if backoff <= 10*time.Millisecond {
+		t.Fatalf("backoff %v has not grown past the poll interval", backoff)
+	}
+	for _, st := range fol.Status() {
+		if st.LastError == "" {
+			t.Fatalf("dataset %q shows no LastError while tails fail", st.Graph)
+		}
+	}
+
+	// Clear the fault: the follower recovers, catches up, and the backoff
+	// resets to the poll cadence.
+	faults.Disable()
+	waitFor(t, 10*time.Second, "follower to catch up", func() bool {
+		for _, st := range fol.Status() {
+			if st.Lag != 0 || st.LastError != "" {
+				return false
+			}
+		}
+		_, fails := fol.SyncBackoff()
+		return fails == 0
+	})
+}
+
+// attrDeltaCluster is a minimal valid mutation batch for cluster tests.
+func attrDeltaCluster(tag string) []mutate.Delta {
+	return []mutate.Delta{{Op: mutate.OpSetAttr, U: 0, Text: []string{tag}}}
+}

@@ -20,6 +20,14 @@ package cluster
 //   - Failover: when the primary dies the router promotes the alive
 //     follower with the highest summed cursor and re-points the rest at it.
 //     Writes (/admin/*) always forward to the current primary.
+//   - Fault tolerance: reads (/search and scatter shards — idempotent by
+//     construction) get a bounded retry budget with jittered exponential
+//     backoff, each retry preferring a different in-sync replica. Every
+//     member has a circuit breaker (consecutive failures open it; after a
+//     cooldown one half-open probe decides whether it closes again) so a
+//     struggling member stops absorbing traffic before the prober notices.
+//     Writes and admin forwards are never retried — the router cannot know
+//     whether a failed write landed.
 
 import (
 	"bytes"
@@ -27,6 +35,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -69,6 +79,22 @@ type RouterConfig struct {
 	// MaxLag is the most batches a follower may trail the primary and still
 	// serve reads (default 8).
 	MaxLag uint64
+	// Retries is the per-read retry budget: how many additional attempts a
+	// failed /search or scatter shard gets, each against a different in-sync
+	// replica when one is available, with jittered exponential backoff
+	// between attempts. 0 selects the default (2); negative disables
+	// retries. Writes and admin forwards are never retried — the router
+	// cannot know whether a failed write landed.
+	Retries int
+	// RetryBase is the first retry's backoff (default 50ms); attempt n waits
+	// roughly RetryBase·2ⁿ, jittered ±50%.
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive outbound-call failures that open a
+	// member's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// letting one half-open probe through (default 5s).
+	BreakerCooldown time.Duration
 	// HTTP optionally overrides the outbound client (nil builds one; shard
 	// deadlines come from per-request contexts, not a client timeout).
 	HTTP *http.Client
@@ -93,6 +119,21 @@ func (cfg RouterConfig) withDefaults() RouterConfig {
 	if cfg.MaxLag == 0 {
 		cfg.MaxLag = 8
 	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 2
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	if cfg.HTTP == nil {
 		cfg.HTTP = &http.Client{}
 	}
@@ -113,6 +154,13 @@ type Router struct {
 	cfg  RouterConfig
 	ring *ring
 	hc   *http.Client
+	// readHC is hc with the "router.shard" fault-injection site on its
+	// transport: read traffic can be failed/delayed/severed by an armed
+	// faults spec without also poisoning health probes and failover calls.
+	readHC *http.Client
+	// breakers holds one circuit breaker per member URL. The map is built in
+	// NewRouter and read-only afterwards; the breakers themselves lock.
+	breakers map[string]*breaker
 
 	mu      sync.Mutex
 	primary string
@@ -121,6 +169,7 @@ type Router struct {
 	rr         atomic.Uint64 // round-robin cursor for single-target reads
 	promotions atomic.Uint64
 	shardErrs  atomic.Uint64
+	retries    atomic.Uint64 // read attempts beyond the first
 
 	// shardLat records the latency of each upstream call by path ("/batch",
 	// "/compare" per shard; "/search" and "forward" per proxied request).
@@ -170,10 +219,14 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	cfg.Members = members
 	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	readHC := *cfg.HTTP
+	readHC.Transport = faults.Transport("router.shard", cfg.HTTP.Transport)
 	r := &Router{
 		cfg:      cfg,
 		ring:     newRing(members),
 		hc:       cfg.HTTP,
+		readHC:   &readHC,
+		breakers: make(map[string]*breaker, len(members)),
 		primary:  cfg.Primary,
 		members:  make(map[string]*memberState, len(members)),
 		shardLat: make(map[string]*obs.Histogram, len(routerPaths)),
@@ -181,6 +234,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		trace:    obs.NewRing[RouterSpan](256),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	for _, m := range members {
+		r.breakers[m] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	for _, p := range routerPaths {
 		r.shardLat[p] = &obs.Histogram{}
@@ -435,12 +491,174 @@ func newRequestID() string {
 }
 
 // routerError is an error originated by the router itself (as opposed to
-// one proxied through from a member); it always names the request.
+// one proxied through from a member); it always names the request, and
+// transient statuses carry a Retry-After hint so clients back off instead
+// of hammering. (engine.WriteJSON adds the hint for 429/503 on its own;
+// 502 is the router's to stamp.)
 func routerError(w http.ResponseWriter, id string, status int, format string, args ...any) {
+	if status == http.StatusBadGateway {
+		w.Header().Set("Retry-After", engine.RetryAfterHint)
+	}
 	engine.WriteJSON(w, status, map[string]string{
 		"error":      fmt.Sprintf(format, args...),
 		"request_id": id,
 	})
+}
+
+// errBreakersOpen is the terminal error when every read-set member's
+// circuit breaker refuses the call.
+var errBreakersOpen = errors.New("every member's circuit breaker is open")
+
+// retryFailureStatus maps the terminal error of an exhausted read-retry
+// budget onto the status the router reports: an upstream that answered 429
+// on every attempt stays a 429 (the cluster is shedding, not broken), open
+// breakers are a 503 (back off and let the cooldown run), everything else
+// is a plain bad gateway.
+func retryFailureStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+		return http.StatusTooManyRequests
+	}
+	if errors.Is(err, errBreakersOpen) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadGateway
+}
+
+// cancelBody ties a retry attempt's deadline cancel to the response body's
+// Close, so the per-attempt timeout stays armed while the caller streams
+// the body out.
+type cancelBody struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelBody) Read(p []byte) (int, error) { return c.rc.Read(p) }
+func (c *cancelBody) Close() error {
+	err := c.rc.Close()
+	c.cancel()
+	return err
+}
+
+// pickMember returns the next read target: the first candidate whose
+// breaker admits a call, preferring members not tried yet this request so
+// retries land on a different replica. Once every candidate has been tried
+// a member may be reused — a single-node read set still gets its full
+// retry budget. "" means every breaker refused.
+func (r *Router) pickMember(candidates []string, tried map[string]bool) string {
+	for _, url := range candidates {
+		if !tried[url] && r.breakerAllows(url) {
+			return url
+		}
+	}
+	for _, url := range candidates {
+		if tried[url] && r.breakerAllows(url) {
+			return url
+		}
+	}
+	return ""
+}
+
+func (r *Router) breakerAllows(url string) bool {
+	b := r.breakers[url]
+	return b == nil || b.Allow()
+}
+
+// tryRead issues one idempotent read with the router's retry budget:
+// attempt 0 goes to the first admissible candidate, each retry to the next
+// (preferring untried members), with jittered exponential backoff between
+// attempts. Transport errors and 5xx responses count against the member's
+// breaker and are retried; 429 is retried without a breaker penalty — a
+// shedding member is alive and protecting itself, tripping its breaker
+// would amplify the overload onto its peers; any other status returns as
+// the result. The returned response's Body must be closed by the caller
+// (closing it releases the attempt's deadline).
+func (r *Router) tryRead(ctx context.Context, candidates []string,
+	build func(ctx context.Context, url string) (*http.Request, error)) (*http.Response, string, error) {
+	tried := make(map[string]bool, len(candidates))
+	var lastErr error
+	lastURL := ""
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			select {
+			case <-time.After(jitter(r.cfg.RetryBase << uint(attempt-1))):
+			case <-ctx.Done():
+				if lastErr == nil {
+					lastErr = ctx.Err()
+				}
+				return nil, lastURL, lastErr
+			}
+		}
+		url := r.pickMember(candidates, tried)
+		if url == "" {
+			if lastErr != nil {
+				return nil, lastURL, fmt.Errorf("%w (last error: %v)", errBreakersOpen, lastErr)
+			}
+			return nil, lastURL, errBreakersOpen
+		}
+		tried[url] = true
+		lastURL = url
+		resp, err := r.attempt(ctx, url, build)
+		if err != nil {
+			lastErr = fmt.Errorf("member %s: %w", url, err)
+			continue
+		}
+		return resp, url, nil
+	}
+	return nil, lastURL, lastErr
+}
+
+// attempt runs one upstream call under its own ShardTimeout deadline and
+// settles the member's breaker. pickMember already consumed the breaker's
+// Allow, so every path out of here must record exactly one Success or
+// Failure — a half-open probe left unresolved would wedge the breaker.
+func (r *Router) attempt(ctx context.Context, url string,
+	build func(ctx context.Context, url string) (*http.Request, error)) (*http.Response, error) {
+	b := r.breakers[url]
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	req, err := build(cctx, url)
+	if err != nil {
+		cancel()
+		if b != nil {
+			// Never reached the member, but the probe grant must resolve;
+			// failing is the conservative choice.
+			b.Failure()
+		}
+		return nil, err
+	}
+	resp, err := r.readHC.Do(req)
+	if err != nil {
+		cancel()
+		if b != nil {
+			b.Failure()
+		}
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode >= 500:
+		if b != nil {
+			b.Failure()
+		}
+		err = errorFrom(resp)
+		resp.Body.Close()
+		cancel()
+		return nil, err
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if b != nil {
+			b.Success()
+		}
+		err = errorFrom(resp)
+		resp.Body.Close()
+		cancel()
+		return nil, err
+	default:
+		if b != nil {
+			b.Success()
+		}
+		resp.Body = &cancelBody{rc: resp.Body, cancel: cancel}
+		return resp, nil
+	}
 }
 
 // forward proxies req verbatim to target, tagging the response with the
@@ -478,16 +696,19 @@ func queryString(req *http.Request) string {
 }
 
 // serveSearch proxies a single query to one in-sync replica, round-robin
-// across the dataset's read set.
+// across the dataset's read set. The body is buffered so a failed attempt
+// can be retried verbatim against a different replica — /search is a pure
+// read, replaying it is always safe.
 func (r *Router) serveSearch(w http.ResponseWriter, req *http.Request, id string) {
 	graph := req.URL.Query().Get("graph")
+	var body []byte
 	if req.Method != http.MethodGet {
-		body, err := io.ReadAll(io.LimitReader(req.Body, engine.MaxBodyBytes))
+		var err error
+		body, err = io.ReadAll(io.LimitReader(req.Body, engine.MaxBodyBytes))
 		if err != nil {
 			routerError(w, id, http.StatusBadRequest, "reading body: %v", err)
 			return
 		}
-		req.Body = io.NopCloser(bytes.NewReader(body))
 		var peek struct {
 			Graph string `json:"graph"`
 		}
@@ -495,9 +716,41 @@ func (r *Router) serveSearch(w http.ResponseWriter, req *http.Request, id string
 		graph = peek.Graph
 	}
 	set := r.readSet(graph)
-	target := set[int(r.rr.Add(1)-1)%len(set)]
+	// Rotate the read set by the round-robin cursor: attempt 0 spreads load,
+	// retries walk the rest of the set.
+	off := int(r.rr.Add(1)-1) % len(set)
+	candidates := make([]string, 0, len(set))
+	for i := range set {
+		candidates = append(candidates, set[(off+i)%len(set)])
+	}
+	header := req.Header.Clone()
 	start := time.Now()
-	r.forward(w, req, target, id)
+	resp, target, err := r.tryRead(req.Context(), candidates, func(ctx context.Context, url string) (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		out, err := http.NewRequestWithContext(ctx, req.Method, url+req.URL.Path+queryString(req), rd)
+		if err != nil {
+			return nil, err
+		}
+		out.Header = header.Clone()
+		return out, nil
+	})
+	if err != nil {
+		routerError(w, id, retryFailureStatus(err), "read failed: %v", err)
+	} else {
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set(engine.RequestIDHeader, id)
+		w.Header().Set(ServedByHeader, target)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}
 	ns := time.Since(start).Nanoseconds()
 	r.shardLat["/search"].Observe(ns)
 	r.trace.Add(RouterSpan{RequestID: id, Path: "/search", Graph: graph,
@@ -617,19 +870,19 @@ func (r *Router) serveScatter(w http.ResponseWriter, req *http.Request, id strin
 		wg.Add(1)
 		go func(url string, idxs []int) {
 			defer wg.Done()
-			got, err := r.runShard(req.Context(), url, id, plan, wire, fan, idxs)
+			got, served, err := r.runShard(req.Context(), url, set, id, plan, wire, fan, idxs)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				r.shardErrs.Add(1)
 				failures++
 				for _, i := range idxs {
-					items[i] = shardErrorItem(plan, fan[i], url, err)
+					items[i] = shardErrorItem(plan, fan[i], url, id, err)
 				}
 				return
 			}
 			for k, i := range idxs {
-				got[k][ServedByKey] = url
+				got[k][ServedByKey] = served
 				items[i] = got[k]
 			}
 		}(url, idxs)
@@ -649,10 +902,13 @@ func (r *Router) serveScatter(w http.ResponseWriter, req *http.Request, id strin
 // served it.
 const ServedByKey = "served_by"
 
-// runShard sends one shard's slice of the fan-out field to url and returns
-// its items, which must match the slice one-to-one.
-func (r *Router) runShard(ctx context.Context, url, id string, plan scatterPlan,
-	wire map[string]any, fan []any, idxs []int) ([]map[string]any, error) {
+// runShard sends one shard's slice of the fan-out field to url — retrying
+// against the rest of the read set on transport errors, 5xx and 429 (shard
+// sub-requests are reads, replaying one is safe) — and returns its items,
+// which must match the slice one-to-one, plus the member that actually
+// served them.
+func (r *Router) runShard(ctx context.Context, url string, set []string, id string, plan scatterPlan,
+	wire map[string]any, fan []any, idxs []int) ([]map[string]any, string, error) {
 	sub := make(map[string]any, len(wire))
 	for k, v := range wire {
 		sub[k] = v
@@ -664,46 +920,61 @@ func (r *Router) runShard(ctx context.Context, url, id string, plan scatterPlan,
 	sub[plan.field] = slice
 	payload, err := json.Marshal(sub)
 	if err != nil {
-		return nil, err
+		return nil, url, err
+	}
+	// Retry candidates: the assigned member first, then the rest of the read
+	// set in order.
+	candidates := make([]string, 0, len(set))
+	candidates = append(candidates, url)
+	for _, m := range set {
+		if m != url {
+			candidates = append(candidates, m)
+		}
 	}
 	// Shard latency counts failures too: a timed-out shard is exactly the
-	// tail the histogram exists to expose.
+	// tail the histogram exists to expose. Retries fold into their shard's
+	// observation — the client experienced the whole sequence.
 	start := time.Now()
 	defer r.shardLat[plan.path].ObserveSince(start)
-	cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(cctx, http.MethodPost, url+plan.path, bytes.NewReader(payload))
+	resp, served, err := r.tryRead(ctx, candidates, func(cctx context.Context, target string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(cctx, http.MethodPost, target+plan.path, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(engine.RequestIDHeader, id)
+		return req, nil
+	})
 	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(engine.RequestIDHeader, id)
-	resp, err := r.hc.Do(req)
-	if err != nil {
-		return nil, err
+		if served == "" {
+			served = url
+		}
+		return nil, served, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, errorFrom(resp)
+		return nil, served, errorFrom(resp)
 	}
 	var out struct {
 		Items []map[string]any `json:"items"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decoding shard response: %w", err)
+		return nil, served, fmt.Errorf("decoding shard response: %w", err)
 	}
 	if len(out.Items) != len(idxs) {
-		return nil, fmt.Errorf("shard returned %d items for %d inputs", len(out.Items), len(idxs))
+		return nil, served, fmt.Errorf("shard returned %d items for %d inputs", len(out.Items), len(idxs))
 	}
-	return out.Items, nil
+	return out.Items, served, nil
 }
 
 // shardErrorItem is the degraded placeholder for one item of a failed
-// shard, shaped like the engine's own per-item error responses.
-func shardErrorItem(plan scatterPlan, entry any, url string, err error) map[string]any {
+// shard, shaped like the engine's own per-item error responses and carrying
+// the request id so a degraded item can be traced end to end.
+func shardErrorItem(plan scatterPlan, entry any, url, id string, err error) map[string]any {
 	item := map[string]any{
-		"err":       fmt.Sprintf("shard %s: %v", url, err),
-		ServedByKey: url,
+		"err":        fmt.Sprintf("shard %s: %v", url, err),
+		ServedByKey:  url,
+		"request_id": id,
 	}
 	switch plan.field {
 	case "queries":
@@ -720,6 +991,10 @@ type healthMember struct {
 	Alive bool   `json:"alive"`
 	Role  string `json:"role,omitempty"`
 	Fails int    `json:"fails,omitempty"`
+	// Breaker is the member's circuit-breaker state: "closed" (healthy),
+	// "open" (refusing traffic until the cooldown runs) or "half-open" (one
+	// probe in flight deciding which way it goes).
+	Breaker string `json:"breaker"`
 }
 
 // serveHealth reports the router's member view: 200 while the primary is
@@ -731,7 +1006,7 @@ func (r *Router) serveHealth(w http.ResponseWriter) {
 	primaryAlive := false
 	for _, url := range r.cfg.Members {
 		m := r.members[url]
-		hm := healthMember{URL: url, Alive: m.alive, Fails: m.fails}
+		hm := healthMember{URL: url, Alive: m.alive, Fails: m.fails, Breaker: r.breakers[url].State()}
 		if m.status != nil {
 			hm.Role = m.status.Role
 		}
@@ -760,8 +1035,9 @@ func (r *Router) serveHealth(w http.ResponseWriter) {
 func (r *Router) serveMetrics(w http.ResponseWriter) {
 	r.mu.Lock()
 	type row struct {
-		url string
-		up  int
+		url     string
+		up      int
+		breaker int
 	}
 	rows := make([]row, 0, len(r.cfg.Members))
 	for _, url := range r.cfg.Members {
@@ -769,7 +1045,7 @@ func (r *Router) serveMetrics(w http.ResponseWriter) {
 		if r.members[url].alive {
 			up = 1
 		}
-		rows = append(rows, row{url, up})
+		rows = append(rows, row{url, up, r.breakers[url].stateValue()})
 	}
 	r.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -777,8 +1053,13 @@ func (r *Router) serveMetrics(w http.ResponseWriter) {
 	for _, row := range rows {
 		fmt.Fprintf(w, "searouter_member_up{member=\"%s\"} %d\n", obs.EscapeLabel(row.url), row.up)
 	}
+	fmt.Fprintf(w, "# HELP searouter_breaker_state Member circuit-breaker state: 0 closed, 1 open, 2 half-open.\n# TYPE searouter_breaker_state gauge\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "searouter_breaker_state{member=\"%s\"} %d\n", obs.EscapeLabel(row.url), row.breaker)
+	}
 	fmt.Fprintf(w, "# HELP searouter_promotions_total Follower promotions performed by this router.\n# TYPE searouter_promotions_total counter\nsearouter_promotions_total %d\n", r.promotions.Load())
 	fmt.Fprintf(w, "# HELP searouter_shard_errors_total Scatter shards that failed and degraded to per-item errors.\n# TYPE searouter_shard_errors_total counter\nsearouter_shard_errors_total %d\n", r.shardErrs.Load())
+	fmt.Fprintf(w, "# HELP searouter_read_retries_total Read attempts beyond the first (/search and scatter shards).\n# TYPE searouter_read_retries_total counter\nsearouter_read_retries_total %d\n", r.retries.Load())
 	obs.WriteHistogramHeader(w, "searouter_shard_latency_seconds",
 		"Upstream call latency by route: per shard for /batch and /compare, per proxied request for /search, and every primary-forwarded request under \"forward\".")
 	for _, p := range routerPaths {

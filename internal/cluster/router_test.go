@@ -233,6 +233,7 @@ func TestRouterPartialDegradation(t *testing.T) {
 		ReplicationFactor: 2,
 		ProbeEvery:        time.Hour, // the initial probe marks it in-sync; never re-probe
 		ShardTimeout:      2 * time.Second,
+		Retries:           -1, // no retries: this test pins the degradation contract itself
 	})
 	if err != nil {
 		t.Fatal(err)

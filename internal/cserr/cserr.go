@@ -51,6 +51,14 @@ var ErrSnapshotCorrupt = errors.New("snapshot: corrupt")
 // datasets that exist.
 var ErrUnknownGraph = errors.New("catalog: unknown graph")
 
+// ErrOverloaded reports a request shed by admission control: the serving
+// engine already has its configured maximum of searches in flight, and
+// failing fast beats queueing unboundedly (the queue would only push p99
+// past every deadline). The condition is transient — the HTTP layer maps it
+// to 429 Too Many Requests with a Retry-After hint, and the router may retry
+// another replica.
+var ErrOverloaded = errors.New("community search: overloaded, request shed")
+
 // Invalidf builds an error wrapping ErrInvalidRequest with a detail message
 // formatted by fmt.Sprintf. The %w verb is NOT supported — a cause passed
 // to it is flattened into text, not wrapped; format causes with %v.

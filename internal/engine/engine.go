@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/cserr"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/kcore"
 	"repro/internal/mutate"
@@ -73,6 +74,15 @@ type Config struct {
 	// MaxConcurrent caps the number of searches executing at once; further
 	// computations queue. ≤0 selects 2×GOMAXPROCS.
 	MaxConcurrent int
+	// MaxInFlight, when positive, bounds admission: at most this many
+	// cache-miss computations may be in flight (executing or queued on the
+	// MaxConcurrent slots) at once, and requests beyond the bound are shed
+	// immediately with cserr.ErrOverloaded (HTTP 429) instead of queueing —
+	// shed-before-queue keeps the queue, and with it p99, bounded under
+	// overload. Cache hits, admission-index rejects and coalesced joins are
+	// never shed. Set it above MaxConcurrent to allow a bounded queue;
+	// 0 disables shedding.
+	MaxInFlight int
 	// Workers is the BatchSearch worker-pool size. ≤0 selects GOMAXPROCS.
 	Workers int
 	// RequestTimeout, when positive, bounds every request (Query, Search and
@@ -124,6 +134,7 @@ func requestHash(r query.Request) uint64 {
 type searchOutcome struct {
 	out      *query.Outcome
 	err      error
+	shed     bool // rejected by MaxInFlight admission (err wraps ErrOverloaded)
 	distHit  bool
 	distNS   int64
 	searchNS int64
@@ -210,7 +221,8 @@ type Engine struct {
 	flight  flightGroup[flightKey, *searchOutcome]
 	dflight flightGroup[distKey, []float64]
 
-	sem chan struct{} // bounds concurrently executing searches
+	sem      chan struct{} // bounds concurrently executing searches
+	inflight atomic.Int64  // computations executing or queued (MaxInFlight admission)
 
 	ctr counters
 	lat latency
@@ -413,6 +425,7 @@ func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics)
 		return nil, err // context expired while waiting
 	}
 	qm.DistHit, qm.DistNS, qm.SearchNS = out.distHit, out.distNS, out.searchNS
+	qm.Shed = out.shed
 	return out.out, out.err
 }
 
@@ -423,6 +436,19 @@ func (e *Engine) serve(ctx context.Context, req query.Request, qm *QueryMetrics)
 // land in the cache, and only when no mutation intervened (fill fence).
 func (e *Engine) compute(ctx context.Context, st *engState, req query.Request) *searchOutcome {
 	out := &searchOutcome{}
+	// Shed-before-queue: when the in-flight bound is hit, fail this request
+	// now rather than letting it queue on the sem — under sustained overload
+	// a queue only converts load into latency.
+	if max := int64(e.cfg.MaxInFlight); max > 0 {
+		if e.inflight.Add(1) > max {
+			e.inflight.Add(-1)
+			e.ctr.shed.Add(1)
+			out.shed = true
+			out.err = fmt.Errorf("%w: %d computations in flight", cserr.ErrOverloaded, max)
+			return out
+		}
+		defer e.inflight.Add(-1)
+	}
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -430,6 +456,13 @@ func (e *Engine) compute(ctx context.Context, st *engState, req query.Request) *
 		return out
 	}
 	defer func() { <-e.sem }()
+	// "engine.search" is the fault-injection site for a slow or failing
+	// search execution; it holds a concurrency slot while it sleeps, so an
+	// armed delay is also the deterministic way to fill MaxInFlight in tests.
+	if err := faults.Check("engine.search"); err != nil {
+		out.err = err
+		return out
+	}
 
 	td := time.Now()
 	dist, hit := e.queryDist(st, req.Query)

@@ -20,6 +20,7 @@ type QueryMetrics struct {
 	ResultHit bool   `json:"result_hit"` // served from the result cache
 	DistHit   bool   `json:"dist_hit"`   // f(·,q) vector served from the distance cache
 	Coalesced bool   `json:"coalesced"`  // joined an identical in-flight query
+	Shed      bool   `json:"shed"`       // rejected by MaxInFlight admission control (429)
 	IndexHit  bool   `json:"index_hit"`  // shared index answered admission (reject) without a search
 	IndexNS   int64  `json:"index_ns"`   // shared-index admission check
 	DistNS    int64  `json:"dist_ns"`    // distance-vector fetch or compute
@@ -32,7 +33,7 @@ type QueryMetrics struct {
 func QueryMetricsHeader() []string {
 	return []string{
 		"query", "k", "model", "method", "result_hit", "dist_hit", "coalesced",
-		"index_hit", "index_ns", "dist_ns", "search_ns", "total_ns", "err",
+		"shed", "index_hit", "index_ns", "dist_ns", "search_ns", "total_ns", "err",
 	}
 }
 
@@ -46,6 +47,7 @@ func (m QueryMetrics) CSVRecord() []string {
 		strconv.FormatBool(m.ResultHit),
 		strconv.FormatBool(m.DistHit),
 		strconv.FormatBool(m.Coalesced),
+		strconv.FormatBool(m.Shed),
 		strconv.FormatBool(m.IndexHit),
 		strconv.FormatInt(m.IndexNS, 10),
 		strconv.FormatInt(m.DistNS, 10),
@@ -62,6 +64,7 @@ type counters struct {
 	coalesced    atomic.Uint64
 	indexRejects atomic.Uint64
 	errors       atomic.Uint64
+	shed         atomic.Uint64
 
 	mutations          atomic.Uint64
 	deltas             atomic.Uint64
@@ -78,6 +81,7 @@ type Stats struct {
 	Coalesced    uint64 `json:"coalesced"`     // requests that joined an in-flight twin
 	IndexRejects uint64 `json:"index_rejects"` // requests rejected by the shared index
 	Errors       uint64 `json:"errors"`        // requests that returned an error
+	Shed         uint64 `json:"shed"`          // requests shed by MaxInFlight admission control
 
 	ResultHits      uint64 `json:"result_hits"`
 	ResultMisses    uint64 `json:"result_misses"`
@@ -109,6 +113,7 @@ func (e *Engine) Stats() Stats {
 		Coalesced:           e.ctr.coalesced.Load(),
 		IndexRejects:        e.ctr.indexRejects.Load(),
 		Errors:              e.ctr.errors.Load(),
+		Shed:                e.ctr.shed.Load(),
 		Mutations:           e.ctr.mutations.Load(),
 		DeltasApplied:       e.ctr.deltas.Load(),
 		GraphVersion:        e.Version(),

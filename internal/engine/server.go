@@ -105,8 +105,9 @@ type errorResponse struct {
 
 // StatusFor maps the unified error taxonomy to HTTP statuses: invalid
 // requests → 400, oversized request bodies → 413, provable absence and
-// unknown datasets → 404, interruptions → 408, unreadable snapshots → 422,
-// exhausted budgets still carry a best-so-far community → 200 with Err set.
+// unknown datasets → 404, interruptions → 408, shed requests → 429,
+// unreadable snapshots → 422, exhausted budgets still carry a best-so-far
+// community → 200 with Err set.
 func StatusFor(err error) int {
 	var tooBig *http.MaxBytesError
 	switch {
@@ -118,6 +119,8 @@ func StatusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, cserr.ErrNoCommunity), errors.Is(err, cserr.ErrUnknownGraph):
 		return http.StatusNotFound
+	case errors.Is(err, cserr.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, cserr.ErrSnapshotCorrupt), errors.Is(err, cserr.ErrSnapshotVersion):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -149,9 +152,20 @@ func toCIJSON(ci stats.CI) ciJSON {
 	return ciJSON{Center: ci.Center, MoE: ci.MoE, Lo: ci.Lo(), Hi: ci.Hi(), Confidence: ci.Confidence}
 }
 
+// RetryAfterHint is the Retry-After value (seconds) stamped on every
+// transient-rejection response (429, 503) across the serving stack. The
+// condition a shed or breaker-rejected request hit is measured in
+// in-flight-request lifetimes, so "one second" is the honest granularity.
+const RetryAfterHint = "1"
+
 // WriteJSON writes v as a JSON response body with the given status. It is
 // the one JSON-writing helper shared by this surface and the catalog's.
+// Transient-rejection statuses (429, 503) carry a Retry-After hint so
+// well-behaved clients back off instead of hammering.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", RetryAfterHint)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
@@ -285,10 +299,18 @@ func NewResolverHandler(resolve Resolver) *http.ServeMux {
 			return
 		}
 		resp := batchResponse{Items: make([]searchResponse, len(items))}
+		shedAll := len(items) > 0
 		for i, it := range items {
 			resp.Items[i] = toResponse(it.Request, it.Outcome, it.Metrics, it.Err)
+			shedAll = shedAll && errors.Is(it.Err, cserr.ErrOverloaded)
 		}
-		WriteJSON(w, http.StatusOK, resp)
+		// Per-item shedding is partial degradation (200, item Errs set); a
+		// batch with every item shed is an overloaded node and says so.
+		status := http.StatusOK
+		if shedAll {
+			status = http.StatusTooManyRequests
+		}
+		WriteJSON(w, status, resp)
 	})
 	mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) {
 		wire, ok := decodeWire(w, r, http.MethodGet, http.MethodPost)

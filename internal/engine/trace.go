@@ -31,6 +31,7 @@ type latency struct {
 	totalHit       obs.Histogram // whole request, served from the result cache
 	totalMiss      obs.Histogram // whole request, computed
 	totalCoalesced obs.Histogram // whole request, joined an in-flight twin
+	totalShed      obs.Histogram // whole request, shed by MaxInFlight admission
 
 	mutApply      obs.Histogram // session apply + materialize + index rebind
 	mutJournal    obs.Histogram // journal append (recorded by the catalog)
@@ -47,6 +48,7 @@ type LatencyStats struct {
 	TotalHit         obs.Snapshot
 	TotalMiss        obs.Snapshot
 	TotalCoalesced   obs.Snapshot
+	TotalShed        obs.Snapshot
 	MutateApply      obs.Snapshot
 	MutateJournal    obs.Snapshot
 	MutateInvalidate obs.Snapshot
@@ -61,6 +63,7 @@ func (l LatencyStats) Merge(o LatencyStats) LatencyStats {
 		TotalHit:         l.TotalHit.Merge(o.TotalHit),
 		TotalMiss:        l.TotalMiss.Merge(o.TotalMiss),
 		TotalCoalesced:   l.TotalCoalesced.Merge(o.TotalCoalesced),
+		TotalShed:        l.TotalShed.Merge(o.TotalShed),
 		MutateApply:      l.MutateApply.Merge(o.MutateApply),
 		MutateJournal:    l.MutateJournal.Merge(o.MutateJournal),
 		MutateInvalidate: l.MutateInvalidate.Merge(o.MutateInvalidate),
@@ -76,6 +79,7 @@ type LatencySummary struct {
 	TotalHit         obs.Summary `json:"total_hit"`
 	TotalMiss        obs.Summary `json:"total_miss"`
 	TotalCoalesced   obs.Summary `json:"total_coalesced"`
+	TotalShed        obs.Summary `json:"total_shed"`
 	MutateApply      obs.Summary `json:"mutate_apply"`
 	MutateJournal    obs.Summary `json:"mutate_journal"`
 	MutateInvalidate obs.Summary `json:"mutate_invalidate"`
@@ -90,6 +94,7 @@ func (l LatencyStats) Summary() LatencySummary {
 		TotalHit:         l.TotalHit.Summary(),
 		TotalMiss:        l.TotalMiss.Summary(),
 		TotalCoalesced:   l.TotalCoalesced.Summary(),
+		TotalShed:        l.TotalShed.Summary(),
 		MutateApply:      l.MutateApply.Summary(),
 		MutateJournal:    l.MutateJournal.Summary(),
 		MutateInvalidate: l.MutateInvalidate.Summary(),
@@ -105,6 +110,7 @@ func (e *Engine) Latency() LatencyStats {
 		TotalHit:         e.lat.totalHit.Snapshot(),
 		TotalMiss:        e.lat.totalMiss.Snapshot(),
 		TotalCoalesced:   e.lat.totalCoalesced.Snapshot(),
+		TotalShed:        e.lat.totalShed.Snapshot(),
 		MutateApply:      e.lat.mutApply.Snapshot(),
 		MutateJournal:    e.lat.mutJournal.Snapshot(),
 		MutateInvalidate: e.lat.mutInvalidate.Snapshot(),
@@ -154,6 +160,11 @@ func (e *Engine) Trace(n int) []Span {
 // QueryWithMetrics: stage histograms, the span ring, and the slow-query log.
 func (e *Engine) recordQuery(requestID string, start time.Time, qm QueryMetrics) {
 	switch {
+	case qm.Shed:
+		// Shed requests get their own outcome series: their point is that
+		// they stay fast, and folding them into the miss histogram would
+		// fake a p50 improvement exactly when the node is overloaded.
+		e.lat.totalShed.Observe(qm.TotalNS)
 	case qm.Coalesced:
 		e.lat.totalCoalesced.Observe(qm.TotalNS)
 	case qm.ResultHit:

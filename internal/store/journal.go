@@ -34,8 +34,15 @@ import (
 	"time"
 
 	"repro/internal/cserr"
+	"repro/internal/faults"
 	"repro/internal/mutate"
 )
+
+// Fault-injection sites in this file (armed via internal/faults; free when
+// disarmed): "journal.open" fails OpenJournal, "journal.append" fails (or
+// tears, with partial) the record write, "journal.fsync" fails the
+// post-append sync, "journal.tail" fails TailJournal reads, and
+// "snapshot.write" fails (or tears) AtomicWriteFile payloads.
 
 // JournalVersion is the journal format version this build reads and writes.
 const JournalVersion = 1
@@ -70,6 +77,9 @@ type Journal struct {
 // is truncated away; the replayed prefix is returned for the caller to
 // re-apply on top of its snapshot.
 func OpenJournal(path string) (*Journal, []JournalBatch, error) {
+	if err := faults.Check("journal.open"); err != nil {
+		return nil, nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
@@ -182,6 +192,9 @@ func checkJournalHeader(data []byte, path string) error {
 // re-polls and sees it once the append completes. after at or beyond the
 // last durable record yields an empty tail and no error.
 func TailJournal(path string, after uint64) ([]JournalBatch, error) {
+	if err := faults.Check("journal.tail"); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -233,10 +246,13 @@ func (j *Journal) Append(deltas []mutate.Delta) (uint64, error) {
 		}
 		return 0, err
 	}
-	if _, err := j.f.Write(rec); err != nil {
+	if _, err := faults.Wrap("journal.append", j.f).Write(rec); err != nil {
 		return rewind(err)
 	}
 	tSync := time.Now()
+	if err := faults.Check("journal.fsync"); err != nil {
+		return rewind(err)
+	}
 	if err := j.f.Sync(); err != nil {
 		return rewind(err)
 	}
@@ -297,7 +313,7 @@ func AtomicWriteFile(path string, write func(io.Writer) error) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	if err := write(f); err != nil {
+	if err := write(faults.Wrap("snapshot.write", f)); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {

@@ -23,6 +23,7 @@ import (
 	"unsafe"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -93,6 +94,9 @@ func (m *Mounted) Close() error {
 // any heap open). A torn or corrupted file still fails fast on the O(1)
 // header/table/shape checks.
 func OpenMapped(path string) (*Mounted, error) {
+	if err := faults.Check("snapshot.open"); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -67,6 +67,7 @@ import (
 
 	"repro/internal/cserr"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -208,6 +209,9 @@ func Open(r io.Reader) (*Snapshot, error) {
 // reader, the file's size is known up front, so the bytes are read in one
 // pre-sized allocation.
 func OpenFile(path string) (*Snapshot, error) {
+	if err := faults.Check("snapshot.open"); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
