@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke load-smoke chaos-smoke ci
+.PHONY: build test race bench bench-substrate bench-json bench-compare fmt fmt-check vet staticcheck smoke mutation-smoke mmap-smoke router-smoke load-smoke chaos-smoke write-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,18 @@ bench-json:
 		-qps 150 -duration 5s -warmup 1s -out $(BENCH_OUT)
 	$(GO) run ./cmd/seaload -selfserve -scale 0.25 -scenario mixed \
 		-qps 150 -duration 5s -warmup 1s -out $(BENCH_OUT)
+	$(GO) run ./cmd/seaload -selfserve -selfserve-journal -scale 0.25 \
+		-scenario write-heavy -qps 150 -duration 5s -warmup 1s \
+		-record-suffix @serial -commit-max-batch 1 -out $(BENCH_OUT)
+	$(GO) run ./cmd/seaload -selfserve -selfserve-journal -scale 0.25 \
+		-scenario write-heavy -qps 150 -duration 5s -warmup 1s \
+		-record-suffix @group-commit -out $(BENCH_OUT)
+	$(GO) run ./cmd/seaload -selfserve -selfserve-journal -scale 1.0 \
+		-writers 32 -direct -duration 3s -warmup 500ms \
+		-record-suffix @serial -commit-max-batch 1 -out $(BENCH_OUT)
+	$(GO) run ./cmd/seaload -selfserve -selfserve-journal -scale 1.0 \
+		-writers 32 -direct -duration 3s -warmup 500ms \
+		-record-suffix @group-commit -out $(BENCH_OUT)
 
 # Re-run the canonical configuration and print per-experiment wall-clock
 # ratios against the latest committed trajectory record.
@@ -133,4 +145,17 @@ chaos-smoke:
 	/tmp/sea-chaos-smoke/seacli pack -load /tmp/sea-chaos-smoke/fb.txt -out /tmp/sea-chaos-smoke/fb.snap
 	SMOKE_DIR=/tmp/sea-chaos-smoke sh scripts/chaos-smoke.sh
 
-ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke load-smoke chaos-smoke
+# End-to-end group-commit smoke, mirroring the CI write-smoke job: boot a
+# journaled primary plus a follower, fire a 32-writer /admin/mutate burst,
+# assert every acknowledged mutation is journaled with one batch record per
+# flush (version < mutation count: the burst coalesced), the follower
+# converges to the same answer, and a SIGTERM-drain + reboot replays the
+# batch records to the identical version and answer.
+write-smoke:
+	@rm -rf /tmp/sea-write-smoke && mkdir -p /tmp/sea-write-smoke
+	$(GO) build -o /tmp/sea-write-smoke/ ./cmd/...
+	/tmp/sea-write-smoke/datagen -dataset facebook -scale 0.3 -out /tmp/sea-write-smoke/fb.txt
+	/tmp/sea-write-smoke/seacli pack -load /tmp/sea-write-smoke/fb.txt -out /tmp/sea-write-smoke/fb.snap
+	SMOKE_DIR=/tmp/sea-write-smoke sh scripts/write-smoke.sh
+
+ci: fmt-check vet staticcheck build race bench bench-substrate smoke mutation-smoke mmap-smoke router-smoke load-smoke chaos-smoke write-smoke

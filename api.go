@@ -11,6 +11,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/clique"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/cserr"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -162,6 +163,10 @@ var (
 	// ErrUnknownGraph reports a request naming a dataset the catalog has
 	// not mounted.
 	ErrUnknownGraph = cserr.ErrUnknownGraph
+	// ErrOverloaded reports a request shed by admission control or
+	// commit-queue backpressure: nothing was enqueued or applied, and the
+	// request is safe to retry after backing off (HTTP 429 + Retry-After).
+	ErrOverloaded = cserr.ErrOverloaded
 )
 
 // Options configures a SEA search; start from DefaultOptions.
@@ -470,8 +475,16 @@ func SetAttrDelta(v NodeID, text []string, num []float64) Mutation {
 type ApplyResult = engine.ApplyResult
 
 // MutateResult is ApplyResult as reported by Catalog.Mutate, with the
-// journal sequence number when the dataset is journaled.
+// caller's per-delta outcomes, the journal sequence number when the dataset
+// is journaled, and the group-commit batch timings.
 type MutateResult = catalog.MutateResult
+
+// CommitConfig holds the group-commit batching knobs of the write path
+// (max groups per flush, hold-open wait, bounded queue); install it with
+// Catalog.SetCommitConfig before mounting. The zero value means the
+// defaults: batches of at most 64 groups, no hold-open wait, a queue of
+// 256 before backpressure sheds with ErrOverloaded/429.
+type CommitConfig = commit.Config
 
 // CompactResult reports one journal compaction (Catalog.Compact): the
 // snapshot the journal folded into and how many batches it absorbed.

@@ -24,6 +24,13 @@
 //
 //	seaload -url http://localhost:8080 -scenario read-heavy -qps 200 -duration 10s
 //	seaload -selfserve -scenario mixed -qps 500 -out BENCH_8.json
+//	seaload -selfserve -selfserve-journal -writers 32 -duration 5s
+//
+// -writers N switches to a closed-loop mutation mode: N concurrent writers
+// fire /admin/mutate back-to-back, measuring the write path's sustained
+// commit throughput (the group-commit before/after comparison; pair with
+// -commit-max-batch 1 for the serial-equivalent before row and
+// -record-suffix to keep both rows in one file).
 //
 // -selfserve boots an in-process server on a loopback port (generated
 // dataset, full catalog HTTP surface) and drives it over real HTTP — the
@@ -55,6 +62,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -77,22 +85,29 @@ var scenarios = map[string][]opWeight{
 
 func main() {
 	var (
-		url        = flag.String("url", "", "target base URL (seaserve or searouter)")
-		selfserve  = flag.Bool("selfserve", false, "boot an in-process server on a loopback port and drive that")
-		dsName     = flag.String("dataset", "facebook", "generated dataset for -selfserve")
-		scale      = flag.Float64("scale", 0.5, "dataset scale for -selfserve")
-		graphName  = flag.String("graph", "", "dataset name in requests (default: the target's default dataset)")
-		scenario   = flag.String("scenario", "read-heavy", "operation mix: read-heavy, mixed or write-heavy")
-		qps        = flag.Float64("qps", 200, "target request rate (open loop: fires on schedule regardless of responses)")
-		duration   = flag.Duration("duration", 10*time.Second, "measured window")
-		warmup     = flag.Duration("warmup", time.Second, "requests fired but not measured before the window")
-		k          = flag.Int("k", 6, "structural parameter k")
-		zipfS      = flag.Float64("zipf", 1.3, "zipf skew for query-node choice (>1; higher = hotter hot set)")
-		batchSize  = flag.Int("batch-size", 8, "queries per /batch request")
-		timeout    = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
-		seed       = flag.Int64("seed", 42, "random seed for node choice and op mix")
-		outFile    = flag.String("out", "", "merge the run's record into this JSON array (convention: BENCH_<pr>.json)")
-		maxErrRate = flag.Float64("max-error-rate", 0,
+		url         = flag.String("url", "", "target base URL (seaserve or searouter)")
+		selfserve   = flag.Bool("selfserve", false, "boot an in-process server on a loopback port and drive that")
+		dsName      = flag.String("dataset", "facebook", "generated dataset for -selfserve")
+		scale       = flag.Float64("scale", 0.5, "dataset scale for -selfserve")
+		graphName   = flag.String("graph", "", "dataset name in requests (default: the target's default dataset)")
+		scenario    = flag.String("scenario", "read-heavy", "operation mix: read-heavy, mixed or write-heavy")
+		qps         = flag.Float64("qps", 200, "target request rate (open loop: fires on schedule regardless of responses)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup      = flag.Duration("warmup", time.Second, "requests fired but not measured before the window")
+		k           = flag.Int("k", 6, "structural parameter k")
+		zipfS       = flag.Float64("zipf", 1.3, "zipf skew for query-node choice (>1; higher = hotter hot set)")
+		batchSize   = flag.Int("batch-size", 8, "queries per /batch request")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
+		seed        = flag.Int64("seed", 42, "random seed for node choice and op mix")
+		outFile     = flag.String("out", "", "merge the run's record into this JSON array (convention: BENCH_<pr>.json)")
+		recSuffix   = flag.String("record-suffix", "", "suffix appended to the -out experiment name, e.g. \"@serial\" (before/after rows coexist)")
+		writers     = flag.Int("writers", 0, "closed-loop mutation mode: this many concurrent writers fire /admin/mutate back-to-back for -duration instead of the open-loop mix")
+		direct      = flag.Bool("direct", false, "with -selfserve -writers: call Catalog.Mutate in process instead of over HTTP, measuring the commit pipeline itself rather than the HTTP stack")
+		journalSelf = flag.Bool("selfserve-journal", false, "journal the -selfserve mount into a temp dir, so mutations measure durable commits (fsync included)")
+		commitBatch = flag.Int("commit-max-batch", 0, "-selfserve group-commit flush size (0 = default 64; 1 = serial-equivalent, the before row)")
+		commitWait  = flag.Duration("commit-max-wait", 0, "-selfserve group-commit hold-open wait (0 = flush immediately)")
+		commitQueue = flag.Int("commit-queue", 0, "-selfserve commit queue bound (0 = default 256)")
+		maxErrRate  = flag.Float64("max-error-rate", 0,
 			"tolerated error fraction (0..1) before exiting nonzero; 0 means any error fails (chaos runs pass e.g. 0.1)")
 	)
 	flag.Parse()
@@ -108,32 +123,59 @@ func main() {
 		fail(errors.New("need -url or -selfserve"))
 	}
 
+	var selfCat *sealib.Catalog
 	if *selfserve {
-		target, shutdown, err := bootSelfServe(*dsName, *scale)
+		target, cat, shutdown, err := bootSelfServe(*dsName, *scale, *journalSelf,
+			sealib.CommitConfig{MaxBatch: *commitBatch, MaxWait: *commitWait, Queue: *commitQueue})
 		if err != nil {
 			fail(err)
 		}
 		defer shutdown()
 		*url = target
+		selfCat = cat
 		if *graphName == "" {
 			*graphName = *dsName
 		}
+	}
+	if *direct && (selfCat == nil || *writers <= 0) {
+		fail(errors.New("-direct needs -selfserve and -writers"))
 	}
 
 	nodes, graph, err := discover(*url, *graphName, *timeout)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("seaload: %s scenario against %s (graph %q, %d nodes): %g qps for %v after %v warmup\n",
-		*scenario, *url, graph, nodes, *qps, *duration, *warmup)
+	if *writers > 0 {
+		fmt.Printf("seaload: %d closed-loop writers against %s (graph %q, %d nodes) for %v after %v warmup\n",
+			*writers, *url, graph, nodes, *duration, *warmup)
+	} else {
+		fmt.Printf("seaload: %s scenario against %s (graph %q, %d nodes): %g qps for %v after %v warmup\n",
+			*scenario, *url, graph, nodes, *qps, *duration, *warmup)
+	}
 
-	res := run(runConfig{
+	cfg := runConfig{
 		url: *url, graph: graph, nodes: nodes,
 		mix: mix, qps: *qps, duration: *duration, warmup: *warmup,
 		k: *k, zipfS: *zipfS, batchSize: *batchSize,
 		timeout: *timeout, seed: *seed,
-	})
-	res.Scenario = *scenario
+	}
+	experiment := "seaload/" + *scenario
+	var res loadResult
+	if *writers > 0 {
+		if *direct {
+			cfg.directCat = selfCat
+		}
+		res = runWriters(cfg, *writers)
+		res.Scenario = fmt.Sprintf("writers-%d", *writers)
+		if *direct {
+			res.Scenario += "-direct"
+		}
+		experiment = "seaload/" + res.Scenario
+	} else {
+		res = run(cfg)
+		res.Scenario = *scenario
+	}
+	experiment += *recSuffix
 
 	fmt.Printf("seaload: %d requests (%d errors), %.1f qps achieved of %g target\n",
 		res.Requests, res.Errors, res.QPSAchieved, res.QPSTarget)
@@ -156,13 +198,13 @@ func main() {
 
 	if *outFile != "" {
 		if err := mergeRecord(*outFile, loadRecord{
-			Experiment:  "seaload/" + *scenario,
+			Experiment:  experiment,
 			WallSeconds: res.wall.Seconds(),
 			Result:      res,
 		}); err != nil {
 			fail(err)
 		}
-		fmt.Printf("seaload: merged record %q into %s\n", "seaload/"+*scenario, *outFile)
+		fmt.Printf("seaload: merged record %q into %s\n", experiment, *outFile)
 	}
 	// A perfectly clean run always passes; otherwise the error *rate* decides,
 	// so chaos runs can assert "reads kept flowing with a bounded error rate"
@@ -178,32 +220,55 @@ func main() {
 }
 
 // bootSelfServe mounts a generated dataset behind the full catalog HTTP
-// surface on a loopback port and returns its base URL.
-func bootSelfServe(name string, scale float64) (string, func(), error) {
+// surface on a loopback port and returns its base URL. With journal set the
+// dataset mounts write-ahead journaled into a temp dir (removed at
+// shutdown), so mutations pay the real durability cost — that is the write
+// path the group-commit before/after rows measure; ccfg sets the
+// group-commit knobs for the mount.
+func bootSelfServe(name string, scale float64, journal bool, ccfg sealib.CommitConfig) (string, *sealib.Catalog, func(), error) {
 	d, err := sealib.GenerateDataset(name, scale)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	cfg := sealib.DefaultEngineConfig()
 	eng, err := sealib.NewEngine(d.Graph, cfg)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	cat := sealib.NewCatalog()
-	if _, err := cat.Mount(name, eng, cfg, fmt.Sprintf("generated %s@%g", name, scale)); err != nil {
-		return "", nil, err
+	cat.SetCommitConfig(ccfg)
+	cleanup := func() {}
+	if journal {
+		dir, err := os.MkdirTemp("", "seaload-journal-*")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+		snap := filepath.Join(dir, name+".snap")
+		if _, err := sealib.WriteSnapshotFile(eng, snap); err != nil {
+			cleanup()
+			return "", nil, nil, err
+		}
+		if _, _, err := cat.MountPathJournaled(name, snap, filepath.Join(dir, name+".journal"), cfg); err != nil {
+			cleanup()
+			return "", nil, nil, err
+		}
+	} else if _, err := cat.Mount(name, eng, cfg, fmt.Sprintf("generated %s@%g", name, scale)); err != nil {
+		return "", nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		cleanup()
+		return "", nil, nil, err
 	}
 	srv := &http.Server{Handler: sealib.NewCatalogHTTPHandler(cat, cfg)}
 	go srv.Serve(ln)
 	shutdown := func() {
 		srv.Close()
 		cat.Close()
+		cleanup()
 	}
-	return "http://" + ln.Addr().String(), shutdown, nil
+	return "http://" + ln.Addr().String(), cat, shutdown, nil
 }
 
 // discover asks the target's /graphs for the dataset to drive: its node
@@ -255,6 +320,9 @@ type runConfig struct {
 	batchSize  int
 	timeout    time.Duration
 	seed       int64
+	// directCat short-circuits runWriters past HTTP: mutations call
+	// Catalog.Mutate in process (the -direct mode).
+	directCat *sealib.Catalog
 }
 
 // opStats is one operation's slice of the run.
@@ -280,6 +348,7 @@ type loadResult struct {
 	P999US      float64            `json:"p999_us"`
 	MeanUS      float64            `json:"mean_us"`
 	MaxUS       float64            `json:"max_us"`
+	Writers     int                `json:"writers,omitempty"`
 	Ops         map[string]opStats `json:"ops"`
 	// ErrorClasses breaks Errors down by what the client actually saw:
 	// "refused" (connection refused — nothing listening), "timeout" (client
@@ -443,6 +512,115 @@ func run(cfg runConfig) loadResult {
 		res.ErrorClasses = classes
 	}
 	return res
+}
+
+// runWriters is the closed-loop mutation mode: writers goroutines each fire
+// one-delta set_attr mutations back-to-back against /admin/mutate for the
+// window, measuring sustained mutation throughput — the group-commit
+// before/after comparison. Unlike the open loop, each request's latency is
+// measured from its own send: this mode asks "how fast CAN the write path
+// commit under N concurrent writers", not "how does it behave at a fixed
+// rate", so the closed loop's coordinated omission is the point rather than
+// a hazard.
+func runWriters(cfg runConfig, writers int) loadResult {
+	hc := &http.Client{
+		Timeout:   cfg.timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: writers + 16},
+	}
+	var (
+		total   obs.Histogram
+		errHist obs.Histogram
+		classMu sync.Mutex
+		classes = make(map[string]uint64, len(errorClassOrder))
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	measureFrom := start.Add(cfg.warmup)
+	end := measureFrom.Add(cfg.duration)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.nodes-1))
+			for seq := 0; ; seq++ {
+				t0 := time.Now()
+				if t0.After(end) {
+					return
+				}
+				node := int(zipf.Uint64())
+				tag := fmt.Sprintf("w%d-%d", w, seq%64)
+				var class string
+				if cfg.directCat != nil {
+					class = classifyDirect(cfg.directCat.Mutate(cfg.graph,
+						[]sealib.Mutation{sealib.SetAttrDelta(sealib.NodeID(node), []string{"seaload", tag}, nil)}))
+				} else {
+					body, _ := json.Marshal(map[string]any{"graph": cfg.graph, "deltas": []map[string]any{
+						{"op": "set_attr", "u": node, "text": []string{"seaload", tag}},
+					}})
+					class = fire(hc, cfg.url+"/admin/mutate", body)
+				}
+				lat := time.Since(t0)
+				if t0.Before(measureFrom) {
+					continue // warmup: fired for server state, not measured
+				}
+				if class == "" {
+					total.Observe(lat.Nanoseconds())
+				} else {
+					errHist.Observe(lat.Nanoseconds())
+					classMu.Lock()
+					classes[class]++
+					classMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(measureFrom)
+	if wall > cfg.duration {
+		wall = cfg.duration
+	}
+
+	snap := total.Snapshot()
+	e := errHist.Snapshot()
+	res := loadResult{
+		URL: cfg.url, Graph: cfg.graph,
+		Writers:  writers,
+		Requests: snap.Count + e.Count,
+		Errors:   e.Count,
+		MeanUS:   snap.Mean() / 1e3,
+		P50US:    snap.Quantile(0.50) / 1e3,
+		P90US:    snap.Quantile(0.90) / 1e3,
+		P99US:    snap.Quantile(0.99) / 1e3,
+		P999US:   snap.Quantile(0.999) / 1e3,
+		MaxUS:    float64(snap.Max()) / 1e3,
+		Ops: map[string]opStats{"mutate": {
+			Count: snap.Count + e.Count, Errors: e.Count, P99US: snap.Quantile(0.99) / 1e3,
+		}},
+		wall: wall,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		res.QPSAchieved = float64(res.Requests) / secs
+	}
+	if len(classes) > 0 {
+		res.ErrorClasses = classes
+	}
+	return res
+}
+
+// classifyDirect maps a Catalog.Mutate outcome onto fire's error classes so
+// -direct runs report through the same summary.
+func classifyDirect(_ *sealib.MutateResult, err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, sealib.ErrOverloaded):
+		return "shed_429"
+	case errors.Is(err, sealib.ErrInvalidRequest):
+		return "http_4xx"
+	default:
+		return "http_5xx"
+	}
 }
 
 // errorClassOrder fixes the summary-line ordering of fire's error classes.

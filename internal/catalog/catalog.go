@@ -28,8 +28,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/commit"
 	"repro/internal/cserr"
 	"repro/internal/engine"
+	"repro/internal/mutate"
 	"repro/internal/store"
 )
 
@@ -38,6 +40,13 @@ type Dataset struct {
 	name string
 	eng  atomic.Pointer[engine.Engine]
 	cfg  engine.Config
+
+	// commit is the dataset's group-commit batcher: every Mutate enqueues
+	// here and concurrent callers coalesce into one flush (one journal
+	// record, one engine generation). Created at Mount before the dataset
+	// is visible and immutable afterwards, so reads need no lock; Unmount
+	// and Close close it.
+	commit *commit.Batcher
 
 	mu      sync.Mutex // serializes swaps and mutations (readers go through eng alone)
 	source  string
@@ -81,6 +90,10 @@ type Info struct {
 	Mapped      bool         `json:"mapped"`
 	MappedBytes int64        `json:"mapped_bytes,omitempty"`
 	Stats       engine.Stats `json:"stats"`
+	// Commit is the dataset's group-commit batcher state: queue depth,
+	// shed/flush counters, and (for /metrics, excluded from JSON) the
+	// batch-size, queue-wait and flush-latency histograms.
+	Commit commit.Stats `json:"commit"`
 	// Latency carries the engine's full-resolution stage histograms for the
 	// /metrics exposition; it is deliberately excluded from the /graphs JSON
 	// (use /stats for the flat percentile summary).
@@ -90,10 +103,11 @@ type Info struct {
 // Catalog is a concurrency-safe named registry of datasets. The zero value
 // is not usable; call New.
 type Catalog struct {
-	mu       sync.RWMutex
-	datasets map[string]*Dataset
-	def      string
-	mmapOff  bool
+	mu        sync.RWMutex
+	datasets  map[string]*Dataset
+	def       string
+	mmapOff   bool
+	commitCfg commit.Config // batching knobs for subsequently mounted datasets
 	// retired holds mappings displaced by Swap/Unmount. They are never
 	// unmapped while the process serves — an in-flight query may still hold
 	// the old engine over them — only at Close.
@@ -113,6 +127,16 @@ func (c *Catalog) SetMmap(enabled bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mmapOff = !enabled
+}
+
+// SetCommitConfig sets the group-commit batching knobs for subsequently
+// mounted datasets (the zero Config means the commit package defaults).
+// Already-mounted datasets keep the batcher they were mounted with — set
+// the config before mounting, as seaserve does from its -commit-* flags.
+func (c *Catalog) SetCommitConfig(cfg commit.Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commitCfg = cfg
 }
 
 // retireLocked parks a displaced mapping for unmapping at Close; the caller
@@ -140,6 +164,11 @@ func (c *Catalog) Mount(name string, eng *engine.Engine, cfg engine.Config, sour
 	d := &Dataset{name: name, cfg: cfg, source: source}
 	eng.SetName(name) // attribute spans, slow-query lines and metrics
 	d.eng.Store(eng)
+	// The group-commit batcher must exist before the dataset is visible:
+	// Mutate reads d.commit without a lock.
+	d.commit = commit.New(c.commitCfg, func(groups [][]mutate.Delta) []commit.Result {
+		return c.flushGroups(d, groups)
+	})
 	c.datasets[name] = d
 	if c.def == "" {
 		c.def = name
@@ -161,6 +190,13 @@ func (c *Catalog) Swap(name string, eng *engine.Engine, source string) (*engine.
 func (c *Catalog) swapMounted(name string, eng *engine.Engine, source string, m *store.Mounted) (*engine.Engine, error) {
 	if eng == nil {
 		return nil, cserr.Invalidf("catalog: nil engine for %q", name)
+	}
+	// Drain the batcher before the flip so no coalesced flush lands astride
+	// the lineage change (its journal record would describe the old engine,
+	// the reset journal the new). Done before taking any lock: the drain
+	// waits out an in-flight flush, which itself takes d.mu.
+	if d, err := c.dataset(name); err == nil {
+		d.commit.Drain()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -203,6 +239,10 @@ func (c *Catalog) Unmount(name string) error {
 		return fmt.Errorf("%w: %q", cserr.ErrUnknownGraph, name)
 	}
 	delete(c.datasets, name)
+	// Closing the batcher flushes everything already acknowledged into the
+	// queue, then stops it; later Submits fail with commit.ErrClosed. Must
+	// happen before d.mu is taken — an in-flight flush holds it.
+	d.commit.Close()
 	d.mu.Lock()
 	if d.live != nil {
 		d.live.journal.Close()
@@ -365,6 +405,7 @@ func (d *Dataset) info(def string) Info {
 		Mapped:         mapped,
 		MappedBytes:    mappedBytes,
 		Stats:          eng.Stats(),
+		Commit:         d.commit.Stats(),
 		Latency:        eng.Latency(),
 	}
 }

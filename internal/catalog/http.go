@@ -31,7 +31,10 @@ package catalog
 // Reload never disturbs the running engine on failure: a corrupt or
 // missing file reports 422/500 and the old engine keeps serving. Mutate is
 // all-or-nothing per batch: a rejected delta reports 400 and nothing
-// changes.
+// changes. Concurrent mutate requests coalesce through the dataset's
+// group-commit batcher (internal/commit): the response carries the caller's
+// per-delta outcomes plus batch-level batch_size/queue_ns/flush_ns, and a
+// full commit queue sheds with 429 + Retry-After before anything enqueues.
 
 import (
 	"errors"
@@ -40,6 +43,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/commit"
 	"repro/internal/cserr"
 	"repro/internal/engine"
 	"repro/internal/faults"
@@ -70,8 +74,10 @@ type graphsResponse struct {
 }
 
 // statsResponse is the GET /stats body: the engine counters plus the
-// catalog-level journal and lineage state replication lag is read from, and
-// the per-stage latency percentile summary (µs; see engine.LatencySummary).
+// catalog-level journal and lineage state replication lag is read from,
+// the per-stage latency percentile summary (µs; see engine.LatencySummary),
+// and the group-commit batcher digest (batch-size distribution, queue-wait
+// and flush percentiles; see commit.Summary).
 type statsResponse struct {
 	Graph string `json:"graph"`
 	engine.Stats
@@ -79,6 +85,7 @@ type statsResponse struct {
 	JournalSeq     uint64                `json:"journal_seq"`
 	JournalBatches int                   `json:"journal_batches"`
 	Latency        engine.LatencySummary `json:"latency"`
+	Commit         commit.Summary        `json:"commit"`
 }
 
 // journalResponse is the GET /admin/journal body.
@@ -236,7 +243,7 @@ func NewHTTPHandler(c *Catalog, base engine.Config) http.Handler {
 			engine.WriteJSON(w, http.StatusOK, statsResponse{
 				Graph: info.Name, Stats: info.Stats, Lineage: info.Swaps,
 				JournalSeq: info.JournalSeq, JournalBatches: info.JournalBatches,
-				Latency: info.Latency.Summary(),
+				Latency: info.Latency.Summary(), Commit: info.Commit.Summary(),
 			})
 			return
 		}

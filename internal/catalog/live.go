@@ -1,16 +1,29 @@
 package catalog
 
 // Live updates through the catalog: a dataset can mount with a write-ahead
-// mutation journal (internal/store.Journal). Mutate applies a delta batch
-// to the dataset's engine — incremental index maintenance, scoped cache
-// invalidation, no hot-swap — and journals it durably before returning, so
-// a restart reconstructs the exact live state by replaying the journal on
-// top of the last snapshot. A background compactor folds the journal into a
+// mutation journal (internal/store.Journal). Mutate enqueues a delta group
+// on the dataset's group-commit batcher (internal/commit) and waits for its
+// flush: concurrent callers coalesce into one staged commit —
+//
+//	engine   one ApplyGroups folds every group through one incremental
+//	         maintenance session and publishes ONE generation;
+//	catalog  this file's flushGroups drives the stages under d.mu;
+//	journal  one AppendGroups record (one seq, one CRC, one fsync) makes
+//	         the whole batch durable;
+//	replication  followers see one shipped record per flush, so the
+//	         version-per-record cursor math is untouched.
+//
+// so fsync and the core/truss cascades amortize across the batch, while
+// each caller still gets an all-or-nothing verdict for its own group. A
+// restart reconstructs the exact live state by replaying the journal on top
+// of the last snapshot. A background compactor folds the journal into a
 // fresh snapshot (atomic rename) and truncates it, either on demand
 // (Compact, POST /admin/compact) or automatically once the journal exceeds
-// the dataset's compaction threshold.
+// the dataset's compaction threshold; compaction and hot-swaps drain the
+// batcher first so no flush lands astride the journal reset.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,8 +31,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/commit"
 	"repro/internal/cserr"
 	"repro/internal/engine"
+	"repro/internal/graph"
 	"repro/internal/mutate"
 	"repro/internal/store"
 )
@@ -110,12 +125,28 @@ func (d *Dataset) SetCompactEvery(n int) {
 	}
 }
 
-// MutateResult reports one applied mutation batch.
+// DeltaOutcome reports one delta of the caller's group in a committed
+// flush. A group is all-or-nothing, so on a successful MutateResult every
+// outcome is applied; add_node outcomes carry the assigned node ID.
+type DeltaOutcome struct {
+	Op      string       `json:"op"`
+	Applied bool         `json:"applied"`
+	NewNode graph.NodeID `json:"new_node,omitempty"`
+}
+
+// MutateResult reports one caller's delta group after its commit flush. The
+// embedded ApplyResult is batch-level — the flush that carried this group
+// may have coalesced others (Groups/GroupsApplied count them, BatchSize the
+// callers) — except NewNodes, which is narrowed to the nodes THIS group
+// added; Outcomes details the group delta by delta.
 type MutateResult struct {
 	Graph string `json:"graph"`
 	engine.ApplyResult
-	// Journaled is the journal sequence number of the batch (0 when the
-	// dataset has no journal).
+	// Outcomes is the per-delta verdict for the caller's own group.
+	Outcomes []DeltaOutcome `json:"outcomes,omitempty"`
+	// Journaled is the journal sequence number of the commit record that
+	// carried this group (0 when the dataset has no journal). Groups that
+	// flushed together share one record — one seq, one CRC, one fsync.
 	Journaled uint64 `json:"journaled,omitempty"`
 	// JournalError reports a batch that is live on the engine but could
 	// not be made durable (journal append failed): retrying the mutation
@@ -132,17 +163,65 @@ type MutateResult struct {
 	// latency decomposes stage by stage.
 	JournalNS      int64 `json:"journal_ns,omitempty"`
 	JournalFsyncNS int64 `json:"journal_fsync_ns,omitempty"`
+	// BatchSize is how many callers' groups the flush coalesced (1 = this
+	// group flushed alone); QueueNS is the wait from enqueue to flush
+	// start; FlushNS is the whole flush (apply + journal + fan-out).
+	BatchSize int   `json:"batch_size,omitempty"`
+	QueueNS   int64 `json:"queue_ns,omitempty"`
+	FlushNS   int64 `json:"flush_ns,omitempty"`
 }
 
-// Mutate applies one delta batch to the named dataset's engine and journals
-// it durably (when the dataset is journaled) before returning. Mutations on
-// one dataset serialize; queries keep flowing throughout, and the engine is
-// never hot-swapped — that is the point.
+// Mutate applies one delta group to the named dataset and journals it
+// durably (when the dataset is journaled) before returning. It enqueues the
+// group on the dataset's group-commit batcher and waits for its flush;
+// groups from concurrent callers coalesce into one commit, each keeping its
+// own all-or-nothing verdict. A full commit queue sheds with
+// cserr.ErrOverloaded (HTTP 429 + Retry-After; the group was never
+// enqueued, safe to retry). Queries keep flowing throughout, and the engine
+// is never hot-swapped — that is the point.
 func (c *Catalog) Mutate(name string, deltas []mutate.Delta) (*MutateResult, error) {
 	d, err := c.dataset(name)
 	if err != nil {
 		return nil, err
 	}
+	val, stats, err := d.commit.Submit(deltas)
+	res, _ := val.(*MutateResult)
+	if res != nil {
+		res.BatchSize = stats.BatchSize
+		res.QueueNS = stats.QueueNS
+		res.FlushNS = stats.FlushNS
+	}
+	if errors.Is(err, commit.ErrClosed) {
+		// The dataset unmounted between lookup and enqueue.
+		err = fmt.Errorf("%w: %q", cserr.ErrUnknownGraph, name)
+	}
+	return res, err
+}
+
+// Fold applies one delta group directly — no batcher, no coalescing: one
+// engine generation and one journal record for exactly this group. It is
+// the replication fold: a follower replays shipped journal records, and
+// each record must advance the version by exactly 1 to keep the
+// record-per-version cursor math true; letting follower folds coalesce
+// would break that invariant.
+func (c *Catalog) Fold(name string, deltas []mutate.Delta) (*MutateResult, error) {
+	d, err := c.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	results := c.flushGroups(d, [][]mutate.Delta{deltas})
+	res, _ := results[0].Value.(*MutateResult)
+	return res, results[0].Err
+}
+
+// flushGroups is the dataset's commit.Flush callback: it drives one
+// coalesced batch through the staged pipeline under d.mu — engine
+// (ApplyGroups publishes ONE generation), journal (AppendGroups writes ONE
+// record), compaction trigger — and maps each group's outcome to its
+// waiter. It runs on the batcher's flusher goroutine, serialized with every
+// other flush of the dataset.
+func (c *Catalog) flushGroups(d *Dataset, groups [][]mutate.Delta) []commit.Result {
+	results := make([]commit.Result, len(groups))
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.live != nil && d.live.broken {
@@ -150,45 +229,96 @@ func (c *Catalog) Mutate(name string, deltas []mutate.Delta) (*MutateResult, err
 		// more would create a replayable journal with a semantic hole
 		// (contiguous sequence numbers, missing state). Fail closed until a
 		// compaction rebuilds durability from the live state.
-		return nil, fmt.Errorf("%w: journal for %q is missing an applied batch; compact to restore durability",
+		err := fmt.Errorf("%w: journal for %q is missing an applied batch; compact to restore durability",
 			cserr.ErrSnapshotCorrupt, d.name)
+		for i := range results {
+			results[i] = commit.Result{Err: err}
+		}
+		return results
 	}
 	eng := d.eng.Load()
-	res, err := eng.Apply(deltas)
+	res, outs, err := eng.ApplyGroups(groups)
 	if err != nil {
-		return nil, err
+		// No group applied (the serving state is untouched): rejected
+		// groups carry their own error, the rest the batch-level one.
+		for i := range results {
+			ge := err
+			if outs != nil && outs[i].Err != nil {
+				ge = outs[i].Err
+			}
+			results[i] = commit.Result{Err: ge}
+		}
+		return results
 	}
-	out := &MutateResult{Graph: d.name, ApplyResult: *res}
+
+	// Journal only what applied: replay must reproduce exactly the state
+	// the engine published, so rejected groups stay out of the record.
+	applied := make([][]mutate.Delta, 0, len(groups))
+	for i, o := range outs {
+		if o.Err == nil && o.Applied {
+			applied = append(applied, groups[i])
+		}
+	}
+	var seq uint64
+	var journalNS, fsyncNS int64
+	var journalErr error
+	var compacting bool
 	if d.live != nil {
 		tJournal := time.Now()
-		seq, err := d.live.journal.Append(deltas)
-		out.JournalNS = time.Since(tJournal).Nanoseconds()
-		if err == nil {
-			out.JournalFsyncNS = d.live.journal.LastSyncNS()
-			eng.ObserveJournalAppend(out.JournalNS)
-		}
-		if err != nil {
-			// The mutation is live but not durable. Fail this dataset's
-			// mutations closed and return the result WITH the error
-			// recorded on it: the caller must see what was applied
-			// (retrying would double-apply the batch) and that compacting
-			// restores durability from the live state.
+		seq, journalErr = d.live.journal.AppendGroups(applied)
+		journalNS = time.Since(tJournal).Nanoseconds()
+		if journalErr == nil {
+			fsyncNS = d.live.journal.LastSyncNS()
+			eng.ObserveJournalAppend(journalNS)
+			if d.live.compactEvery > 0 && d.live.journal.Batches() >= d.live.compactEvery && !d.live.compacting {
+				d.live.compacting = true
+				d.live.wg.Add(1)
+				// The goroutine gets the liveState captured under d.mu: a
+				// concurrent Unmount may nil d.live, and the compactor must
+				// neither dereference that nor fold a journal it no longer
+				// owns.
+				go c.compactAsync(d, d.live)
+				compacting = true
+			}
+		} else {
+			// The whole batch is live but not durable. Fail the dataset's
+			// mutations closed and hand every applied waiter its result
+			// WITH the error recorded on it: the caller must see what was
+			// applied (retrying would double-apply the group) and that
+			// compacting restores durability from the live state.
 			d.live.broken = true
-			out.JournalError = err.Error()
-			return out, fmt.Errorf("mutation applied but not journaled: %w", err)
-		}
-		out.Journaled = seq
-		if d.live.compactEvery > 0 && d.live.journal.Batches() >= d.live.compactEvery && !d.live.compacting {
-			d.live.compacting = true
-			d.live.wg.Add(1)
-			// The goroutine gets the liveState captured under d.mu: a
-			// concurrent Unmount may nil d.live, and the compactor must
-			// neither dereference that nor fold a journal it no longer owns.
-			go c.compactAsync(d, d.live)
-			out.Compacting = true
 		}
 	}
-	return out, nil
+
+	for i, o := range outs {
+		if o.Err != nil {
+			results[i] = commit.Result{Err: o.Err}
+			continue
+		}
+		mr := &MutateResult{Graph: d.name, ApplyResult: *res}
+		mr.NewNodes = o.NewNodes
+		mr.Outcomes = make([]DeltaOutcome, len(groups[i]))
+		nn := 0
+		for di, del := range groups[i] {
+			mr.Outcomes[di] = DeltaOutcome{Op: del.Op.String(), Applied: true}
+			if del.Op == mutate.OpAddNode && nn < len(o.NewNodes) {
+				mr.Outcomes[di].NewNode = o.NewNodes[nn]
+				nn++
+			}
+		}
+		mr.JournalNS = journalNS
+		mr.JournalFsyncNS = fsyncNS
+		if journalErr != nil {
+			mr.JournalError = journalErr.Error()
+			results[i] = commit.Result{Value: mr,
+				Err: fmt.Errorf("mutation applied but not journaled: %w", journalErr)}
+			continue
+		}
+		mr.Journaled = seq
+		mr.Compacting = compacting
+		results[i] = commit.Result{Value: mr}
+	}
+	return results
 }
 
 // CompactResult reports one journal compaction.
@@ -213,6 +343,11 @@ func (c *Catalog) Compact(name string) (*CompactResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Drain before locking: every group already acknowledged into the
+	// commit queue flushes (and journals) first, so the fold below captures
+	// it and the journal reset cannot strand an acknowledged-but-unflushed
+	// group. Flushes take d.mu, so the drain must finish before we do.
+	d.commit.Drain()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.compactLocked()
@@ -334,6 +469,10 @@ func (c *Catalog) Close() error {
 	c.mu.Unlock()
 	var errs []string
 	for _, d := range ds {
+		// Close the batcher first: it flushes everything acknowledged into
+		// the queue (flushes take d.mu, so this must precede the lock),
+		// then refuses further Submits with commit.ErrClosed.
+		d.commit.Close()
 		d.mu.Lock()
 		live := d.live
 		mounted := d.mounted

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/commit"
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
@@ -80,6 +81,33 @@ var promFamilies = []promFamily{
 		func(i Info) float64 { return float64(i.JournalBatches) }},
 	{"sea_mapped_bytes", "gauge", "Size of the zero-copy snapshot mapping backing the dataset (0 for heap mounts).",
 		func(i Info) float64 { return float64(i.MappedBytes) }},
+	{"sea_commit_submitted_total", "counter", "Delta groups accepted onto the group-commit queue.",
+		func(i Info) float64 { return float64(i.Commit.Submitted) }},
+	{"sea_commit_shed_total", "counter", "Delta groups shed by commit-queue backpressure (429).",
+		func(i Info) float64 { return float64(i.Commit.Shed) }},
+	{"sea_commit_flushes_total", "counter", "Group-commit flushes (one journal record and one engine generation each).",
+		func(i Info) float64 { return float64(i.Commit.Flushes) }},
+	{"sea_commit_failures_total", "counter", "Delta groups whose commit flush failed.",
+		func(i Info) float64 { return float64(i.Commit.Failures) }},
+	{"sea_commit_queue_depth", "gauge", "Instantaneous commit-queue occupancy.",
+		func(i Info) float64 { return float64(i.Commit.QueueDepth) }},
+}
+
+// commitHistFamilies are the group-commit batcher's distributions: the
+// batch-size histogram is unit-less (groups per flush, scale 1); the
+// queue-wait and flush histograms observe nanoseconds and expose seconds.
+var commitHistFamilies = []struct {
+	name  string
+	help  string
+	scale float64
+	snap  func(commit.Stats) obs.Snapshot
+}{
+	{"sea_commit_batch_size", "Delta groups coalesced per group-commit flush.", 1,
+		func(s commit.Stats) obs.Snapshot { return s.BatchSize }},
+	{"sea_commit_queue_wait_seconds", "Wait from commit-queue enqueue to flush start.", 1e-9,
+		func(s commit.Stats) obs.Snapshot { return s.QueueWait }},
+	{"sea_commit_flush_seconds", "Whole group-commit flush: batched apply, journal append, result fan-out.", 1e-9,
+		func(s commit.Stats) obs.Snapshot { return s.FlushLat }},
 }
 
 // histFamily is one histogram metric family: name, help, and the labelled
@@ -155,6 +183,14 @@ func WriteMetrics(w io.Writer, infos []Info) error {
 					{Name: f.label, Value: s.label},
 				}, s.snap, 1e-9)
 			}
+		}
+	}
+	for _, f := range commitHistFamilies {
+		obs.WriteHistogramHeader(w, f.name, f.help)
+		for _, info := range infos {
+			obs.WriteHistogram(w, f.name, []obs.Label{
+				{Name: "graph", Value: info.Name},
+			}, f.snap(info.Commit), f.scale)
 		}
 	}
 	return nil

@@ -287,7 +287,11 @@ func (f *Follower) catchUp(ctx context.Context, client *Client, name string, r *
 			}
 			return nil
 		}
-		if _, err := f.cat.Mutate(name, b.Deltas); err != nil {
+		// Fold, not Mutate: a shipped record must advance the local version
+		// by exactly 1 to keep the record-per-version cursor math true, so
+		// the fold bypasses the group-commit batcher — the primary already
+		// coalesced, and the record is replayed atomically as one batch.
+		if _, err := f.cat.Fold(name, b.Deltas); err != nil {
 			return fmt.Errorf("applying batch %d: %w", b.Version, err)
 		}
 		cursor = b.Version

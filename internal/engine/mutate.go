@@ -71,6 +71,22 @@ type ApplyResult struct {
 	// required an expansion, not that the mutation touched nothing.
 	TouchedNodes int `json:"touched_nodes"`
 	RegionNodes  int `json:"region_nodes"`
+	// Groups is the number of caller groups the batch coalesced (1 for a
+	// plain Apply); GroupsApplied counts the groups that validated and were
+	// folded in — rejected groups are skipped whole, they never partially
+	// apply.
+	Groups        int `json:"groups,omitempty"`
+	GroupsApplied int `json:"groups_applied,omitempty"`
+}
+
+// GroupOutcome reports one caller group of an ApplyGroups batch: either the
+// group applied whole (Applied, with the node IDs its add_node deltas were
+// assigned), or it was rejected whole (Err identifies the failing delta as
+// "delta i: ..." — the same error Apply would return for the group alone).
+type GroupOutcome struct {
+	Applied  bool
+	NewNodes []graph.NodeID
+	Err      error
 }
 
 // Apply folds one batch of deltas into the serving state, maintaining the
@@ -80,8 +96,36 @@ type ApplyResult struct {
 // cserr.ErrInvalidRequest. Apply serializes with other Apply calls; queries
 // proceed concurrently throughout.
 func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
-	if len(deltas) == 0 {
-		return nil, cserr.Invalidf("engine: empty mutation batch")
+	res, _, err := e.ApplyGroups([][]mutate.Delta{deltas})
+	return res, err
+}
+
+// ApplyGroups folds a group-commit batch — several callers' delta groups —
+// into the serving state as ONE generation: one incremental-maintenance
+// session, one epoch fence, one scoped cache sweep over the union of the
+// touched regions, one atomic publish. Each group is all-or-nothing
+// individually: a group that fails validation is rejected whole (its
+// GroupOutcome carries the error) while the others still apply, exactly as
+// if the groups had been applied sequentially and the failing ones skipped.
+//
+// The fold runs in three stages:
+//
+//   - prepare: every group validates against a throwaway overlay
+//     (mutate.Preflight) so rejections are decided before any index
+//     maintenance runs;
+//   - maintain: the admitted groups stream through one mutate.Session —
+//     coreness and trussness update incrementally once over the whole
+//     batch, and the overlay materializes once;
+//   - publish: one engState generation (version advances by exactly 1,
+//     whatever the group count), one scoped invalidation over the union of
+//     every group's touched region.
+//
+// The error is non-nil only when NO group applied (then it is the first
+// group's error, and the serving state is untouched). Outcomes always has
+// one entry per input group.
+func (e *Engine) ApplyGroups(groups [][]mutate.Delta) (*ApplyResult, []GroupOutcome, error) {
+	if len(groups) == 0 {
+		return nil, nil, cserr.Invalidf("engine: empty commit batch")
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -89,6 +133,31 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 	// queueing behind other batches (the caller's wall clock covers that).
 	tApply := time.Now()
 	old := e.st.Load()
+	outs := make([]GroupOutcome, len(groups))
+
+	// Prepare: validate every group against a throwaway overlay. A
+	// single-group batch skips the preflight — the session's own rollback
+	// gives the same all-or-nothing contract without validating twice.
+	admitted := groups
+	if len(groups) > 1 {
+		pf := mutate.NewPreflight(old.g)
+		for gi, g := range groups {
+			if len(g) == 0 {
+				outs[gi].Err = cserr.Invalidf("engine: empty mutation batch")
+				continue
+			}
+			if err := pf.Group(g); err != nil {
+				outs[gi].Err = err
+			}
+		}
+		admitted = pf.Admitted()
+	} else if len(groups[0]) == 0 {
+		outs[0].Err = cserr.Invalidf("engine: empty mutation batch")
+		return nil, outs, outs[0].Err
+	}
+	if len(admitted) == 0 {
+		return nil, outs, firstGroupErr(outs, nil)
+	}
 
 	// Seed the per-edge trussness table the first time a mutation arrives
 	// after the node-truss index exists; from then on it is maintained
@@ -99,19 +168,35 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 		e.etruss = edgeTrussTable(old.g)
 	}
 
+	// Maintain: one session folds every admitted group; the admission
+	// indexes update incrementally across the whole batch. An admitted
+	// group cannot fail here — preflight applied the identical overlay
+	// edits — except on the unpreflighted single-group path, where the
+	// session rollback keeps the all-or-nothing contract.
 	sess := mutate.NewSession(old.g, old.core, e.etruss)
-	for i, d := range deltas {
-		if err := sess.Apply(d); err != nil {
-			sess.Rollback()
-			return nil, fmt.Errorf("delta %d: %w", i, err)
+	gi := 0
+	for _, g := range admitted {
+		for outs[gi].Err != nil {
+			gi++ // skip rejected groups: admitted is the accepted subsequence
 		}
+		nn := len(sess.NewNodes())
+		for i, d := range g {
+			if err := sess.Apply(d); err != nil {
+				sess.Rollback()
+				outs[gi].Err = fmt.Errorf("delta %d: %w", i, err)
+				return nil, outs, outs[gi].Err
+			}
+		}
+		outs[gi].Applied = true
+		outs[gi].NewNodes = sess.NewNodes()[nn:]
+		gi++
 	}
 
 	newG := sess.Materialize()
 	m, err := attr.NewMetricWithNormalizer(newG, old.metric.Gamma(), old.metric.Normalizer())
 	if err != nil {
 		sess.Rollback()
-		return nil, err
+		return nil, outs, err
 	}
 	st := &engState{g: newG, metric: m, core: sess.Core(), version: old.version + 1}
 	if nt := sess.NodeTruss(oldTruss); nt != nil {
@@ -119,20 +204,22 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 	}
 	applyNS := time.Since(tApply).Nanoseconds()
 
-	// Fence: the write-locked bump waits out in-flight cache fills and
-	// makes every later fill observe the new epoch (and skip itself, since
-	// it computed against the old state) — so the sweep below removes every
-	// stale entry for good.
+	// Publish. Fence: the write-locked bump waits out in-flight cache fills
+	// and makes every later fill observe the new epoch (and skip itself,
+	// since it computed against the old state) — so the sweep below removes
+	// every stale entry for good.
 	e.pubMu.Lock()
 	e.epoch.Add(1)
 	e.pubMu.Unlock()
 	res := &ApplyResult{
-		Applied:  sess.Applied(),
-		NewNodes: sess.NewNodes(),
-		Version:  st.version,
-		Nodes:    newG.NumNodes(),
-		Edges:    newG.NumEdges(),
-		ApplyNS:  applyNS,
+		Applied:       sess.Applied(),
+		NewNodes:      sess.NewNodes(),
+		Version:       st.version,
+		Nodes:         newG.NumNodes(),
+		Edges:         newG.NumEdges(),
+		ApplyNS:       applyNS,
+		Groups:        len(groups),
+		GroupsApplied: len(admitted),
 	}
 	tInv := time.Now()
 	sw := e.invalidateScoped(old, st, sess)
@@ -148,7 +235,21 @@ func (e *Engine) Apply(deltas []mutate.Delta) (*ApplyResult, error) {
 	e.ctr.resultInvalidation.Add(uint64(res.ResultsInvalidated))
 	e.ctr.distInvalidation.Add(uint64(res.DistsInvalidated))
 	e.ctr.distExtended.Add(uint64(res.DistsExtended))
-	return res, nil
+	return res, outs, nil
+}
+
+// firstGroupErr returns the first rejected group's error (fallback when none
+// is recorded) — the batch-level error when no group applied.
+func firstGroupErr(outs []GroupOutcome, fallback error) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	if fallback != nil {
+		return fallback
+	}
+	return cserr.Invalidf("engine: no group in the commit batch applied")
 }
 
 // edgeTrussTable runs one full truss decomposition and keys it by endpoint

@@ -1,0 +1,64 @@
+package mutate
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Preflight is the prepare stage of a group commit: it validates whole delta
+// groups against a throwaway overlay — no index maintenance, no
+// materialization — before any of them touch a Session. A group either
+// validates completely and becomes part of the batch, or is rejected whole
+// and leaves no trace: later groups validate exactly as if the rejected one
+// had never arrived (the same post-group node counts, the same assigned
+// AddNode IDs).
+//
+// Validation goes through the same applyOverlay the Session uses, so a
+// group the Preflight admits cannot fail when the Session applies it, and a
+// group it rejects carries the identical error the caller would have seen
+// applying the group alone.
+type Preflight struct {
+	base graph.Store
+	ov   *graph.Overlay
+	ok   [][]Delta // admitted groups, in admission order
+}
+
+// NewPreflight starts group validation over base.
+func NewPreflight(base graph.Store) *Preflight {
+	return &Preflight{base: base, ov: graph.NewOverlay(base)}
+}
+
+// Group validates one delta group on top of every previously admitted group.
+// On success the group is admitted (its deltas shape the overlay later
+// groups validate against). On failure the overlay is rolled back to the
+// admitted state — by replaying the admitted groups over a fresh overlay,
+// which is cheap because overlay edits skip all index maintenance — and the
+// error identifies the failing delta as "delta i: ...".
+func (p *Preflight) Group(deltas []Delta) error {
+	for i, d := range deltas {
+		if _, err := applyOverlay(p.ov, d); err != nil {
+			p.rewind()
+			return fmt.Errorf("delta %d: %w", i, err)
+		}
+	}
+	p.ok = append(p.ok, deltas)
+	return nil
+}
+
+// Admitted returns the admitted groups in admission order. The slices alias
+// the caller's.
+func (p *Preflight) Admitted() [][]Delta { return p.ok }
+
+// rewind rebuilds the overlay to hold exactly the admitted groups. Replay
+// cannot fail: every admitted delta already applied once to this state.
+func (p *Preflight) rewind() {
+	p.ov = graph.NewOverlay(p.base)
+	for _, g := range p.ok {
+		for _, d := range g {
+			if _, err := applyOverlay(p.ov, d); err != nil {
+				panic(fmt.Sprintf("mutate: admitted delta failed on replay: %v", err))
+			}
+		}
+	}
+}

@@ -121,52 +121,74 @@ func (s *Session) Rollback() {
 	s.undo = make(map[Edge]*int32)
 }
 
+// applyOverlay validates and applies one delta's overlay edit — the part of
+// Apply that can fail. It is shared between the Session (which follows it
+// with index maintenance) and the Preflight (which validates whole groups
+// against a throwaway overlay before any maintenance runs), so both reject
+// exactly the same deltas with exactly the same errors. The returned NodeID
+// is the assigned ID of an OpAddNode (0 otherwise). Errors wrap
+// cserr.ErrInvalidRequest and leave the overlay as before the call.
+func applyOverlay(ov *graph.Overlay, d Delta) (graph.NodeID, error) {
+	switch d.Op {
+	case OpAddEdge:
+		if err := ov.AddEdge(d.U, d.V); err != nil {
+			return 0, cserr.Invalidf("%v", err)
+		}
+	case OpRemoveEdge:
+		if err := ov.RemoveEdge(d.U, d.V); err != nil {
+			return 0, cserr.Invalidf("%v", err)
+		}
+	case OpAddNode:
+		id, err := ov.AddNode(d.Text, d.Num)
+		if err != nil {
+			return 0, cserr.Invalidf("%v", err)
+		}
+		return id, nil
+	case OpSetAttr:
+		if d.Text == nil && d.Num == nil {
+			return 0, cserr.Invalidf("mutate: set_attr on node %d changes nothing", d.U)
+		}
+		if err := ov.SetAttrs(d.U, d.Text, d.Num); err != nil {
+			return 0, cserr.Invalidf("%v", err)
+		}
+	default:
+		return 0, cserr.Invalidf("unknown mutation op %d", int(d.Op))
+	}
+	return 0, nil
+}
+
 // Apply validates and applies one delta, maintaining the coreness and (when
 // adopted) trussness tables incrementally. Errors wrap
 // cserr.ErrInvalidRequest and leave the session as before the call.
 func (s *Session) Apply(d Delta) error {
+	// The deletion scope seeds are the triangles through the edge; they
+	// must be enumerated before the edge disappears from the overlay.
+	var seeds []Edge
+	if d.Op == OpRemoveEdge && s.etruss != nil && s.ov.HasEdge(d.U, d.V) {
+		for _, z := range s.commonNeighbors(d.U, d.V) {
+			seeds = append(seeds, EdgeOf(d.U, z), EdgeOf(d.V, z))
+		}
+	}
+	id, err := applyOverlay(s.ov, d)
+	if err != nil {
+		return err
+	}
 	switch d.Op {
 	case OpAddEdge:
-		if err := s.ov.AddEdge(d.U, d.V); err != nil {
-			return cserr.Invalidf("%v", err)
-		}
 		s.markStructural(d.U, d.V)
 		s.coreInsert(d.U, d.V)
 		s.trussInsert(d.U, d.V)
 	case OpRemoveEdge:
-		// The deletion scope seeds are the triangles through the edge; they
-		// must be enumerated before the edge disappears from the overlay.
-		var seeds []Edge
-		if s.etruss != nil && s.ov.HasEdge(d.U, d.V) {
-			for _, z := range s.commonNeighbors(d.U, d.V) {
-				seeds = append(seeds, EdgeOf(d.U, z), EdgeOf(d.V, z))
-			}
-		}
-		if err := s.ov.RemoveEdge(d.U, d.V); err != nil {
-			return cserr.Invalidf("%v", err)
-		}
 		s.markStructural(d.U, d.V)
 		s.coreRemove(d.U, d.V)
 		s.trussRemove(d.U, d.V, seeds)
 	case OpAddNode:
-		id, err := s.ov.AddNode(d.Text, d.Num)
-		if err != nil {
-			return cserr.Invalidf("%v", err)
-		}
 		s.core = append(s.core, 0)
 		s.newNodes = append(s.newNodes, id)
 		s.structural[id] = struct{}{}
 		s.attr[id] = struct{}{}
 	case OpSetAttr:
-		if d.Text == nil && d.Num == nil {
-			return cserr.Invalidf("mutate: set_attr on node %d changes nothing", d.U)
-		}
-		if err := s.ov.SetAttrs(d.U, d.Text, d.Num); err != nil {
-			return cserr.Invalidf("%v", err)
-		}
 		s.attr[d.U] = struct{}{}
-	default:
-		return cserr.Invalidf("unknown mutation op %d", int(d.Op))
 	}
 	s.applied++
 	return nil

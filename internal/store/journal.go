@@ -14,8 +14,19 @@ package store
 //	records:
 //	  seq    uint64   1-based batch sequence number, strictly increasing
 //	  len    uint32   payload byte length
-//	  payload []byte  JSON array of mutate.Delta
+//	  payload []byte  JSON: either a flat array of mutate.Delta, or a
+//	                  group-commit batch object {"groups":[[...],[...]]}
 //	  crc    uint32   CRC-32 (Castagnoli) of seq+len+payload
+//
+// A record is one commit — one sequence number, one engine generation —
+// whichever payload shape it carries. The group-commit write path
+// (AppendGroups) coalesces several callers' delta groups into one record:
+// a single group writes the flat-array shape (byte-identical to what a
+// serial writer produces), several groups write the batch object, and the
+// record is CRC'd as a unit either way, so a torn batch append rewinds
+// whole and no partial batch ever replays. Readers (OpenJournal replay and
+// TailJournal) understand both shapes and always surface the flattened
+// delta list; the group boundaries ride along in JournalBatch.Groups.
 //
 // Records are self-checking: Open replays until the first short or
 // corrupted record, truncates the file there (a torn tail from a crashed
@@ -51,10 +62,21 @@ var journalMagic = [8]byte{'S', 'E', 'A', 'J', 'R', 'N', 'L', 0}
 
 const journalHeaderLen = 12 // magic + version
 
-// JournalBatch is one replayed mutation batch.
+// JournalBatch is one replayed journal record: one commit. Deltas is always
+// the full flattened list, in application order, whatever shape the record
+// was written in. Groups preserves the caller-group boundaries of a
+// group-commit record (nil for a flat single-group record) — replay
+// consumers that only need the state fold use Deltas and ignore it.
 type JournalBatch struct {
 	Seq    uint64
 	Deltas []mutate.Delta
+	Groups [][]mutate.Delta
+}
+
+// groupedPayload is the JSON shape of a multi-group record. The flat shape
+// is a bare JSON array, so the two are distinguished by the first byte.
+type groupedPayload struct {
+	Groups [][]mutate.Delta `json:"groups"`
 }
 
 // Journal is an append-only write-ahead log of mutation batches. It is not
@@ -150,19 +172,50 @@ func scanJournal(data []byte) (batches []JournalBatch, good int) {
 		if sum != binary.LittleEndian.Uint32(rest[12+plen:12+plen+4]) {
 			break // corrupted record: stop replay here
 		}
-		var deltas []mutate.Delta
-		if err := json.Unmarshal(rest[12:12+plen], &deltas); err != nil {
+		b, ok := decodePayload(rest[12 : 12+plen])
+		if !ok {
 			break // undecodable payload despite the checksum: treat as tail
 		}
 		if seq != last+1 {
 			break // sequence gap: a truncated-then-reused file; stop
 		}
 		last = seq
-		batches = append(batches, JournalBatch{Seq: seq, Deltas: deltas})
+		b.Seq = seq
+		batches = append(batches, b)
 		off += 12 + plen + 4
 		good = off
 	}
 	return batches, good
+}
+
+// decodePayload parses one record payload, flat array or batch object, into
+// a JournalBatch (Seq left for the caller). Both shapes yield the flattened
+// delta list; the batch object additionally carries the group boundaries.
+func decodePayload(payload []byte) (JournalBatch, bool) {
+	i := 0
+	for i < len(payload) && (payload[i] == ' ' || payload[i] == '\t' || payload[i] == '\n' || payload[i] == '\r') {
+		i++
+	}
+	if i < len(payload) && payload[i] == '{' {
+		var gp groupedPayload
+		if err := json.Unmarshal(payload, &gp); err != nil || len(gp.Groups) == 0 {
+			return JournalBatch{}, false
+		}
+		n := 0
+		for _, g := range gp.Groups {
+			n += len(g)
+		}
+		flat := make([]mutate.Delta, 0, n)
+		for _, g := range gp.Groups {
+			flat = append(flat, g...)
+		}
+		return JournalBatch{Deltas: flat, Groups: gp.Groups}, true
+	}
+	var deltas []mutate.Delta
+	if err := json.Unmarshal(payload, &deltas); err != nil {
+		return JournalBatch{}, false
+	}
+	return JournalBatch{Deltas: deltas}, true
 }
 
 // checkJournalHeader validates a journal image's magic and version.
@@ -230,16 +283,42 @@ func (j *Journal) Append(deltas []mutate.Delta) (uint64, error) {
 	if len(deltas) == 0 {
 		return 0, cserr.Invalidf("journal: empty mutation batch")
 	}
-	payload, err := json.Marshal(deltas)
+	return j.append(deltas)
+}
+
+// AppendGroups writes one group-commit batch — several callers' delta
+// groups — as ONE record: one sequence number, one CRC, one fsync. A
+// single-group batch writes the flat record shape, byte-identical to
+// Append; more groups write the batch-object shape. Either way the append
+// is atomic at replay: a torn write rewinds whole, no partial batch ever
+// replays.
+func (j *Journal) AppendGroups(groups [][]mutate.Delta) (uint64, error) {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	if len(groups) == 0 || n == 0 {
+		return 0, cserr.Invalidf("journal: empty commit batch")
+	}
+	if len(groups) == 1 {
+		return j.append(groups[0])
+	}
+	return j.append(groupedPayload{Groups: groups})
+}
+
+// append marshals payload (a flat []mutate.Delta or a groupedPayload) into
+// one record and commits it durably.
+func (j *Journal) append(payload any) (uint64, error) {
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return 0, err
 	}
 	seq := j.seq + 1
-	rec := make([]byte, 12+len(payload)+4)
+	rec := make([]byte, 12+len(body)+4)
 	binary.LittleEndian.PutUint64(rec[:8], seq)
-	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
-	copy(rec[12:], payload)
-	binary.LittleEndian.PutUint32(rec[12+len(payload):], crc32.Checksum(rec[:12+len(payload)], castagnoli))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(body)))
+	copy(rec[12:], body)
+	binary.LittleEndian.PutUint32(rec[12+len(body):], crc32.Checksum(rec[:12+len(body)], castagnoli))
 	rewind := func(err error) (uint64, error) {
 		if terr := j.f.Truncate(j.off); terr == nil {
 			j.f.Seek(j.off, io.SeekStart)
